@@ -1,0 +1,32 @@
+//! Criterion benchmarks of the Fig. 8 workloads (tiny inputs): noCC vs
+//! SWCC virtual-time makespan, plus SPM for motion estimation.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_apps::workload::{run_workload, Workload, WorkloadParams};
+use pmc_runtime::BackendKind;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps_tiny_4tiles");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    for w in [Workload::Radiosity, Workload::Raytrace, Workload::Volrend, Workload::MotionEst] {
+        for backend in [BackendKind::Uncached, BackendKind::Swcc, BackendKind::Spm] {
+            if w == Workload::Radiosity && backend == BackendKind::Spm {
+                continue; // nothing SPM-specific for radiosity's tiny records
+            }
+            g.bench_with_input(
+                BenchmarkId::new(w.name(), backend.name()),
+                &(w, backend),
+                |b, &(w, be)| {
+                    b.iter(|| run_workload(w, be, 4, WorkloadParams::Tiny).report.makespan)
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the Fig. 9 FIFO across back-ends.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_runtime::{BackendKind, LockKind, System};
+use pmc_soc_sim::SocConfig;
+
+fn fifo_run(backend: BackendKind, items: u32, depth: u32) -> u64 {
+    let mut sys = System::new(SocConfig::small(3), backend, LockKind::Sdram);
+    let fifo = sys.alloc_fifo::<u32>("f", depth, 2);
+    sys.run(vec![
+        Box::new(move |ctx| {
+            for i in 0..items {
+                fifo.push(ctx, i + 1);
+            }
+        }),
+        Box::new(move |ctx| {
+            for _ in 0..items {
+                fifo.pop(ctx, 0);
+            }
+        }),
+        Box::new(move |ctx| {
+            for _ in 0..items {
+                fifo.pop(ctx, 1);
+            }
+        }),
+    ])
+    .makespan
+}
+
+fn bench_fifo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fifo");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    for backend in BackendKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("push_pop_2readers", backend.name()),
+            &backend,
+            |b, &be| b.iter(|| fifo_run(be, 60, 8)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fifo);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the two lock implementations under contention
+//! (virtual-time makespan is the figure of merit; wall time measures the
+//! harness).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_runtime::lock::{DistLock, Lock, SdramLock};
+use pmc_soc_sim::{addr, CoreProgram, Cpu, Soc, SocConfig};
+
+fn run_lock(lock: Lock, n_tiles: usize, iters: u32) -> u64 {
+    let soc = Soc::new(SocConfig::small(n_tiles));
+    let programs: Vec<CoreProgram<'_>> = (0..n_tiles)
+        .map(|_| -> CoreProgram<'_> {
+            Box::new(move |cpu: &mut Cpu| {
+                for _ in 0..iters {
+                    lock.lock(cpu);
+                    cpu.compute(20);
+                    lock.unlock(cpu);
+                    cpu.compute(50);
+                }
+            })
+        })
+        .collect();
+    soc.run(programs).makespan
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    for tiles in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("sdram_tas", tiles), &tiles, |b, &n| {
+            b.iter(|| run_lock(Lock::Sdram(SdramLock { addr: addr::SDRAM_UNCACHED_BASE }), n, 25))
+        });
+        g.bench_with_input(BenchmarkId::new("distributed", tiles), &tiles, |b, &n| {
+            b.iter(|| {
+                run_lock(
+                    Lock::Dist(DistLock { home: 0, lock_offset: 0, mailbox_offset: 128 }),
+                    n,
+                    25,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

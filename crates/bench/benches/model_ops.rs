@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the formal model: edge-rule application
+//! (Full vs Reduced mode) and litmus enumeration.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_core::execution::{EdgeMode, Execution};
+use pmc_core::interleave::outcomes;
+use pmc_core::litmus::catalogue;
+use pmc_core::op::{LocId, ProcId};
+
+fn bench_execution_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("execution_append");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    for (mode, label) in [(EdgeMode::Full, "full"), (EdgeMode::Reduced, "reduced")] {
+        g.bench_function(BenchmarkId::new("polling_reads", label), |b| {
+            b.iter(|| {
+                let mut e = Execution::new(mode);
+                for i in 0..300 {
+                    e.read(ProcId(0), LocId(0), i % 2);
+                }
+                std::hint::black_box(e.edge_count())
+            })
+        });
+        g.bench_function(BenchmarkId::new("lock_traffic", label), |b| {
+            b.iter(|| {
+                let mut e = Execution::new(mode);
+                for i in 0..100 {
+                    let p = ProcId((i % 4) as u16);
+                    e.acquire(p, LocId(0));
+                    e.write(p, LocId(0), i);
+                    e.release(p, LocId(0));
+                }
+                std::hint::black_box(e.edge_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_litmus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("litmus_enumeration");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    g.bench_function("mp_annotated", |b| {
+        b.iter(|| outcomes(&catalogue::mp_annotated()).unwrap().len())
+    });
+    g.bench_function("store_buffering", |b| {
+        b.iter(|| outcomes(&catalogue::store_buffering()).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_execution_growth, bench_litmus);
+criterion_main!(benches);

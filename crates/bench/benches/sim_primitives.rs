@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of simulator primitives: host-side cost of
+//! cached hits (fast path) vs uncached accesses (turnstile) vs NoC ops.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmc_soc_sim::{addr, Cpu, Soc, SocConfig};
+
+fn bench_mem_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_primitives");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    g.bench_function("cached_hits_100k", |b| {
+        b.iter(|| {
+            let soc = Soc::new(SocConfig::small(1));
+            soc.run(vec![Box::new(|cpu: &mut Cpu| {
+                for i in 0..100_000u32 {
+                    cpu.write_u32(addr::SDRAM_CACHED_BASE + (i % 256) * 4, i);
+                }
+            })])
+            .makespan
+        })
+    });
+    g.bench_function("uncached_10k", |b| {
+        b.iter(|| {
+            let soc = Soc::new(SocConfig::small(1));
+            soc.run(vec![Box::new(|cpu: &mut Cpu| {
+                for i in 0..10_000u32 {
+                    cpu.write_u32(addr::SDRAM_UNCACHED_BASE + (i % 256) * 4, i);
+                }
+            })])
+            .makespan
+        })
+    });
+    g.bench_function("noc_writes_4tiles_1k", |b| {
+        b.iter(|| {
+            let soc = Soc::new(SocConfig::small(4));
+            soc.run(
+                (0..4usize)
+                    .map(|t| -> pmc_soc_sim::CoreProgram<'static> {
+                        Box::new(move |cpu: &mut Cpu| {
+                            for i in 0..1000u32 {
+                                cpu.noc_write((t + 1) % 4, (i % 128) * 4, &i.to_le_bytes());
+                            }
+                        })
+                    })
+                    .collect(),
+            )
+            .makespan
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mem_paths);
+criterion_main!(benches);

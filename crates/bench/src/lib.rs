@@ -1,0 +1,53 @@
+//! # pmc-bench — harness utilities
+//!
+//! Shared formatting helpers for the figure/table binaries. Each binary
+//! regenerates one artefact of the paper:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `table1` | Table I (ordering rules) |
+//! | `fig1_litmus` | Fig. 1 (message passing breaks on distributed memories) |
+//! | `table2_portability` | Table II (one program, four architectures) |
+//! | `fig8` | Fig. 8 (SPLASH-2 under no-CC vs SWCC, stall breakdown) |
+//! | `fig9_fifo` | Fig. 9 (multi-reader/multi-writer FIFO) |
+//! | `fig10_spm` | Fig. 10 (motion estimation on scratch-pads) |
+//! | `ablation_locks` | extension: SDRAM lock vs asymmetric distributed lock |
+
+use pmc_apps::workload::Breakdown;
+
+/// Render a Fig. 8-style percentage bar row.
+pub fn breakdown_row(label: &str, b: &Breakdown) -> String {
+    format!(
+        "{label:<24} {:>7.1}% {:>9.1}% {:>9.1}% {:>7.1}% {:>8.1}% {:>7.1}% {:>12} {:>8.2}%",
+        b.busy * 100.0,
+        b.priv_read * 100.0,
+        b.shared_read * 100.0,
+        b.write * 100.0,
+        b.icache * 100.0,
+        b.noc * 100.0,
+        b.makespan,
+        b.flush_overhead * 100.0,
+    )
+}
+
+/// Header matching [`breakdown_row`].
+pub fn breakdown_header() -> String {
+    format!(
+        "{:<24} {:>8} {:>10} {:>10} {:>8} {:>9} {:>8} {:>12} {:>9}",
+        "run", "busy", "priv-read", "shrd-read", "write", "icache", "noc", "makespan", "flush"
+    )
+}
+
+/// Simple `--flag value` argument scraping for the harness binaries.
+pub fn arg_u32(name: &str, default: u32) -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}

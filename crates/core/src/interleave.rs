@@ -1,0 +1,419 @@
+//! Bounded-exhaustive enumeration of litmus-program outcomes under PMC.
+//!
+//! The enumerator explores
+//!
+//! 1. **out-of-order issue within each thread** — the platform (compiler,
+//!    out-of-order core, interconnect) may execute a process's operations
+//!    in any order that respects the intra-process dependencies Table I
+//!    creates. This is the heart of the PMC approach: a later acquire on a
+//!    *different* location may overtake a polling loop unless a fence
+//!    intervenes (exactly the reordering the paper's Fig. 5 fence at
+//!    line 11 exists to prevent);
+//! 2. **all interleavings across threads**;
+//! 3. **every read value Definition 12 allows** at each read.
+//!
+//! The result is the exact set of outcomes the PMC model permits — used to
+//! reproduce the paper's reasoning (Figs. 1–6) and to validate that the
+//! simulated architectures never produce an outcome outside this set.
+
+use std::collections::BTreeSet;
+
+use crate::exec_state::ModelState;
+use crate::execution::EdgeMode;
+use crate::litmus::{Instr, Program};
+use crate::op::{LocId, OpKind, ProcId, Value};
+use crate::table1;
+
+/// An outcome: for each thread, the final value of each of its registers.
+pub type Outcome = Vec<Vec<Value>>;
+
+/// Enumeration limits, to keep racy programs tractable.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of explored states (DFS nodes). Exceeding it is a
+    /// hard error: a truncated outcome set would silently weaken the
+    /// soundness harness.
+    pub max_states: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_states: 20_000_000 }
+    }
+}
+
+/// Error returned when the enumeration exceeds its state budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exhausted;
+
+impl std::fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("litmus enumeration exceeded its state budget")
+    }
+}
+
+impl std::error::Error for Exhausted {}
+
+/// The operation kind and location an instruction issues (fences have no
+/// location).
+fn instr_sig(i: &Instr) -> (OpKind, Option<LocId>) {
+    match i {
+        Instr::Write(v, _) => (OpKind::Write, Some(*v)),
+        Instr::Read(v, _) => (OpKind::Read, Some(*v)),
+        Instr::WaitEq(v, _) => (OpKind::Read, Some(*v)),
+        Instr::Acquire(v) => (OpKind::Acquire, Some(*v)),
+        Instr::Release(v) => (OpKind::Release, Some(*v)),
+        Instr::Fence => (OpKind::Fence, None),
+    }
+}
+
+/// Would Table I order instruction `a` before instruction `b` when both
+/// are issued (in program-text order) by the same process? If so, the
+/// platform must not reorder them; otherwise it may.
+pub fn intra_thread_dep(a: &Instr, b: &Instr) -> bool {
+    let (ka, la) = instr_sig(a);
+    let (kb, lb) = instr_sig(b);
+    match table1::rule(ka, kb) {
+        None => false,
+        Some(rule) => match rule.scope {
+            // Same-process rows require the same location — except when
+            // the *new* op is a fence, which spans all locations.
+            table1::RuleScope::SameProcSameLoc => kb == OpKind::Fence || la == lb,
+            // release → acquire (≺S): same location.
+            table1::RuleScope::AnyProcSameLoc => la == lb,
+            // fence rows span all locations.
+            table1::RuleScope::SameProcAnyLoc => true,
+        },
+    }
+}
+
+struct Search<'p> {
+    program: &'p Program,
+    limits: Limits,
+    states: usize,
+    outcomes: BTreeSet<Outcome>,
+}
+
+#[derive(Clone)]
+struct Node {
+    model: ModelState,
+    /// Issued-instruction flags, per thread.
+    issued: Vec<Vec<bool>>,
+    regs: Vec<Vec<Value>>,
+}
+
+impl Node {
+    /// Instruction `idx` of thread `t` is ready when every earlier
+    /// instruction it depends on (per Table I) has been issued.
+    fn ready(&self, program: &Program, t: usize, idx: usize) -> bool {
+        if self.issued[t][idx] {
+            return false;
+        }
+        let thread = &program.threads[t];
+        (0..idx).all(|j| self.issued[t][j] || !intra_thread_dep(&thread[j], &thread[idx]))
+    }
+}
+
+/// Enumerate every outcome of `program` that the PMC model allows.
+pub fn outcomes(program: &Program) -> Result<BTreeSet<Outcome>, Exhausted> {
+    outcomes_with(program, Limits::default())
+}
+
+/// As [`outcomes`], with explicit limits.
+pub fn outcomes_with(program: &Program, limits: Limits) -> Result<BTreeSet<Outcome>, Exhausted> {
+    let mut model = ModelState::new(EdgeMode::Full);
+    for &(v, value) in &program.init {
+        model.init(v, value);
+    }
+    let regs = (0..program.threads.len())
+        .map(|t| vec![0; program.reg_count(t)])
+        .collect();
+    let issued = program.threads.iter().map(|t| vec![false; t.len()]).collect();
+    let root = Node { model, issued, regs };
+    let mut search = Search { program, limits, states: 0, outcomes: BTreeSet::new() };
+    search.dfs(root)?;
+    Ok(search.outcomes)
+}
+
+impl<'p> Search<'p> {
+    fn dfs(&mut self, node: Node) -> Result<(), Exhausted> {
+        self.states += 1;
+        if self.states > self.limits.max_states {
+            return Err(Exhausted);
+        }
+        let mut any_step = false;
+        for t in 0..self.program.threads.len() {
+            let thread = &self.program.threads[t];
+            let p = ProcId(t as u16);
+            for idx in 0..thread.len() {
+                if !node.ready(self.program, t, idx) {
+                    continue;
+                }
+                match &thread[idx] {
+                    Instr::Write(v, value) => {
+                        any_step = true;
+                        let mut next = node.clone();
+                        next.model.write(p, *v, *value);
+                        next.issued[t][idx] = true;
+                        self.dfs(next)?;
+                    }
+                    Instr::Fence => {
+                        any_step = true;
+                        let mut next = node.clone();
+                        next.model.fence(p);
+                        next.issued[t][idx] = true;
+                        self.dfs(next)?;
+                    }
+                    Instr::Acquire(v) => {
+                        if node.model.can_acquire(*v) {
+                            any_step = true;
+                            let mut next = node.clone();
+                            next.model.acquire(p, *v).expect("checked can_acquire");
+                            next.issued[t][idx] = true;
+                            self.dfs(next)?;
+                        }
+                    }
+                    Instr::Release(v) => {
+                        any_step = true;
+                        let mut next = node.clone();
+                        next.model
+                            .release(p, *v)
+                            .expect("litmus programs are lock-balanced");
+                        next.issued[t][idx] = true;
+                        self.dfs(next)?;
+                    }
+                    Instr::Read(v, reg) => {
+                        // Branch over every model-allowed value (dedup:
+                        // distinct writes of equal values give one
+                        // outcome).
+                        let mut probe = node.clone();
+                        let cands = probe.model.read_candidates(p, *v);
+                        let mut values: Vec<Value> =
+                            cands.iter().map(|&(_, val)| val).collect();
+                        values.sort_unstable();
+                        values.dedup();
+                        for value in values {
+                            any_step = true;
+                            let mut next = node.clone();
+                            next.model
+                                .read_value(p, *v, value)
+                                .expect("candidate value must be readable");
+                            next.regs[t][reg.0 as usize] = value;
+                            next.issued[t][idx] = true;
+                            self.dfs(next)?;
+                        }
+                    }
+                    Instr::WaitEq(v, value) => {
+                        // Enabled only when the awaited value is readable;
+                        // eventual visibility (liveness) is assumed, so
+                        // paths where it is not yet readable simply do not
+                        // take this step.
+                        let mut probe = node.clone();
+                        let ok = probe
+                            .model
+                            .read_candidates(p, *v)
+                            .iter()
+                            .any(|&(_, val)| val == *value);
+                        if ok {
+                            any_step = true;
+                            let mut next = node.clone();
+                            next.model
+                                .read_value(p, *v, *value)
+                                .expect("candidate value must be readable");
+                            next.issued[t][idx] = true;
+                            self.dfs(next)?;
+                        }
+                    }
+                }
+            }
+        }
+        if !any_step {
+            // Either all threads finished, or the remaining instructions
+            // are permanently blocked (deadlock / unsatisfied wait) —
+            // record only completed runs.
+            let complete = node
+                .issued
+                .iter()
+                .all(|flags| flags.iter().all(|&done| done));
+            if complete {
+                self.outcomes.insert(node.regs);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::catalogue;
+    use crate::litmus::Instr::*;
+    use crate::litmus::Reg;
+    use crate::op::LocId as L;
+
+    fn regs_of(outs: &BTreeSet<Outcome>) -> Vec<Outcome> {
+        outs.iter().cloned().collect()
+    }
+
+    /// Intra-thread dependencies reflect Table I.
+    #[test]
+    fn dependency_rules() {
+        let x = L(0);
+        let y = L(1);
+        // Same location: ordered.
+        assert!(intra_thread_dep(&Write(x, 1), &Read(x, Reg(0))));
+        assert!(intra_thread_dep(&Write(x, 1), &Write(x, 2)));
+        assert!(intra_thread_dep(&Write(x, 1), &Release(x)));
+        assert!(intra_thread_dep(&Acquire(x), &Write(x, 1)));
+        assert!(intra_thread_dep(&Release(x), &Acquire(x)));
+        // Different locations: unordered...
+        assert!(!intra_thread_dep(&Write(x, 1), &Write(y, 2)));
+        assert!(!intra_thread_dep(&Write(x, 1), &Read(y, Reg(0))));
+        assert!(!intra_thread_dep(&Release(x), &Acquire(y)));
+        assert!(!intra_thread_dep(&WaitEq(x, 1), &Acquire(y)));
+        // ...unless a fence intervenes (both directions).
+        assert!(intra_thread_dep(&Write(x, 1), &Fence));
+        assert!(intra_thread_dep(&Acquire(x), &Fence));
+        assert!(intra_thread_dep(&Fence, &Write(y, 2)));
+        assert!(intra_thread_dep(&Fence, &Acquire(y)));
+        assert!(intra_thread_dep(&Fence, &Read(y, Reg(0))));
+        // An acquire may overtake a plain read/write of its own location
+        // (Table I's empty acquire column).
+        assert!(!intra_thread_dep(&Read(x, Reg(0)), &Acquire(x)));
+        assert!(!intra_thread_dep(&Write(x, 1), &Acquire(x)));
+    }
+
+    /// Paper Figs. 1/5: without annotations the reader may see the stale
+    /// X even after observing the flag.
+    #[test]
+    fn mp_unfenced_allows_stale_read() {
+        let outs = outcomes(&catalogue::mp_unfenced()).unwrap();
+        let r0s: BTreeSet<Value> = outs.iter().map(|o| o[1][0]).collect();
+        assert!(r0s.contains(&0), "stale outcome must be allowed: {outs:?}");
+        assert!(r0s.contains(&42));
+    }
+
+    /// Paper Fig. 6: the annotated program always reads 42.
+    #[test]
+    fn mp_annotated_always_reads_42() {
+        let outs = outcomes(&catalogue::mp_annotated()).unwrap();
+        assert!(!outs.is_empty());
+        for o in &outs {
+            assert_eq!(o[1][0], 42, "annotated MP must read 42, outcomes: {outs:?}");
+        }
+    }
+
+    /// Dropping only the *fences* from the annotated MP re-opens the
+    /// stale read: the acquire of X may overtake the polling loop —
+    /// exactly the compiler reordering the paper's fence at line 11
+    /// prevents.
+    #[test]
+    fn mp_locked_but_unfenced_is_broken() {
+        let p = Program::new()
+            .with_init(L(0), 0)
+            .with_init(L(2), 0)
+            .thread(vec![
+                Acquire(L(0)),
+                Write(L(0), 42),
+                Release(L(0)),
+                Acquire(L(2)),
+                Write(L(2), 1),
+                Release(L(2)),
+            ])
+            .thread(vec![
+                WaitEq(L(2), 1),
+                Acquire(L(0)),
+                Read(L(0), Reg(0)),
+                Release(L(0)),
+            ]);
+        let outs = outcomes(&p).unwrap();
+        let r0s: BTreeSet<Value> = outs.iter().map(|o| o[1][0]).collect();
+        assert!(
+            r0s.contains(&0),
+            "without fences the acquire may overtake the poll: {outs:?}"
+        );
+    }
+
+    /// Store buffering: both-zero is allowed (no cross-location order).
+    #[test]
+    fn sb_allows_both_zero() {
+        let outs = outcomes(&catalogue::store_buffering()).unwrap();
+        assert!(regs_of(&outs).iter().any(|o| o[0][0] == 0 && o[1][0] == 0));
+        // And outcomes where at least one thread sees the other's write.
+        assert!(regs_of(&outs).iter().any(|o| o[0][0] == 1 || o[1][0] == 1));
+    }
+
+    /// Coherence: (r0, r1) = (1, 0) is forbidden by read monotonicity.
+    #[test]
+    fn corr_forbids_backwards_reads() {
+        let outs = outcomes(&catalogue::corr()).unwrap();
+        for o in &outs {
+            assert!(
+                !(o[1][0] == 1 && o[1][1] == 0),
+                "monotonicity violation allowed: {outs:?}"
+            );
+        }
+        // All three legal combinations appear: (0,0), (0,1), (1,1).
+        let pairs: BTreeSet<(Value, Value)> = outs.iter().map(|o| (o[1][0], o[1][1])).collect();
+        assert!(pairs.contains(&(0, 0)));
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 1)));
+    }
+
+    /// IRIW: readers may disagree on the order of independent writes
+    /// (allowed by PMC even with fences — fences are per-process, GPO,
+    /// and create no global write serialisation).
+    #[test]
+    fn iriw_allows_disagreement() {
+        let outs = outcomes(&catalogue::iriw()).unwrap();
+        let disagree = outs
+            .iter()
+            .any(|o| o[2] == vec![1, 0] && o[3] == vec![1, 0]);
+        assert!(disagree, "IRIW disagreement must be allowed: {outs:?}");
+    }
+
+    /// DRF but unfenced cross-lock program: the SC-forbidden (0,0)
+    /// outcome is allowed — PMC is weaker than Entry Consistency (the
+    /// second critical section may overtake the first).
+    #[test]
+    fn drf_unfenced_allows_non_sc() {
+        let outs = outcomes(&catalogue::drf_no_fence_cross_locks()).unwrap();
+        assert!(
+            outs.iter().any(|o| o[0][0] == 0 && o[1][0] == 0),
+            "non-SC outcome must be allowed without fences: {outs:?}"
+        );
+    }
+
+    /// With fences between the critical sections, (0,0) disappears.
+    #[test]
+    fn drf_fenced_forbids_non_sc() {
+        let outs = outcomes(&catalogue::drf_fenced_cross_locks()).unwrap();
+        assert!(
+            !outs.iter().any(|o| o[0][0] == 0 && o[1][0] == 0),
+            "fenced program must not allow (0,0): {outs:?}"
+        );
+    }
+
+    /// Deadlocked paths produce no outcome (and don't hang): two threads
+    /// acquiring two locks in opposite order.
+    #[test]
+    fn deadlock_paths_are_dropped() {
+        let p = Program::new()
+            .thread(vec![Acquire(L(0)), Acquire(L(1)), Release(L(1)), Release(L(0))])
+            .thread(vec![Acquire(L(1)), Acquire(L(0)), Release(L(0)), Release(L(1))]);
+        let outs = outcomes(&p).unwrap();
+        // Non-deadlocking interleavings exist, so outcomes is non-empty;
+        // the deadlocked ones are silently pruned.
+        assert_eq!(outs.len(), 1);
+    }
+
+    /// The state budget aborts rather than truncates.
+    #[test]
+    fn exhausted_budget_is_an_error() {
+        let outs = outcomes_with(
+            &catalogue::drf_no_fence_cross_locks(),
+            Limits { max_states: 10 },
+        );
+        assert_eq!(outs, Err(Exhausted));
+    }
+}

@@ -1,0 +1,254 @@
+//! A small litmus-test DSL for PMC programs.
+//!
+//! Programs are a fixed set of threads, each a straight-line sequence of
+//! instructions over shared locations and thread-local registers. The
+//! enumerator ([`crate::interleave`]) explores every interleaving and
+//! every read value the PMC model allows, yielding the set of possible
+//! outcomes — the model-level ground truth that the simulator back-ends
+//! are validated against.
+
+use crate::op::{LocId, Value};
+
+/// Thread-local register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+/// One instruction of a litmus thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Write an immediate value to a location.
+    Write(LocId, Value),
+    /// Read a location into a register (branches over all model-allowed
+    /// values).
+    Read(LocId, Reg),
+    /// Acquire the lock of a location (blocks while held).
+    Acquire(LocId),
+    /// Release the lock of a location.
+    Release(LocId),
+    /// Issue a fence.
+    Fence,
+    /// Busy-wait until the location reads the given value, then continue.
+    /// Models `while (v != val) sleep();` under the liveness assumption
+    /// that flushed writes eventually become visible (paper
+    /// Section IV-D). The enumerator treats it as a read constrained to
+    /// return `val`, enabled once the model allows that value.
+    WaitEq(LocId, Value),
+}
+
+/// A litmus program: one instruction list per thread plus initial values.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub threads: Vec<Vec<Instr>>,
+    pub init: Vec<(LocId, Value)>,
+}
+
+impl Program {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_init(mut self, v: LocId, value: Value) -> Self {
+        self.init.push((v, value));
+        self
+    }
+
+    pub fn thread(mut self, instrs: Vec<Instr>) -> Self {
+        self.threads.push(instrs);
+        self
+    }
+
+    /// Number of registers used by a thread (highest index + 1).
+    pub fn reg_count(&self, thread: usize) -> usize {
+        self.threads[thread]
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Read(_, Reg(r)) => Some(*r as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Catalogue of classic litmus programs expressed in PMC, used by tests
+/// and by the mapping-soundness harness.
+pub mod catalogue {
+    use super::*;
+    use crate::op::LocId as L;
+
+    pub const X: L = L(0);
+    pub const Y: L = L(1);
+    pub const FLAG: L = L(2);
+
+    /// Paper Fig. 1 / Fig. 5 message passing *without* synchronisation:
+    /// P0: X=42; flag=1.  P1: wait flag==1; read X.
+    /// PMC allows the stale outcome r0 ∈ {0, 42}.
+    pub fn mp_unfenced() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(FLAG, 0)
+            .thread(vec![Instr::Write(X, 42), Instr::Write(FLAG, 1)])
+            .thread(vec![Instr::WaitEq(FLAG, 1), Instr::Read(X, Reg(0))])
+    }
+
+    /// Paper Fig. 6: properly annotated message passing. The only
+    /// possible outcome is r0 = 42.
+    pub fn mp_annotated() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(FLAG, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Write(X, 42),
+                Instr::Fence,
+                Instr::Release(X),
+                Instr::Acquire(FLAG),
+                Instr::Write(FLAG, 1),
+                Instr::Release(FLAG),
+            ])
+            .thread(vec![
+                Instr::WaitEq(FLAG, 1),
+                Instr::Fence,
+                Instr::Acquire(X),
+                Instr::Read(X, Reg(0)),
+                Instr::Release(X),
+            ])
+    }
+
+    /// Store buffering (SB): P0: X=1; read Y. P1: Y=1; read X.
+    /// PMC (like any model without cross-location ordering) allows
+    /// r0 = r1 = 0.
+    pub fn store_buffering() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .thread(vec![Instr::Write(X, 1), Instr::Read(Y, Reg(0))])
+            .thread(vec![Instr::Write(Y, 1), Instr::Read(X, Reg(0))])
+    }
+
+    /// Coherence (CoRR): one writer, one reader reading the same location
+    /// twice. Reading (new, old) must be impossible — Definition 12's
+    /// monotonicity.
+    pub fn corr() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .thread(vec![Instr::Acquire(X), Instr::Write(X, 1), Instr::Release(X)])
+            .thread(vec![Instr::Read(X, Reg(0)), Instr::Read(X, Reg(1))])
+    }
+
+    /// IRIW (independent reads of independent writes): two writers to
+    /// different locations, two readers reading both in opposite orders.
+    /// PMC allows the readers to disagree (no global write serialisation
+    /// across locations).
+    pub fn iriw() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .thread(vec![Instr::Write(X, 1)])
+            .thread(vec![Instr::Write(Y, 1)])
+            .thread(vec![Instr::Read(X, Reg(0)), Instr::Fence, Instr::Read(Y, Reg(1))])
+            .thread(vec![Instr::Read(Y, Reg(0)), Instr::Fence, Instr::Read(X, Reg(1))])
+    }
+
+    /// Two critical sections per thread on different locks, no fences:
+    /// data-race free, yet *not* sequentially consistent under PMC —
+    /// the paper's motivation for requiring fences between
+    /// acquire/release pairs of different locations (PMC is weaker than
+    /// Entry Consistency, Section IV-E).
+    pub fn drf_no_fence_cross_locks() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Write(X, 1),
+                Instr::Release(X),
+                Instr::Acquire(Y),
+                Instr::Read(Y, Reg(0)),
+                Instr::Release(Y),
+            ])
+            .thread(vec![
+                Instr::Acquire(Y),
+                Instr::Write(Y, 1),
+                Instr::Release(Y),
+                Instr::Acquire(X),
+                Instr::Read(X, Reg(0)),
+                Instr::Release(X),
+            ])
+    }
+
+    /// Same as [`drf_no_fence_cross_locks`] but with fences between the
+    /// critical sections: recovers the SC-forbidden-outcome guarantee.
+    pub fn drf_fenced_cross_locks() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Write(X, 1),
+                Instr::Fence,
+                Instr::Release(X),
+                Instr::Fence,
+                Instr::Acquire(Y),
+                Instr::Read(Y, Reg(0)),
+                Instr::Release(Y),
+            ])
+            .thread(vec![
+                Instr::Acquire(Y),
+                Instr::Write(Y, 1),
+                Instr::Fence,
+                Instr::Release(Y),
+                Instr::Fence,
+                Instr::Acquire(X),
+                Instr::Read(X, Reg(0)),
+                Instr::Release(X),
+            ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_count_counts_highest() {
+        let p = Program::new().thread(vec![
+            Instr::Read(LocId(0), Reg(2)),
+            Instr::Read(LocId(0), Reg(0)),
+        ]);
+        assert_eq!(p.reg_count(0), 3);
+        let p = Program::new().thread(vec![Instr::Fence]);
+        assert_eq!(p.reg_count(0), 0);
+    }
+
+    #[test]
+    fn catalogue_programs_are_well_formed() {
+        for p in [
+            catalogue::mp_unfenced(),
+            catalogue::mp_annotated(),
+            catalogue::store_buffering(),
+            catalogue::corr(),
+            catalogue::iriw(),
+            catalogue::drf_no_fence_cross_locks(),
+            catalogue::drf_fenced_cross_locks(),
+        ] {
+            assert!(!p.threads.is_empty());
+            // Acquire/Release balance per thread per location.
+            for t in &p.threads {
+                let mut depth: std::collections::HashMap<LocId, i32> = Default::default();
+                for i in t {
+                    match i {
+                        Instr::Acquire(v) => *depth.entry(*v).or_default() += 1,
+                        Instr::Release(v) => {
+                            let d = depth.entry(*v).or_default();
+                            *d -= 1;
+                            assert!(*d >= 0, "release without acquire");
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(depth.values().all(|&d| d == 0), "unbalanced acquire/release");
+            }
+        }
+    }
+}

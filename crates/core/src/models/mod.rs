@@ -1,0 +1,28 @@
+//! Reference checkers for the classic memory consistency models the paper
+//! compares against (Section IV-E):
+//!
+//! * **Sequential Consistency** (Lamport) — one total order of all
+//!   operations, respecting every program order, reads see the latest
+//!   write.
+//! * **Processor Consistency** (Goodman / Ahamad et al.) — per-process
+//!   serialisations that all respect every process's write order (GPO)
+//!   and agree on a per-location write order (GDO).
+//! * **PRAM** (Lipton & Sandberg) — per-process serialisations respecting
+//!   write program order, with *no* agreement on per-location order.
+//! * **Cache Consistency** (a.k.a. Coherence) — sequential consistency per
+//!   individual location.
+//! * **Slow Consistency** (Hutto & Ahamad) — per (reader, location,
+//!   writer) monotonicity only; the model PMC's plain reads/writes are
+//!   equivalent to.
+//!
+//! All checkers are *exact* (complete search with memoisation) for
+//! litmus-sized traces. They operate on value traces
+//! ([`trace::ThreadTrace`]) where every write to a location carries a
+//! unique value, so reads unambiguously identify the write they observed.
+
+pub mod checkers;
+pub mod serial;
+pub mod trace;
+
+pub use checkers::{check_cc, check_pc, check_pram, check_sc, check_slow};
+pub use trace::{MemEvent, ThreadTrace};

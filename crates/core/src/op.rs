@@ -1,0 +1,291 @@
+//! Operations of the PMC memory model (paper Section IV-B).
+//!
+//! The model defines five operations a process can issue on a shared
+//! location: `read`, `write`, `acquire`, `release` and `fence`. In addition,
+//! every location carries an *initial* operation that behaves like both a
+//! write and a release (paper Definition 3), so that reads and acquires
+//! always have a predecessor.
+
+use std::fmt;
+
+/// Identifier of a process (paper: element of `P`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u16);
+
+/// Identifier of a shared location (paper: element of `V`).
+///
+/// The model treats locations as indivisible (byte-sized) cells; the
+/// runtime layer maps multi-byte objects onto spans of locations and takes
+/// care of locking (paper Section V-A, last paragraphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocId(pub u32);
+
+/// Identifier of an issued operation (index into [`Execution`] storage).
+///
+/// [`Execution`]: crate::execution::Execution
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Value written by a write (or returned by a read). The model itself is
+/// value-agnostic; `u32` is convenient for litmus tests.
+pub type Value = u32;
+
+/// The five operation kinds of the PMC model, plus the per-location
+/// initial operation of Definition 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Retrieves the value of a previously executed write (paper `r`).
+    Read,
+    /// Replaces the value of a location; not necessarily immediately
+    /// visible to all processes (paper `w`).
+    Write,
+    /// Obtains an exclusive lock on a location (paper `A`). Must be
+    /// followed by a release of the same process; mutual exclusion between
+    /// acquire and release is guaranteed by the platform.
+    Acquire,
+    /// Gives up the exclusive lock on a location (paper `R`).
+    Release,
+    /// Adds ordering dependencies to locally executed operations on *all*
+    /// locations of the issuing process (paper `F`).
+    Fence,
+    /// The initial operation every location carries; behaves like a write
+    /// *and* a release (paper Definition 3), issued by the pseudo-process
+    /// "all" (paper ♦).
+    Init,
+}
+
+impl OpKind {
+    /// Whether this kind matches the write pattern `(w, ·, ·, ·)`.
+    /// `Init` behaves like a write (Definition 3).
+    #[inline]
+    pub fn is_write_like(self) -> bool {
+        matches!(self, OpKind::Write | OpKind::Init)
+    }
+
+    /// Whether this kind matches the release pattern `(R, ·, ·, ·)`.
+    /// `Init` behaves like a release (Definition 3).
+    #[inline]
+    pub fn is_release_like(self) -> bool {
+        matches!(self, OpKind::Release | OpKind::Init)
+    }
+
+    /// Short symbol used in the paper's Table I.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            OpKind::Read => "r",
+            OpKind::Write => "w",
+            OpKind::Acquire => "A",
+            OpKind::Release => "R",
+            OpKind::Fence => "F",
+            OpKind::Init => "init",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An issued operation (paper: element of `O`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    pub kind: OpKind,
+    /// Issuing process. For `Init` this is a pseudo-process equivalent to
+    /// all processes; see [`Op::issued_by`].
+    pub proc: ProcId,
+    /// Location operated on. `Fence` operations apply to all locations of
+    /// the process; by convention their `loc` is `LocId(u32::MAX)` and must
+    /// not be interpreted.
+    pub loc: LocId,
+    /// Value written (writes / init) or read (reads). Unused for
+    /// acquire/release/fence.
+    pub value: Value,
+}
+
+/// Pseudo process-id for the initial operations: behaves as if issued by
+/// every process at once (paper's ♦ in Definition 3).
+pub const PROC_ALL: ProcId = ProcId(u16::MAX);
+
+/// Pseudo location-id for fences, which span all locations of a process.
+pub const LOC_ALL: LocId = LocId(u32::MAX);
+
+impl Op {
+    pub fn read(p: ProcId, v: LocId) -> Self {
+        Op { kind: OpKind::Read, proc: p, loc: v, value: 0 }
+    }
+    pub fn write(p: ProcId, v: LocId, value: Value) -> Self {
+        Op { kind: OpKind::Write, proc: p, loc: v, value }
+    }
+    pub fn acquire(p: ProcId, v: LocId) -> Self {
+        Op { kind: OpKind::Acquire, proc: p, loc: v, value: 0 }
+    }
+    pub fn release(p: ProcId, v: LocId) -> Self {
+        Op { kind: OpKind::Release, proc: p, loc: v, value: 0 }
+    }
+    pub fn fence(p: ProcId) -> Self {
+        Op { kind: OpKind::Fence, proc: p, loc: LOC_ALL, value: 0 }
+    }
+    pub fn init(v: LocId, value: Value) -> Self {
+        Op { kind: OpKind::Init, proc: PROC_ALL, loc: v, value }
+    }
+
+    /// Whether this operation counts as issued by process `p`.
+    /// Initial operations are issued by every process (Definition 3).
+    #[inline]
+    pub fn issued_by(&self, p: ProcId) -> bool {
+        self.proc == p || self.proc == PROC_ALL
+    }
+
+    /// Whether this operation targets location `v`. Fences span all
+    /// locations of their process.
+    #[inline]
+    pub fn on_loc(&self, v: LocId) -> bool {
+        self.loc == v
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            OpKind::Read => write!(f, "r(p{}, v{})={}", self.proc.0, self.loc.0, self.value),
+            OpKind::Write => write!(f, "w(p{}, v{})={}", self.proc.0, self.loc.0, self.value),
+            OpKind::Acquire => write!(f, "A(p{}, v{})", self.proc.0, self.loc.0),
+            OpKind::Release => write!(f, "R(p{}, v{})", self.proc.0, self.loc.0),
+            OpKind::Fence => write!(f, "F(p{})", self.proc.0),
+            OpKind::Init => write!(f, "init(v{})={}", self.loc.0, self.value),
+        }
+    }
+}
+
+/// A pattern `(operation, p, v, value)` as in paper Definition 2: matches
+/// any operation with the same properties, where `None` plays the role of
+/// the paper's `*` wildcard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pattern {
+    pub kind: Option<OpKind>,
+    pub proc: Option<ProcId>,
+    pub loc: Option<LocId>,
+    pub value: Option<Value>,
+}
+
+impl Pattern {
+    pub const ANY: Pattern = Pattern { kind: None, proc: None, loc: None, value: None };
+
+    pub fn of_kind(kind: OpKind) -> Self {
+        Pattern { kind: Some(kind), ..Pattern::ANY }
+    }
+
+    pub fn with_proc(mut self, p: ProcId) -> Self {
+        self.proc = Some(p);
+        self
+    }
+
+    pub fn with_loc(mut self, v: LocId) -> Self {
+        self.loc = Some(v);
+        self
+    }
+
+    pub fn with_value(mut self, value: Value) -> Self {
+        self.value = Some(value);
+        self
+    }
+
+    /// Pattern matching per Definition 2. Kind matching honours the
+    /// write-like / release-like duality of `Init` operations; process
+    /// matching honours that `Init` is issued by every process.
+    pub fn matches(&self, op: &Op) -> bool {
+        if let Some(k) = self.kind {
+            let kind_ok = match k {
+                OpKind::Write => op.kind.is_write_like(),
+                OpKind::Release => op.kind.is_release_like(),
+                other => op.kind == other,
+            };
+            if !kind_ok {
+                return false;
+            }
+        }
+        if let Some(p) = self.proc {
+            if !op.issued_by(p) {
+                return false;
+            }
+        }
+        if let Some(v) = self.loc {
+            if !op.on_loc(v) {
+                return false;
+            }
+        }
+        if let Some(val) = self.value {
+            if op.value != val {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_matches_write_and_release_patterns() {
+        let init = Op::init(LocId(3), 0);
+        assert!(Pattern::of_kind(OpKind::Write).matches(&init));
+        assert!(Pattern::of_kind(OpKind::Release).matches(&init));
+        assert!(!Pattern::of_kind(OpKind::Read).matches(&init));
+        assert!(!Pattern::of_kind(OpKind::Acquire).matches(&init));
+        assert!(!Pattern::of_kind(OpKind::Fence).matches(&init));
+    }
+
+    #[test]
+    fn init_issued_by_every_process() {
+        let init = Op::init(LocId(0), 7);
+        assert!(init.issued_by(ProcId(0)));
+        assert!(init.issued_by(ProcId(31)));
+        // And matches patterns with any concrete process.
+        assert!(Pattern::of_kind(OpKind::Write).with_proc(ProcId(5)).matches(&init));
+    }
+
+    #[test]
+    fn wildcard_pattern_matches_everything() {
+        for op in [
+            Op::read(ProcId(0), LocId(1)),
+            Op::write(ProcId(1), LocId(2), 9),
+            Op::acquire(ProcId(2), LocId(3)),
+            Op::release(ProcId(3), LocId(4)),
+            Op::fence(ProcId(4)),
+            Op::init(LocId(5), 0),
+        ] {
+            assert!(Pattern::ANY.matches(&op), "ANY must match {op}");
+        }
+    }
+
+    #[test]
+    fn pattern_filters_by_proc_loc_value() {
+        let w = Op::write(ProcId(1), LocId(2), 42);
+        assert!(Pattern::of_kind(OpKind::Write)
+            .with_proc(ProcId(1))
+            .with_loc(LocId(2))
+            .with_value(42)
+            .matches(&w));
+        assert!(!Pattern::ANY.with_proc(ProcId(2)).matches(&w));
+        assert!(!Pattern::ANY.with_loc(LocId(3)).matches(&w));
+        assert!(!Pattern::ANY.with_value(41).matches(&w));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Op::write(ProcId(1), LocId(2), 42).to_string(), "w(p1, v2)=42");
+        assert_eq!(Op::fence(ProcId(3)).to_string(), "F(p3)");
+        assert_eq!(Op::acquire(ProcId(0), LocId(9)).to_string(), "A(p0, v9)");
+    }
+}

@@ -1,0 +1,93 @@
+//! A phase (epoch) barrier over uncached SDRAM, used by the SPLASH-2-style
+//! workloads. Arrivals use the core's fetch-and-add; waiters poll the
+//! phase word with back-off.
+
+use pmc_soc_sim::{addr, Cpu};
+
+/// A counting barrier for `n` participants. Allocate via
+/// [`crate::system::System::alloc_barrier`]; any number of phases.
+#[derive(Debug, Clone, Copy)]
+pub struct Barrier {
+    /// Uncached address of the arrival counter.
+    pub(crate) count_addr: u32,
+    /// Uncached address of the phase word.
+    pub(crate) phase_addr: u32,
+    pub(crate) n: u32,
+}
+
+impl Barrier {
+    pub(crate) fn new(count_off: u32, phase_off: u32, n: u32) -> Self {
+        Barrier {
+            count_addr: addr::SDRAM_UNCACHED_BASE + count_off,
+            phase_addr: addr::SDRAM_UNCACHED_BASE + phase_off,
+            n,
+        }
+    }
+
+    /// Wait until all `n` participants arrive.
+    pub fn wait(&self, cpu: &mut Cpu) {
+        let phase = cpu.read_u32(self.phase_addr);
+        let arrived = cpu.sdram_faa_u32(self.count_addr, 1) + 1;
+        if arrived == self.n {
+            // Last arrival: reset the counter, advance the phase.
+            cpu.write_u32(self.count_addr, 0);
+            cpu.write_u32(self.phase_addr, phase.wrapping_add(1));
+            return;
+        }
+        let mut backoff = 32u64;
+        while cpu.read_u32(self.phase_addr) == phase {
+            cpu.compute(backoff);
+            backoff = (backoff * 2).min(512);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::system::{BackendKind, LockKind, System};
+    use pmc_soc_sim::SocConfig;
+
+    #[test]
+    fn barrier_synchronises_phases() {
+        let n = 4usize;
+        let mut sys = System::new(SocConfig::small(n), BackendKind::Uncached, LockKind::Sdram);
+        let bar = sys.alloc_barrier(n as u32);
+        // Each core bumps a per-phase slot; after each barrier, every
+        // core must observe all bumps of the phase.
+        let slots = sys.alloc_slab::<u32>("slots", n as u32);
+        for i in 0..n as u32 {
+            sys.init_at(slots, i, 0);
+        }
+        let phases = 5u32;
+        sys.run(
+            (0..n)
+                .map(|t| -> Box<dyn FnOnce(&mut crate::ctx::PmcCtx<'_, '_>) + Send> {
+                    Box::new(move |ctx| {
+                        for p in 0..phases {
+                            ctx.entry_x(slots.obj());
+                            let v = ctx.read_at(slots, t as u32);
+                            ctx.write_at(slots, t as u32, v + 1);
+                            ctx.exit_x(slots.obj());
+                            bar.wait(ctx.cpu);
+                            // After the barrier, everyone is at phase p+1.
+                            ctx.entry_ro(slots.obj());
+                            for other in 0..n as u32 {
+                                let seen = ctx.read_at(slots, other);
+                                assert!(
+                                    seen >= p + 1,
+                                    "tile {t}: slot {other} at {seen}, expected ≥ {}",
+                                    p + 1
+                                );
+                            }
+                            ctx.exit_ro(slots.obj());
+                            bar.wait(ctx.cpu);
+                        }
+                    })
+                })
+                .collect(),
+        );
+        for i in 0..n as u32 {
+            assert_eq!(sys.read_back_at(slots, i), phases);
+        }
+    }
+}

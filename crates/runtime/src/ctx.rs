@@ -1,0 +1,589 @@
+//! The PMC annotation API: `entry_x` / `exit_x` / `entry_ro` / `exit_ro` /
+//! `fence` / `flush` (paper Section V-A), implemented for all four
+//! back-ends exactly as the paper's Table II prescribes.
+//!
+//! Application code is written once against this API and runs unmodified
+//! on every memory architecture; the back-end dispatch below is the
+//! "compiler setting" the paper promises. The closure-based scopes
+//! ([`scope_x`], [`scope_ro`]) mirror the C++ RAII classes of the paper's
+//! Fig. 10.
+//!
+//! | annotation | uncached ("no CC") | SWCC | DSM | SPM |
+//! |---|---|---|---|---|
+//! | `entry_x`  | lock | lock + invalidate lines | lock + await replica version | lock + copy SDRAM→SPM |
+//! | `exit_x`   | unlock | flush lines + unlock | broadcast replica + bump version + unlock | copy SPM→SDRAM + unlock |
+//! | `entry_ro` | lock if >1 byte | lock if >1 byte | lock + await version if >1 byte | (lock while) copy SDRAM→SPM |
+//! | `exit_ro`  | unlock if locked | flush lines + unlock if locked | unlock if locked | discard SPM copy |
+//! | `fence`    | compiler-only (in-order core) | compiler-only | compiler-only | compiler-only |
+//! | `flush`    | no-op | flush lines | broadcast replica + bump version | copy SPM→SDRAM |
+
+use pmc_soc_sim::{addr, Cpu};
+
+use crate::pod::Pod;
+use crate::system::{BackendKind, Obj, ObjMeta, PrivSlab, Shared, Slab};
+
+/// Trace-event kinds (recorded when the simulator's `trace` flag is on).
+pub mod trace_kind {
+    pub const ENTRY_X: u16 = 1;
+    pub const EXIT_X: u16 = 2;
+    pub const ENTRY_RO: u16 = 3;
+    pub const EXIT_RO: u16 = 4;
+    pub const FLUSH: u16 = 5;
+    pub const FENCE: u16 = 6;
+    pub const READ: u16 = 7;
+    pub const WRITE: u16 = 8;
+}
+
+/// Objects up to this size are read atomically without a lock in
+/// `entry_ro`. The paper's Table II uses "one byte" (the model's
+/// indivisible unit); on the MicroBlaze — and in this simulator, where
+/// NoC packets and word accesses apply atomically — naturally aligned
+/// words are indivisible too, which is what the paper's Fig. 9 FIFO
+/// relies on when it polls its `int` pointers from local memory.
+pub const ATOMIC_ACCESS_SIZE: u32 = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    X,
+    Ro,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenScope {
+    obj: u32,
+    kind: ScopeKind,
+    dirty: bool,
+    locked: bool,
+    /// SPM staging offset (SPM back-end only).
+    spm_off: u32,
+    /// Committed version observed at entry (DSM back-end only).
+    version: u32,
+}
+
+/// Per-core PMC context: the annotation API plus typed data access.
+pub struct PmcCtx<'a, 'b> {
+    /// The underlying simulated core (public for workloads that need
+    /// `compute`, counters or raw time).
+    pub cpu: &'a mut Cpu<'b>,
+    shared: &'a Shared,
+    scopes: Vec<OpenScope>,
+    spm_top: u32,
+}
+
+impl<'a, 'b> PmcCtx<'a, 'b> {
+    pub(crate) fn new(cpu: &'a mut Cpu<'b>, shared: &'a Shared) -> Self {
+        let spm_top = shared.spm_base;
+        PmcCtx { cpu, shared, scopes: Vec::new(), spm_top }
+    }
+
+    pub fn tile(&self) -> usize {
+        self.cpu.tile()
+    }
+
+    pub fn n_tiles(&self) -> usize {
+        self.shared.n_tiles
+    }
+
+    pub fn backend(&self) -> BackendKind {
+        self.shared.backend
+    }
+
+    /// Model computation: `instrs` instructions of pure work.
+    pub fn compute(&mut self, instrs: u64) {
+        self.cpu.compute(instrs);
+    }
+
+    pub(crate) fn assert_quiescent(&self) {
+        assert!(
+            self.scopes.is_empty(),
+            "tile {} finished with {} open entry/exit scopes",
+            self.cpu.tile(),
+            self.scopes.len()
+        );
+    }
+
+    fn meta(&self, id: u32) -> &ObjMeta {
+        self.shared.meta(id)
+    }
+
+    fn find_scope(&self, id: u32) -> Option<usize> {
+        self.scopes.iter().rposition(|s| s.obj == id)
+    }
+
+    // ==================================================================
+    // The six annotations (paper Section V-A).
+    // ==================================================================
+
+    /// `entry_x(X)`: acquire exclusive read/write access to `X`.
+    pub fn entry_x<T>(&mut self, obj: Obj<T>) {
+        self.entry_x_id(obj.id)
+    }
+
+    fn entry_x_id(&mut self, id: u32) {
+        assert!(self.find_scope(id).is_none(), "nested scope on one object");
+        let meta = self.meta(id);
+        let (lock, size, sdram_off, version_off, dsm_off) =
+            (meta.lock, meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
+        lock.lock(self.cpu);
+        let mut scope = OpenScope {
+            obj: id,
+            kind: ScopeKind::X,
+            dirty: false,
+            locked: true,
+            spm_off: u32::MAX,
+            version: 0,
+        };
+        match self.shared.backend {
+            BackendKind::Uncached => {}
+            BackendKind::Swcc => {
+                // Ensure the first read misses and refetches the
+                // just-released version from SDRAM.
+                self.cpu
+                    .invalidate_dcache_range(addr::SDRAM_CACHED_BASE + sdram_off, size);
+            }
+            BackendKind::Dsm => {
+                scope.version = self.dsm_await_version(version_off, dsm_off);
+            }
+            BackendKind::Spm => {
+                scope.spm_off = self.spm_stage_in(sdram_off, size);
+            }
+        }
+        self.scopes.push(scope);
+        self.cpu.trace_event(trace_kind::ENTRY_X, id, 0, 1);
+    }
+
+    /// `exit_x(X)`: give up exclusive access. Lazy release: under SWCC the
+    /// object's lines are flushed; under DSM the modified replica is
+    /// broadcast; under SPM the staging copy is written back.
+    pub fn exit_x<T>(&mut self, obj: Obj<T>) {
+        self.exit_x_id(obj.id)
+    }
+
+    fn exit_x_id(&mut self, id: u32) {
+        self.cpu.trace_event(trace_kind::EXIT_X, id, 0, 0);
+        let scope = self.scopes.pop().expect("exit_x without entry_x");
+        assert_eq!(scope.obj, id, "scopes must nest (LIFO)");
+        assert_eq!(scope.kind, ScopeKind::X, "exit_x closes an entry_x scope");
+        let meta = self.meta(id);
+        let (lock, size, sdram_off, version_off, dsm_off) =
+            (meta.lock, meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
+        match self.shared.backend {
+            BackendKind::Uncached => {}
+            BackendKind::Swcc => {
+                // Flush the object out of the cache: dirty data reaches
+                // SDRAM before the lock is released, and the object never
+                // resides in the cache outside an entry/exit pair.
+                self.cpu.flush_dcache_range(addr::SDRAM_CACHED_BASE + sdram_off, size);
+            }
+            BackendKind::Dsm => {
+                if scope.dirty {
+                    self.dsm_commit(version_off, dsm_off, size, scope.version + 1);
+                }
+            }
+            BackendKind::Spm => {
+                if scope.dirty {
+                    self.spm_stage_out(scope.spm_off, sdram_off, size);
+                }
+                self.spm_top = scope.spm_off; // pop the staging allocation
+            }
+        }
+        lock.unlock(self.cpu);
+    }
+
+    /// `entry_ro(X)`: begin non-exclusive read-only access.
+    pub fn entry_ro<T>(&mut self, obj: Obj<T>) {
+        self.entry_ro_id(obj.id)
+    }
+
+    fn entry_ro_id(&mut self, id: u32) {
+        assert!(self.find_scope(id).is_none(), "nested scope on one object");
+        let meta = self.meta(id);
+        let (lock, size, sdram_off, version_off, dsm_off) =
+            (meta.lock, meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
+        let multi_byte = size > ATOMIC_ACCESS_SIZE;
+        let mut scope = OpenScope {
+            obj: id,
+            kind: ScopeKind::Ro,
+            dirty: false,
+            locked: false,
+            spm_off: u32::MAX,
+            version: 0,
+        };
+        match self.shared.backend {
+            // "When the size of the object is one byte, it does nothing.
+            // Otherwise, it acquires the same lock on the object as
+            // entry_x" (Table II).
+            BackendKind::Uncached | BackendKind::Swcc => {
+                if multi_byte {
+                    lock.lock_shared(self.cpu);
+                    scope.locked = true;
+                }
+            }
+            BackendKind::Dsm => {
+                if multi_byte {
+                    lock.lock_shared(self.cpu);
+                    scope.locked = true;
+                    scope.version = self.dsm_await_version(version_off, dsm_off);
+                }
+            }
+            BackendKind::Spm => {
+                // "Makes a local copy of the object. If the object is
+                // larger than one byte, the object is locked before
+                // copying and unlocked afterwards."
+                if multi_byte {
+                    lock.lock_shared(self.cpu);
+                }
+                scope.spm_off = self.spm_stage_in(sdram_off, size);
+                if multi_byte {
+                    lock.unlock_shared(self.cpu);
+                }
+            }
+        }
+        let locked = scope.locked as u64;
+        self.scopes.push(scope);
+        self.cpu.trace_event(trace_kind::ENTRY_RO, id, 0, locked);
+    }
+
+    /// `exit_ro(X)`: end read-only access.
+    pub fn exit_ro<T>(&mut self, obj: Obj<T>) {
+        self.exit_ro_id(obj.id)
+    }
+
+    fn exit_ro_id(&mut self, id: u32) {
+        self.cpu.trace_event(trace_kind::EXIT_RO, id, 0, 0);
+        let scope = self.scopes.pop().expect("exit_ro without entry_ro");
+        assert_eq!(scope.obj, id, "scopes must nest (LIFO)");
+        assert_eq!(scope.kind, ScopeKind::Ro, "exit_ro closes an entry_ro scope");
+        let meta = self.meta(id);
+        let (lock, size, sdram_off) = (meta.lock, meta.size, meta.sdram_off);
+        match self.shared.backend {
+            BackendKind::Uncached => {
+                if scope.locked {
+                    lock.unlock_shared(self.cpu);
+                }
+            }
+            BackendKind::Swcc => {
+                // "Flushes the corresponding cache lines and releases the
+                // lock if entry_ro locked it": shared data never stays in
+                // the cache outside a scope (so two consecutive read-only
+                // sections fetch from background memory twice — the cost
+                // the paper's Section VI-A discusses).
+                self.cpu.flush_dcache_range(addr::SDRAM_CACHED_BASE + sdram_off, size);
+                if scope.locked {
+                    lock.unlock_shared(self.cpu);
+                }
+            }
+            BackendKind::Dsm => {
+                if scope.locked {
+                    lock.unlock_shared(self.cpu);
+                }
+            }
+            BackendKind::Spm => {
+                self.spm_top = scope.spm_off; // discard the local copy
+            }
+        }
+    }
+
+    /// `fence()`: the PMC fence annotation. The simulated core is
+    /// in-order (like the MicroBlaze), so no instructions are emitted —
+    /// the fence constrains the *compiler*, which here means a Rust
+    /// compiler fence (paper Table II, fence row).
+    pub fn fence(&mut self) {
+        self.cpu.fence();
+        self.cpu.trace_event(trace_kind::FENCE, 0, 0, 0);
+    }
+
+    /// `flush(X)`: force modifications of `X` towards global visibility
+    /// (best effort; only legal inside an `entry_x` scope).
+    pub fn flush<T>(&mut self, obj: Obj<T>) {
+        self.flush_id(obj.id)
+    }
+
+    fn flush_id(&mut self, id: u32) {
+        let idx = self.find_scope(id).expect("flush outside any scope");
+        let scope = self.scopes[idx];
+        assert_eq!(scope.kind, ScopeKind::X, "flush is only allowed inside entry_x/exit_x");
+        let meta = self.meta(id);
+        let (size, sdram_off, version_off, dsm_off) =
+            (meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
+        match self.shared.backend {
+            BackendKind::Uncached => {} // nothing to do: writes are already in SDRAM
+            BackendKind::Swcc => {
+                self.cpu.flush_dcache_range(addr::SDRAM_CACHED_BASE + sdram_off, size);
+            }
+            BackendKind::Dsm => {
+                let v = self.scopes[idx].version + 1;
+                self.dsm_commit(version_off, dsm_off, size, v);
+                self.scopes[idx].version = v;
+                self.scopes[idx].dirty = false;
+            }
+            BackendKind::Spm => {
+                self.spm_stage_out(scope.spm_off, sdram_off, size);
+            }
+        }
+        self.cpu.trace_event(trace_kind::FLUSH, id, 0, 0);
+    }
+
+    // ==================================================================
+    // Back-end helpers.
+    // ==================================================================
+
+    /// DSM: wait until the own replica has caught up with the committed
+    /// version (the write-only NoC delivers it eventually), returning the
+    /// version. Local polling only — the DSM property the paper
+    /// highlights for the FIFO.
+    fn dsm_await_version(&mut self, version_off: u32, dsm_off: u32) -> u32 {
+        let committed = self.cpu.read_u32(addr::SDRAM_UNCACHED_BASE + version_off);
+        let hdr = addr::local_base(self.cpu.tile()) + dsm_off;
+        loop {
+            let have = self.cpu.read_u32(hdr);
+            if have >= committed {
+                return committed.max(have);
+            }
+            self.cpu.compute(8);
+        }
+    }
+
+    /// DSM: commit the local replica — stamp the new version locally,
+    /// broadcast header+payload to every other tile (posted writes), then
+    /// publish the committed version.
+    fn dsm_commit(&mut self, version_off: u32, dsm_off: u32, size: u32, new_version: u32) {
+        let me = self.cpu.tile();
+        let hdr = addr::local_base(me) + dsm_off;
+        self.cpu.write_u32(hdr, new_version);
+        let mut buf = vec![0u8; size as usize];
+        self.cpu.read_block(hdr + 4, &mut buf);
+        for t in 0..self.shared.n_tiles {
+            if t != me {
+                // Versioned: a replica never rolls back even when
+                // broadcasts from different writers race in the NoC.
+                self.cpu.noc_write_versioned(t, dsm_off, new_version, &buf);
+            }
+        }
+        self.cpu
+            .write_u32(addr::SDRAM_UNCACHED_BASE + version_off, new_version);
+    }
+
+    /// SPM: stage an object into the local scratch-pad; returns the SPM
+    /// offset.
+    fn spm_stage_in(&mut self, sdram_off: u32, size: u32) -> u32 {
+        let spm_off = self.spm_top;
+        let padded = size.div_ceil(self.shared.line) * self.shared.line;
+        assert!(
+            spm_off + padded <= self.shared.spm_end,
+            "tile {}: SPM arena exhausted",
+            self.cpu.tile()
+        );
+        self.spm_top += padded;
+        let mut buf = vec![0u8; size as usize];
+        self.cpu.read_block(addr::SDRAM_UNCACHED_BASE + sdram_off, &mut buf);
+        self.cpu.write_block(addr::local_base(self.cpu.tile()) + spm_off, &buf);
+        spm_off
+    }
+
+    /// SPM: write a staged object back to its SDRAM home.
+    fn spm_stage_out(&mut self, spm_off: u32, sdram_off: u32, size: u32) {
+        let mut buf = vec![0u8; size as usize];
+        self.cpu.read_block(addr::local_base(self.cpu.tile()) + spm_off, &mut buf);
+        self.cpu.write_block(addr::SDRAM_UNCACHED_BASE + sdram_off, &buf);
+    }
+
+    /// Where object bytes live for this core *right now* (scope-aware).
+    fn data_addr(&self, id: u32, scope: &OpenScope) -> u32 {
+        let meta = self.shared.meta(id);
+        match self.shared.backend {
+            BackendKind::Uncached => addr::SDRAM_UNCACHED_BASE + meta.sdram_off,
+            BackendKind::Swcc => addr::SDRAM_CACHED_BASE + meta.sdram_off,
+            BackendKind::Dsm => addr::local_base(self.cpu.tile()) + meta.dsm_off + 4,
+            BackendKind::Spm => addr::local_base(self.cpu.tile()) + scope.spm_off,
+        }
+    }
+
+    // ==================================================================
+    // Typed data access (must happen inside a scope).
+    // ==================================================================
+
+    fn raw_read(&mut self, id: u32, byte_off: u32, buf: &mut [u8]) {
+        let idx = self
+            .find_scope(id)
+            .expect("read of a shared object outside any entry/exit scope");
+        let scope = self.scopes[idx];
+        let base = self.data_addr(id, &scope);
+        chunked_read(self.cpu, self.shared.line, base + byte_off, buf);
+        if buf.len() <= 8 {
+            let mut v = [0u8; 8];
+            v[..buf.len()].copy_from_slice(buf);
+            self.cpu.trace_event(
+                trace_kind::READ,
+                id,
+                byte_off << 8 | buf.len() as u32,
+                u64::from_le_bytes(v),
+            );
+        }
+    }
+
+    fn raw_write(&mut self, id: u32, byte_off: u32, data: &[u8]) {
+        let idx = self
+            .find_scope(id)
+            .expect("write of a shared object outside any entry/exit scope");
+        assert_eq!(
+            self.scopes[idx].kind,
+            ScopeKind::X,
+            "writes require exclusive access (entry_x)"
+        );
+        let scope = self.scopes[idx];
+        let base = self.data_addr(id, &scope);
+        chunked_write(self.cpu, self.shared.line, base + byte_off, data);
+        self.scopes[idx].dirty = true;
+        if data.len() <= 8 {
+            let mut v = [0u8; 8];
+            v[..data.len()].copy_from_slice(data);
+            self.cpu.trace_event(
+                trace_kind::WRITE,
+                id,
+                byte_off << 8 | data.len() as u32,
+                u64::from_le_bytes(v),
+            );
+        }
+    }
+
+    /// Read a whole object (inside any scope on it).
+    pub fn read<T: Pod>(&mut self, obj: Obj<T>) -> T {
+        let mut buf = vec![0u8; T::SIZE as usize];
+        self.raw_read(obj.id, 0, &mut buf);
+        T::from_bytes(&buf)
+    }
+
+    /// Write a whole object (inside an `entry_x` scope on it).
+    pub fn write<T: Pod>(&mut self, obj: Obj<T>, value: T) {
+        let mut buf = vec![0u8; T::SIZE as usize];
+        value.to_bytes(&mut buf);
+        self.raw_write(obj.id, 0, &buf);
+    }
+
+    /// Bulk read of `buf.len()` bytes at `byte_off` within a slab (inside
+    /// a scope). On local-memory and uncached back-ends this is a single
+    /// burst transfer; on cached back-ends it is the usual word-copy loop.
+    pub fn read_bytes_at<T: Pod>(&mut self, slab: Slab<T>, byte_off: u32, buf: &mut [u8]) {
+        assert!(byte_off + buf.len() as u32 <= slab.len * T::SIZE);
+        let idx = self
+            .find_scope(slab.id)
+            .expect("read of a shared object outside any entry/exit scope");
+        let scope = self.scopes[idx];
+        let base = self.data_addr(slab.id, &scope) + byte_off;
+        match self.shared.backend {
+            BackendKind::Swcc => chunked_read(self.cpu, self.shared.line, base, buf),
+            _ => self.cpu.read_block(base, buf),
+        }
+    }
+
+    /// Read element `i` of a slab (inside a scope on the slab).
+    pub fn read_at<T: Pod>(&mut self, slab: Slab<T>, i: u32) -> T {
+        assert!(i < slab.len);
+        let mut buf = vec![0u8; T::SIZE as usize];
+        self.raw_read(slab.id, i * T::SIZE, &mut buf);
+        T::from_bytes(&buf)
+    }
+
+    /// Write element `i` of a slab (inside an `entry_x` scope).
+    pub fn write_at<T: Pod>(&mut self, slab: Slab<T>, i: u32, value: T) {
+        assert!(i < slab.len);
+        let mut buf = vec![0u8; T::SIZE as usize];
+        value.to_bytes(&mut buf);
+        self.raw_write(slab.id, i * T::SIZE, &buf);
+    }
+
+    // ==================================================================
+    // Private (per-core) data: plain cached accesses, no annotations —
+    // exactly like stack/heap data on the real platform.
+    // ==================================================================
+
+    pub fn priv_read<T: Pod>(&mut self, slab: &PrivSlab<T>, i: u32) -> T {
+        assert!(i < slab.len);
+        let mut buf = vec![0u8; T::SIZE as usize];
+        chunked_read(self.cpu, self.shared.line, slab.addr + i * T::SIZE, &mut buf);
+        T::from_bytes(&buf)
+    }
+
+    pub fn priv_write<T: Pod>(&mut self, slab: &PrivSlab<T>, i: u32, value: T) {
+        assert!(i < slab.len);
+        let mut buf = vec![0u8; T::SIZE as usize];
+        value.to_bytes(&mut buf);
+        chunked_write(self.cpu, self.shared.line, slab.addr + i * T::SIZE, &buf);
+    }
+}
+
+/// Split an access at cache-line and word boundaries (the compiler's
+/// word-copy loop on the real core).
+fn chunked_read(cpu: &mut Cpu, line: u32, addr: u32, buf: &mut [u8]) {
+    let mut off = 0usize;
+    while off < buf.len() {
+        let a = addr + off as u32;
+        let to_line = (line - (a % line)) as usize;
+        let n = (buf.len() - off).min(8).min(to_line);
+        cpu.read(a, &mut buf[off..off + n]);
+        off += n;
+    }
+}
+
+fn chunked_write(cpu: &mut Cpu, line: u32, addr: u32, data: &[u8]) {
+    let mut off = 0usize;
+    while off < data.len() {
+        let a = addr + off as u32;
+        let to_line = (line - (a % line)) as usize;
+        let n = (data.len() - off).min(8).min(to_line);
+        cpu.write(a, &data[off..off + n]);
+        off += n;
+    }
+}
+
+// ======================================================================
+// RAII scopes (the paper's Fig. 10 C++ classes, in Rust).
+// ======================================================================
+
+/// Exclusive-access scope guard: `entry_x` on construction, `exit_x` on
+/// drop... except Rust borrowck makes a true Drop-based guard on a `&mut
+/// PmcCtx` unergonomic, so these are closure-scoped instead:
+/// `scope_x(ctx, obj, |ctx| ...)`.
+pub fn scope_x<T, R>(
+    ctx: &mut PmcCtx<'_, '_>,
+    obj: Obj<T>,
+    f: impl FnOnce(&mut PmcCtx<'_, '_>) -> R,
+) -> R {
+    ctx.entry_x(obj);
+    let r = f(ctx);
+    ctx.exit_x(obj);
+    r
+}
+
+/// Read-only scope (paper Fig. 10 `ScopeRO`).
+pub fn scope_ro<T, R>(
+    ctx: &mut PmcCtx<'_, '_>,
+    obj: Obj<T>,
+    f: impl FnOnce(&mut PmcCtx<'_, '_>) -> R,
+) -> R {
+    ctx.entry_ro(obj);
+    let r = f(ctx);
+    ctx.exit_ro(obj);
+    r
+}
+
+/// Convenience: read a whole object under a momentary read-only scope
+/// (the `poll = f;` pattern of the paper's Fig. 6 lines 10–12).
+pub fn read_ro<T: Pod>(ctx: &mut PmcCtx<'_, '_>, obj: Obj<T>) -> T {
+    ctx.entry_ro(obj);
+    let v = ctx.read(obj);
+    ctx.exit_ro(obj);
+    v
+}
+
+/// Convenience: write a whole object under a momentary exclusive scope,
+/// with an optional flush (the paper's Fig. 6 lines 6–9).
+pub fn write_x<T: Pod>(ctx: &mut PmcCtx<'_, '_>, obj: Obj<T>, value: T, flush: bool) {
+    ctx.entry_x(obj);
+    ctx.write(obj, value);
+    if flush {
+        ctx.flush(obj);
+    }
+    ctx.exit_x(obj);
+}

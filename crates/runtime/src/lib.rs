@@ -1,0 +1,52 @@
+//! # pmc-runtime — the PMC approach
+//!
+//! The portable-memory-consistency runtime of Rutgers et al. (IPPS 2013):
+//! source-level annotations (`entry_x` / `exit_x` / `entry_ro` / `exit_ro`
+//! / `fence` / `flush`, paper Section V-A) over typed shared objects, plus
+//! one back-end per memory architecture of the paper's Table II:
+//!
+//! * **uncached** — the "no CC" baseline (shared data in uncached SDRAM);
+//! * **swcc** — software cache coherency (BACKER-style flush/invalidate);
+//! * **dsm** — distributed shared memory over the write-only NoC;
+//! * **spm** — scratch-pad staging.
+//!
+//! The same application code runs on every back-end — the paper's
+//! portability claim — and with tracing enabled, [`monitor::validate`]
+//! checks each run against the PMC model's guarantees.
+//!
+//! ```
+//! use pmc_runtime::ctx::{read_ro, write_x};
+//! use pmc_runtime::system::{BackendKind, LockKind, System};
+//! use pmc_soc_sim::SocConfig;
+//!
+//! let mut sys = System::new(SocConfig::small(2), BackendKind::Swcc, LockKind::Sdram);
+//! let x = sys.alloc::<u32>("x");
+//! sys.run(vec![
+//!     Box::new(move |ctx| write_x(ctx, x, 42, true)),
+//!     Box::new(move |ctx| {
+//!         let mut backoff = 8;
+//!         while read_ro(ctx, x) != 42 {
+//!             ctx.compute(backoff);
+//!             backoff = (backoff * 2).min(256);
+//!         }
+//!     }),
+//! ]);
+//! assert_eq!(sys.read_back(x), 42);
+//! ```
+
+pub mod barrier;
+pub mod ctx;
+pub mod fifo;
+pub mod lock;
+pub mod monitor;
+pub mod pod;
+pub mod queue;
+pub mod system;
+
+pub use ctx::{read_ro, scope_ro, scope_x, write_x, PmcCtx};
+pub use fifo::MFifo;
+pub use pod::{Pod, Vec2};
+pub use system::{BackendKind, LockKind, Obj, ObjVec, PrivSlab, Slab, System};
+
+/// The per-tile program type accepted by [`System::run`].
+pub type Program<'env> = Box<dyn FnOnce(&mut PmcCtx<'_, '_>) + Send + 'env>;

@@ -1,0 +1,113 @@
+//! Plain-old-data marshalling between Rust values and simulated memory.
+//!
+//! Shared objects live in *simulated* memories as little-endian bytes; the
+//! [`Pod`] trait converts fixed-size Rust values. Multi-byte objects are
+//! exactly the case the paper's Section V-A discusses: the model's
+//! locations are single bytes, so the runtime must lock around non-atomic
+//! (multi-byte) accesses.
+
+/// A fixed-size, byte-serialisable value.
+pub trait Pod: Copy + 'static {
+    /// Serialised size in bytes.
+    const SIZE: u32;
+    fn to_bytes(&self, out: &mut [u8]);
+    fn from_bytes(bytes: &[u8]) -> Self;
+}
+
+macro_rules! pod_prim {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: u32 = std::mem::size_of::<$t>() as u32;
+            #[inline]
+            fn to_bytes(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn from_bytes(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("pod size"))
+            }
+        }
+    )*};
+}
+
+pod_prim!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Pod for bool {
+    const SIZE: u32 = 1;
+    #[inline]
+    fn to_bytes(&self, out: &mut [u8]) {
+        out[0] = *self as u8;
+    }
+    #[inline]
+    fn from_bytes(bytes: &[u8]) -> Self {
+        bytes[0] != 0
+    }
+}
+
+impl<T: Pod, const N: usize> Pod for [T; N] {
+    const SIZE: u32 = T::SIZE * N as u32;
+    fn to_bytes(&self, out: &mut [u8]) {
+        let s = T::SIZE as usize;
+        for (i, v) in self.iter().enumerate() {
+            v.to_bytes(&mut out[i * s..(i + 1) * s]);
+        }
+    }
+    fn from_bytes(bytes: &[u8]) -> Self {
+        let s = T::SIZE as usize;
+        std::array::from_fn(|i| T::from_bytes(&bytes[i * s..(i + 1) * s]))
+    }
+}
+
+/// A 2-D motion/position vector as used by the motion-estimation and
+/// raytrace workloads (an example of an application-defined Pod).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Pod for Vec2 {
+    const SIZE: u32 = 8;
+    fn to_bytes(&self, out: &mut [u8]) {
+        self.x.to_bytes(&mut out[0..4]);
+        self.y.to_bytes(&mut out[4..8]);
+    }
+    fn from_bytes(bytes: &[u8]) -> Self {
+        Vec2 { x: i32::from_bytes(&bytes[0..4]), y: i32::from_bytes(&bytes[4..8]) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut buf = [0u8; 8];
+        0xdead_beefu32.to_bytes(&mut buf[..4]);
+        assert_eq!(u32::from_bytes(&buf[..4]), 0xdead_beef);
+        (-5i32).to_bytes(&mut buf[..4]);
+        assert_eq!(i32::from_bytes(&buf[..4]), -5);
+        1.5f64.to_bytes(&mut buf);
+        assert_eq!(f64::from_bytes(&buf), 1.5);
+        true.to_bytes(&mut buf[..1]);
+        assert!(bool::from_bytes(&buf[..1]));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let a: [u16; 3] = [1, 2, 3];
+        let mut buf = [0u8; 6];
+        a.to_bytes(&mut buf);
+        assert_eq!(<[u16; 3]>::from_bytes(&buf), a);
+        assert_eq!(<[u16; 3]>::SIZE, 6);
+    }
+
+    #[test]
+    fn vec2_roundtrip() {
+        let v = Vec2 { x: -3, y: 99 };
+        let mut buf = [0u8; 8];
+        v.to_bytes(&mut buf);
+        assert_eq!(Vec2::from_bytes(&buf), v);
+    }
+}

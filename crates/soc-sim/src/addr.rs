@@ -1,0 +1,100 @@
+//! The platform address map.
+//!
+//! Mirrors the usual MicroBlaze trick of exposing SDRAM through two
+//! windows: a *cached* window and an *uncached alias* of the same physical
+//! bytes. The paper's "no CC" baseline places shared data in the uncached
+//! window and private data in the cached one; the SWCC back-end uses the
+//! cached window for everything and manages coherence in software.
+//!
+//! ```text
+//! 0x1000_0000 + tile * 0x0010_0000   per-tile local memory (dual-port BRAM)
+//! 0x4000_0000                        SDRAM, cached window
+//! 0x8000_0000                        SDRAM, uncached alias (same bytes)
+//! ```
+
+/// Simulated physical/virtual address (32-bit SoC).
+pub type Addr = u32;
+
+pub const LOCAL_BASE: Addr = 0x1000_0000;
+/// Address stride between consecutive tiles' local memories.
+pub const LOCAL_STRIDE: Addr = 0x0010_0000;
+pub const SDRAM_CACHED_BASE: Addr = 0x4000_0000;
+pub const SDRAM_UNCACHED_BASE: Addr = 0x8000_0000;
+
+/// Decoded address region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Local memory of a tile.
+    Local { tile: usize, offset: u32 },
+    /// SDRAM through the cached window.
+    SdramCached { offset: u32 },
+    /// SDRAM through the uncached alias.
+    SdramUncached { offset: u32 },
+}
+
+/// Decode an address. Panics on addresses outside every window (a bus
+/// error on the real platform).
+pub fn decode(addr: Addr) -> Region {
+    if addr >= SDRAM_UNCACHED_BASE {
+        Region::SdramUncached { offset: addr - SDRAM_UNCACHED_BASE }
+    } else if addr >= SDRAM_CACHED_BASE {
+        Region::SdramCached { offset: addr - SDRAM_CACHED_BASE }
+    } else if addr >= LOCAL_BASE {
+        let rel = addr - LOCAL_BASE;
+        Region::Local { tile: (rel / LOCAL_STRIDE) as usize, offset: rel % LOCAL_STRIDE }
+    } else {
+        panic!("bus error: address {addr:#010x} decodes to no device");
+    }
+}
+
+/// The local-memory base address of a tile.
+pub fn local_base(tile: usize) -> Addr {
+    LOCAL_BASE + tile as Addr * LOCAL_STRIDE
+}
+
+/// Translate a cached-window SDRAM address to its uncached alias.
+pub fn to_uncached(addr: Addr) -> Addr {
+    debug_assert!((SDRAM_CACHED_BASE..SDRAM_UNCACHED_BASE).contains(&addr));
+    addr - SDRAM_CACHED_BASE + SDRAM_UNCACHED_BASE
+}
+
+/// Translate an uncached-alias SDRAM address to its cached window.
+pub fn to_cached(addr: Addr) -> Addr {
+    debug_assert!(addr >= SDRAM_UNCACHED_BASE);
+    addr - SDRAM_UNCACHED_BASE + SDRAM_CACHED_BASE
+}
+
+/// The physical SDRAM offset behind either window.
+pub fn sdram_offset(addr: Addr) -> u32 {
+    match decode(addr) {
+        Region::SdramCached { offset } | Region::SdramUncached { offset } => offset,
+        Region::Local { .. } => panic!("{addr:#010x} is not an SDRAM address"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_roundtrips() {
+        assert_eq!(decode(local_base(0)), Region::Local { tile: 0, offset: 0 });
+        assert_eq!(decode(local_base(5) + 12), Region::Local { tile: 5, offset: 12 });
+        assert_eq!(decode(SDRAM_CACHED_BASE + 100), Region::SdramCached { offset: 100 });
+        assert_eq!(decode(SDRAM_UNCACHED_BASE + 4), Region::SdramUncached { offset: 4 });
+    }
+
+    #[test]
+    fn aliasing_maps_to_same_offset() {
+        let cached = SDRAM_CACHED_BASE + 0x1234;
+        let uncached = to_uncached(cached);
+        assert_eq!(sdram_offset(cached), sdram_offset(uncached));
+        assert_eq!(to_cached(uncached), cached);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus error")]
+    fn low_addresses_fault() {
+        decode(0x10);
+    }
+}

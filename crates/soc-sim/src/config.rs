@@ -1,0 +1,180 @@
+//! Simulator configuration: platform shape and timing parameters.
+//!
+//! Defaults approximate the paper's platform: a 32-core MicroBlaze system
+//! on a Xilinx ML605 (in-order cores, small write-back data caches,
+//! single-cycle local memories, tens-of-cycles SDRAM, a low-latency
+//! connectionless NoC with write-only remote access). Absolute numbers are
+//! not calibrated against the FPGA — the reproduction targets the *shape*
+//! of the paper's results, and every knob here is sweepable.
+
+/// Data-cache geometry (per core).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Line size in bytes (power of two).
+    pub line_size: u32,
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    pub fn size_bytes(&self) -> u32 {
+        self.line_size * self.sets * self.ways
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // 8 KiB, 2-way, 32-byte lines — MicroBlaze-ish.
+        CacheConfig { line_size: 32, sets: 128, ways: 2 }
+    }
+}
+
+/// Timing parameters, in core clock cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct Latencies {
+    /// Extra stall for a load that hits the data cache (0 = single-cycle).
+    pub cache_hit: u64,
+    /// Access to the own tile's local memory (LMB-attached BRAM).
+    pub local_mem: u64,
+    /// Fixed part of an SDRAM transaction (controller + row activation).
+    pub sdram_fixed: u64,
+    /// Per-32-bit-word transfer cost on the SDRAM bus.
+    pub sdram_per_word: u64,
+    /// Stall charged for an uncached/posted write (store buffer drain).
+    pub posted_write: u64,
+    /// Fixed NoC route setup cost.
+    pub noc_fixed: u64,
+    /// Per-hop NoC cost.
+    pub noc_per_hop: u64,
+    /// Per-32-bit-word NoC payload cost.
+    pub noc_per_word: u64,
+    /// I-cache miss penalty.
+    pub icache_miss: u64,
+    /// Cycles for one cache-management instruction (`wdc`-style).
+    pub cache_op: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            cache_hit: 0,
+            local_mem: 1,
+            sdram_fixed: 14,
+            sdram_per_word: 2,
+            posted_write: 2,
+            noc_fixed: 4,
+            noc_per_hop: 2,
+            noc_per_word: 1,
+            icache_miss: 22,
+            cache_op: 2,
+        }
+    }
+}
+
+/// Whole-platform configuration.
+#[derive(Debug, Clone)]
+pub struct SocConfig {
+    /// Number of tiles (cores). The paper's system has 32.
+    pub n_tiles: usize,
+    /// Per-tile local memory size in bytes.
+    pub local_mem_size: u32,
+    /// Shared SDRAM size in bytes.
+    pub sdram_size: u32,
+    pub dcache: CacheConfig,
+    pub lat: Latencies,
+    /// Average I-cache misses per 1000 instructions (deterministic
+    /// Bresenham-style accounting; see `icache` module). The paper's
+    /// applications have non-trivial instruction footprints.
+    pub icache_mpki: u32,
+    /// A core may run at most this many cycles on core-local state before
+    /// being forced to synchronise its published clock (bounds how far
+    /// other tiles can conservatively lag).
+    pub max_local_run: u64,
+    /// Hard virtual-time limit; exceeding it aborts the simulation (a
+    /// lost-flag / livelock watchdog).
+    pub time_limit: u64,
+    /// Record an annotation-level event trace (for model validation).
+    pub trace: bool,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            n_tiles: 32,
+            local_mem_size: 128 << 10,
+            sdram_size: 16 << 20,
+            dcache: CacheConfig::default(),
+            lat: Latencies::default(),
+            icache_mpki: 4,
+            max_local_run: 8_192,
+            time_limit: 2_000_000_000,
+            trace: false,
+        }
+    }
+}
+
+impl SocConfig {
+    /// A small configuration for unit tests (fast, 4 tiles).
+    pub fn small(n_tiles: usize) -> Self {
+        SocConfig {
+            n_tiles,
+            local_mem_size: 64 << 10,
+            sdram_size: 1 << 20,
+            time_limit: 200_000_000,
+            ..Default::default()
+        }
+    }
+
+    /// NoC hop count between two tiles (bidirectional ring, as a stand-in
+    /// for the paper's connectionless NoC [16]: nearby tiles are cheaper
+    /// than far ones).
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        if from == to {
+            return 0;
+        }
+        let d = from.abs_diff(to);
+        d.min(self.n_tiles - d) as u64
+    }
+
+    /// End-to-end NoC latency for a payload of `bytes` bytes.
+    pub fn noc_latency(&self, from: usize, to: usize, bytes: u32) -> u64 {
+        let words = bytes.div_ceil(4) as u64;
+        self.lat.noc_fixed + self.lat.noc_per_hop * self.hops(from, to) + self.lat.noc_per_word * words
+    }
+
+    /// SDRAM service time for a transfer of `bytes` bytes (excluding
+    /// queueing, which the scheduler adds).
+    pub fn sdram_service(&self, bytes: u32) -> u64 {
+        self.lat.sdram_fixed + self.lat.sdram_per_word * bytes.div_ceil(4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_size() {
+        assert_eq!(CacheConfig::default().size_bytes(), 8 << 10);
+    }
+
+    #[test]
+    fn ring_hops_are_symmetric_and_shortest() {
+        let c = SocConfig::small(8);
+        assert_eq!(c.hops(0, 0), 0);
+        assert_eq!(c.hops(0, 1), 1);
+        assert_eq!(c.hops(1, 0), 1);
+        assert_eq!(c.hops(0, 7), 1, "ring wraps");
+        assert_eq!(c.hops(0, 4), 4);
+    }
+
+    #[test]
+    fn latencies_monotone_in_distance_and_size() {
+        let c = SocConfig::small(8);
+        assert!(c.noc_latency(0, 1, 4) < c.noc_latency(0, 4, 4));
+        assert!(c.noc_latency(0, 1, 4) < c.noc_latency(0, 1, 64));
+        assert!(c.sdram_service(4) < c.sdram_service(32));
+    }
+}

@@ -1,0 +1,104 @@
+//! Flat byte memories (SDRAM and per-tile local memories).
+
+/// A byte-addressable memory with little-endian accessors.
+#[derive(Debug, Clone)]
+pub struct ByteMem {
+    bytes: Vec<u8>,
+}
+
+impl ByteMem {
+    pub fn new(size: u32) -> Self {
+        ByteMem { bytes: vec![0; size as usize] }
+    }
+
+    pub fn len(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    #[inline]
+    pub fn read(&self, offset: u32, out: &mut [u8]) {
+        let o = offset as usize;
+        out.copy_from_slice(&self.bytes[o..o + out.len()]);
+    }
+
+    #[inline]
+    pub fn write(&mut self, offset: u32, data: &[u8]) {
+        let o = offset as usize;
+        self.bytes[o..o + data.len()].copy_from_slice(data);
+    }
+
+    #[inline]
+    pub fn read_u8(&self, offset: u32) -> u8 {
+        self.bytes[offset as usize]
+    }
+
+    #[inline]
+    pub fn write_u8(&mut self, offset: u32, v: u8) {
+        self.bytes[offset as usize] = v;
+    }
+
+    #[inline]
+    pub fn read_u32(&self, offset: u32) -> u32 {
+        let o = offset as usize;
+        u32::from_le_bytes(self.bytes[o..o + 4].try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn write_u32(&mut self, offset: u32, v: u32) {
+        let o = offset as usize;
+        self.bytes[o..o + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn read_u64(&self, offset: u32) -> u64 {
+        let o = offset as usize;
+        u64::from_le_bytes(self.bytes[o..o + 8].try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, offset: u32, v: u64) {
+        let o = offset as usize;
+        self.bytes[o..o + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn slice(&self, offset: u32, len: u32) -> &[u8] {
+        &self.bytes[offset as usize..(offset + len) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = ByteMem::new(64);
+        m.write_u32(0, 0xdead_beef);
+        assert_eq!(m.read_u32(0), 0xdead_beef);
+        m.write_u64(8, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(8), 0x0123_4567_89ab_cdef);
+        m.write_u8(3, 0xff);
+        assert_eq!(m.read_u32(0), 0xffad_beef);
+        let mut buf = [0u8; 4];
+        m.read(0, &mut buf);
+        assert_eq!(buf, 0xffad_beefu32.to_le_bytes());
+    }
+
+    #[test]
+    fn fresh_memory_is_zero() {
+        let m = ByteMem::new(16);
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.len(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let m = ByteMem::new(4);
+        m.read_u32(1);
+    }
+}

@@ -1,0 +1,150 @@
+//! The network-on-chip: write-only remote access to other tiles' local
+//! memories (paper Fig. 7 and [16]), plus a remote test-and-set used by
+//! the asymmetric distributed lock ([15]; see DESIGN.md substitutions).
+//!
+//! Writes are *posted*: they complete at the source immediately and are
+//! applied to the destination memory at `issue_time + route_latency`.
+//! Delivery is in order per (source, destination) pair — route latency is
+//! constant per pair, and the scheduler issues packets in global virtual
+//! time order, so arrival order per pair equals issue order. Packets to
+//! *different* destinations may be observed out of order: the paper's
+//! Fig. 1 failure mode.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The effect a packet applies when it arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Write `data` into the destination tile's local memory.
+    Write { offset: u32, data: Vec<u8> },
+    /// Write `version` (as a u32 header) followed by `data`, but only if
+    /// `version` is newer than the u32 currently stored at `offset`.
+    /// Models the receiver-side sequence check software DSM protocols use
+    /// so that updates from *different* sources cannot roll a replica
+    /// back (the paper's lazy lock-handoff transfer achieves the same
+    /// ordering; see DESIGN.md).
+    VersionedWrite { offset: u32, version: u32, data: Vec<u8> },
+    /// Atomic test-and-set of one byte in the destination's local memory;
+    /// the old value is posted back into `reply_tile`'s local memory at
+    /// `reply_offset` (the requester's mailbox).
+    TestAndSet { offset: u32, reply_tile: usize, reply_offset: u32 },
+    /// Atomic fetch-and-add on a 32-bit word in the destination's local
+    /// memory; the old value is posted back like `TestAndSet`.
+    FetchAdd { offset: u32, delta: u32, reply_tile: usize, reply_offset: u32 },
+}
+
+/// An in-flight NoC packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub arrive: u64,
+    /// Global issue sequence number: ties on `arrive` resolve in issue
+    /// order, keeping delivery deterministic.
+    pub seq: u64,
+    pub src: usize,
+    pub dst: usize,
+    pub kind: PacketKind,
+}
+
+impl Ord for Packet {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .arrive
+            .cmp(&self.arrive)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Packet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The in-flight packet queue, ordered by arrival time.
+#[derive(Debug, Default)]
+pub struct Noc {
+    heap: BinaryHeap<Packet>,
+    next_seq: u64,
+}
+
+impl Noc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn send(&mut self, arrive: u64, src: usize, dst: usize, kind: PacketKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Packet { arrive, seq, src, dst, kind });
+    }
+
+    /// Pop the next packet if it has arrived by `now`.
+    pub fn pop_arrived(&mut self, now: u64) -> Option<Packet> {
+        if self.heap.peek().is_some_and(|p| p.arrive <= now) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Earliest pending arrival, if any.
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.heap.peek().map(|p| p.arrive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wpkt(offset: u32, byte: u8) -> PacketKind {
+        PacketKind::Write { offset, data: vec![byte] }
+    }
+
+    #[test]
+    fn arrival_order_is_by_time_then_seq() {
+        let mut noc = Noc::new();
+        noc.send(20, 0, 1, wpkt(0, 1));
+        noc.send(10, 0, 2, wpkt(0, 2));
+        noc.send(10, 1, 2, wpkt(4, 3));
+        assert_eq!(noc.in_flight(), 3);
+        let a = noc.pop_arrived(100).unwrap();
+        let b = noc.pop_arrived(100).unwrap();
+        let c = noc.pop_arrived(100).unwrap();
+        assert_eq!((a.arrive, a.seq), (10, 1));
+        assert_eq!((b.arrive, b.seq), (10, 2));
+        assert_eq!((c.arrive, c.seq), (20, 0));
+        assert!(noc.pop_arrived(100).is_none());
+    }
+
+    #[test]
+    fn packets_wait_for_their_time() {
+        let mut noc = Noc::new();
+        noc.send(50, 0, 1, wpkt(0, 1));
+        assert!(noc.pop_arrived(49).is_none());
+        assert_eq!(noc.next_arrival(), Some(50));
+        assert!(noc.pop_arrived(50).is_some());
+    }
+
+    #[test]
+    fn same_pair_delivery_is_fifo_when_latency_constant() {
+        let mut noc = Noc::new();
+        // Same (src,dst), same latency: arrival order == issue order.
+        noc.send(30, 0, 1, wpkt(0, 1));
+        noc.send(31, 0, 1, wpkt(0, 2));
+        let a = noc.pop_arrived(100).unwrap();
+        let b = noc.pop_arrived(100).unwrap();
+        match (a.kind, b.kind) {
+            (PacketKind::Write { data: d1, .. }, PacketKind::Write { data: d2, .. }) => {
+                assert_eq!((d1[0], d2[0]), (1, 2));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

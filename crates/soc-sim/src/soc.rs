@@ -1,0 +1,1225 @@
+//! The SoC simulator: tiles, shared state, and the deterministic
+//! virtual-time scheduler.
+//!
+//! ## Scheduling model
+//!
+//! Every simulated core runs on its own OS thread, but *globally visible*
+//! actions (SDRAM traffic, local-memory accesses, NoC packets, cache-line
+//! writebacks, trace records) are committed one at a time, in strict
+//! `(virtual_time, tile_id)` order, under a single scheduler lock — a
+//! PDES "turnstile". Core-private actions (data-cache hits, compute,
+//! clean invalidations) run on a lock-free fast path and only defer the
+//! publication of the core's clock; they are invisible to other tiles, so
+//! commit order is unaffected. A forced synchronisation every
+//! `max_local_run` cycles bounds how stale a published clock can get.
+//! Same configuration + same programs ⇒ bit-identical runs, counters
+//! included.
+//!
+//! ## Memory system semantics
+//!
+//! * **SDRAM, cached window** — write-back allocate-on-write non-coherent
+//!   per-core caches that hold real data; misses and writebacks contend
+//!   for the SDRAM port (a busy-until queue).
+//! * **SDRAM, uncached alias** — every access is an SDRAM transaction.
+//! * **Local memories** — single-cycle for the owning tile; *write-only*
+//!   for every other tile via posted NoC packets (paper Fig. 7). Reading
+//!   another tile's memory is a bus error.
+//! * **NoC** — posted writes and remote atomics delivered at
+//!   `issue + route_latency`; in-order per (src, dst) pair, unordered
+//!   across destinations (the paper's Fig. 1 failure mode).
+
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::addr::{self, Addr, Region};
+use crate::cache::Cache;
+use crate::config::SocConfig;
+use crate::counters::{Counters, MemTag, RunReport};
+use crate::icache::ICache;
+use crate::mem::ByteMem;
+use crate::noc::{Noc, Packet, PacketKind};
+use crate::trace::TraceRecord;
+
+/// State shared by all tiles, guarded by the scheduler lock.
+struct Global {
+    sdram: ByteMem,
+    locals: Vec<ByteMem>,
+    noc: Noc,
+    /// Published clock per tile (`u64::MAX` once done).
+    clocks: Vec<u64>,
+    /// Whether the tile is parked waiting for its turn.
+    waiting: Vec<bool>,
+    /// SDRAM port busy-until time (queueing model).
+    sdram_free: u64,
+    /// Region tags for stall attribution: sorted, disjoint
+    /// `(sdram_start, sdram_end, tag)`.
+    tags: Vec<(u32, u32, MemTag)>,
+    trace: Vec<TraceRecord>,
+    /// Final counters, collected as tiles finish.
+    finished: Vec<Option<(Counters, u64)>>,
+}
+
+impl Global {
+    fn tag_of(&self, sdram_offset: u32) -> MemTag {
+        match self
+            .tags
+            .binary_search_by(|&(start, end, _)| {
+                if sdram_offset < start {
+                    std::cmp::Ordering::Greater
+                } else if sdram_offset >= end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            }) {
+            Ok(i) => self.tags[i].2,
+            Err(_) => MemTag::Private,
+        }
+    }
+
+    /// Apply every packet that has arrived by `now`.
+    fn drain_packets(&mut self, now: u64, cfg: &SocConfig) {
+        while let Some(p) = self.noc.pop_arrived(now) {
+            self.apply_packet(p, cfg);
+        }
+    }
+
+    fn apply_packet(&mut self, p: Packet, cfg: &SocConfig) {
+        match p.kind {
+            PacketKind::Write { offset, data } => {
+                self.locals[p.dst].write(offset, &data);
+            }
+            PacketKind::VersionedWrite { offset, version, data } => {
+                let current = self.locals[p.dst].read_u32(offset);
+                if version > current {
+                    self.locals[p.dst].write_u32(offset, version);
+                    self.locals[p.dst].write(offset + 4, &data);
+                }
+            }
+            PacketKind::TestAndSet { offset, reply_tile, reply_offset } => {
+                let old = self.locals[p.dst].read_u8(offset);
+                self.locals[p.dst].write_u8(offset, 1);
+                // The old value travels back as a posted write into the
+                // requester's mailbox; add a reply flag in the high byte
+                // scheme: mailbox word = 0x0100 | old (so "no reply yet"
+                // = 0 is distinguishable from old == 0).
+                let reply = 0x0100u32 | old as u32;
+                let arrive = p.arrive + cfg.noc_latency(p.dst, reply_tile, 4);
+                self.noc.send(
+                    arrive,
+                    p.dst,
+                    reply_tile,
+                    PacketKind::Write { offset: reply_offset, data: reply.to_le_bytes().to_vec() },
+                );
+            }
+            PacketKind::FetchAdd { offset, delta, reply_tile, reply_offset } => {
+                let old = self.locals[p.dst].read_u32(offset);
+                self.locals[p.dst].write_u32(offset, old.wrapping_add(delta));
+                let arrive = p.arrive + cfg.noc_latency(p.dst, reply_tile, 8);
+                let mut payload = Vec::with_capacity(8);
+                payload.extend_from_slice(&old.to_le_bytes());
+                payload.extend_from_slice(&1u32.to_le_bytes()); // reply-valid flag
+                self.noc.send(
+                    arrive,
+                    p.dst,
+                    reply_tile,
+                    PacketKind::Write { offset: reply_offset, data: payload },
+                );
+            }
+        }
+    }
+
+    /// The live tile with the smallest `(clock, id)`.
+    fn min_tile(&self) -> Option<usize> {
+        self.clocks
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != u64::MAX)
+            .min_by_key(|&(i, &c)| (c, i))
+            .map(|(i, _)| i)
+    }
+
+    fn is_turn(&self, tile: usize) -> bool {
+        self.min_tile() == Some(tile)
+    }
+}
+
+/// The simulated system-on-chip. Construct, optionally initialise
+/// memories and region tags, then [`Soc::run`] one closure per tile.
+pub struct Soc {
+    cfg: SocConfig,
+    global: Mutex<Global>,
+    cvs: Vec<Condvar>,
+    /// Running counter for makespan and post-run queries.
+    makespan: AtomicU64,
+    /// Set when a tile panicked: every parked tile wakes and aborts.
+    aborted: std::sync::atomic::AtomicBool,
+    /// The first panic payload (re-raised after all tiles unwound, so the
+    /// caller sees the original message rather than a secondary abort).
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl Soc {
+    pub fn new(cfg: SocConfig) -> Self {
+        let global = Global {
+            sdram: ByteMem::new(cfg.sdram_size),
+            locals: (0..cfg.n_tiles).map(|_| ByteMem::new(cfg.local_mem_size)).collect(),
+            noc: Noc::new(),
+            clocks: vec![0; cfg.n_tiles],
+            waiting: vec![false; cfg.n_tiles],
+            sdram_free: 0,
+            tags: Vec::new(),
+            trace: Vec::new(),
+            finished: vec![None; cfg.n_tiles],
+        };
+        let cvs = (0..cfg.n_tiles).map(|_| Condvar::new()).collect();
+        Soc {
+            cfg,
+            global: Mutex::new(global),
+            cvs,
+            makespan: AtomicU64::new(0),
+            aborted: std::sync::atomic::AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+        }
+    }
+
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
+    }
+
+    /// Mark the run aborted (a tile panicked): retire the tile's clock
+    /// and wake every parked tile so the panic can propagate.
+    fn abort(&self, tile: usize) {
+        self.aborted.store(true, AtomicOrdering::SeqCst);
+        let mut g = self.global.lock();
+        g.clocks[tile] = u64::MAX;
+        for cv in &self.cvs {
+            cv.notify_one();
+        }
+        drop(g);
+    }
+
+    /// Tag an SDRAM offset range for stall attribution (shared vs.
+    /// private data, paper Fig. 8). Ranges must not overlap.
+    pub fn tag_region(&self, sdram_start: u32, sdram_end: u32, tag: MemTag) {
+        let mut g = self.global.lock();
+        g.tags.push((sdram_start, sdram_end, tag));
+        g.tags.sort_unstable_by_key(|&(s, _, _)| s);
+        for w in g.tags.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping region tags");
+        }
+    }
+
+    /// Pre-run (or post-run) direct SDRAM access, bypassing timing.
+    pub fn write_sdram(&self, offset: u32, data: &[u8]) {
+        self.global.lock().sdram.write(offset, data);
+    }
+
+    pub fn read_sdram(&self, offset: u32, out: &mut [u8]) {
+        self.global.lock().sdram.read(offset, out);
+    }
+
+    pub fn read_sdram_u32(&self, offset: u32) -> u32 {
+        self.global.lock().sdram.read_u32(offset)
+    }
+
+    /// Pre-run direct local-memory access, bypassing timing.
+    pub fn write_local(&self, tile: usize, offset: u32, data: &[u8]) {
+        self.global.lock().locals[tile].write(offset, data);
+    }
+
+    pub fn read_local(&self, tile: usize, offset: u32, out: &mut [u8]) {
+        self.global.lock().locals[tile].read(offset, out);
+    }
+
+    /// The recorded trace (empty unless `cfg.trace`).
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.global.lock().trace)
+    }
+
+    /// Run one program per tile (programs beyond `n_tiles` are an error;
+    /// tiles without a program idle at `done`). Returns per-core counters
+    /// and the makespan. Panics propagate from core closures.
+    pub fn run<'env>(&'env self, programs: Vec<CoreProgram<'env>>) -> RunReport {
+        assert!(programs.len() <= self.cfg.n_tiles, "more programs than tiles");
+        {
+            // Reset scheduling state (memories persist across runs so
+            // callers can pre-initialise and post-inspect).
+            let mut g = self.global.lock();
+            let n_programs = programs.len();
+            for t in 0..self.cfg.n_tiles {
+                g.clocks[t] = if t < n_programs { 0 } else { u64::MAX };
+                g.waiting[t] = false;
+                g.finished[t] = None;
+            }
+        }
+        self.aborted.store(false, AtomicOrdering::SeqCst);
+        crossbeam::thread::scope(|scope| {
+            for (tile, program) in programs.into_iter().enumerate() {
+                let soc = &*self;
+                scope
+                    .builder()
+                    .name(format!("tile{tile}"))
+                    .spawn(move |_| {
+                        let mut cpu = Cpu::new(soc, tile);
+                        // A panicking tile must not leave the others
+                        // waiting on its clock forever: mark the run
+                        // aborted, wake everyone, then propagate.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || program(&mut cpu),
+                        ));
+                        match result {
+                            Ok(()) => cpu.finish(),
+                            Err(payload) => {
+                                // Record the first (original) payload;
+                                // secondary abort panics are noise.
+                                let mut slot = soc.panic_payload.lock();
+                                let primary = slot.is_none();
+                                if primary {
+                                    *slot = Some(payload);
+                                }
+                                drop(slot);
+                                soc.abort(tile);
+                            }
+                        }
+                    })
+                    .expect("spawn tile thread");
+            }
+        })
+        .expect("tile threads never panic (payloads are captured)");
+        if let Some(payload) = self.panic_payload.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+        let g = self.global.lock();
+        let per_core: Vec<Counters> = g
+            .finished
+            .iter()
+            .map(|f| f.map(|(c, _)| c).unwrap_or_default())
+            .collect();
+        let makespan = g
+            .finished
+            .iter()
+            .flatten()
+            .map(|&(_, clock)| clock)
+            .max()
+            .unwrap_or(0);
+        self.makespan.store(makespan, AtomicOrdering::Relaxed);
+        RunReport { per_core, makespan }
+    }
+}
+
+/// A per-tile program: receives the tile's CPU handle.
+pub type CoreProgram<'env> = Box<dyn FnOnce(&mut Cpu<'_>) + Send + 'env>;
+
+/// Stall category used by the memory paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallCat {
+    PrivRead,
+    SharedRead,
+    Write,
+    Noc,
+    /// Cache-management (counted as write stall *and* flush overhead).
+    Flush,
+}
+
+/// The per-core execution context handed to tile programs: the only way
+/// application / runtime code touches the simulated machine.
+pub struct Cpu<'a> {
+    soc: &'a Soc,
+    tile: usize,
+    /// Local clock (may run ahead of the published clock).
+    clock: u64,
+    published: u64,
+    dcache: Cache,
+    icache: ICache,
+    ctr: Counters,
+}
+
+impl<'a> Cpu<'a> {
+    fn new(soc: &'a Soc, tile: usize) -> Self {
+        Cpu {
+            soc,
+            tile,
+            clock: 0,
+            published: 0,
+            dcache: Cache::new(soc.cfg.dcache),
+            icache: ICache::new(soc.cfg.icache_mpki),
+            ctr: Counters::default(),
+        }
+    }
+
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    pub fn n_tiles(&self) -> usize {
+        self.soc.cfg.n_tiles
+    }
+
+    /// Current local virtual time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    pub fn counters(&self) -> &Counters {
+        &self.ctr
+    }
+
+    pub fn config(&self) -> &SocConfig {
+        &self.soc.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Clock and accounting plumbing.
+    // ------------------------------------------------------------------
+
+    fn check_time_limit(&self) {
+        if self.clock > self.soc.cfg.time_limit {
+            panic!(
+                "tile {}: virtual time limit exceeded ({} > {}) — livelock or lost flag?",
+                self.tile, self.clock, self.soc.cfg.time_limit
+            );
+        }
+    }
+
+    /// Charge `n` executed instructions (busy cycles) plus their I-cache
+    /// misses.
+    fn charge_instr(&mut self, n: u64) {
+        self.ctr.busy += n;
+        self.ctr.instret += n;
+        self.clock += n;
+        let misses = self.icache.fetch(n);
+        if misses > 0 {
+            let stall = misses * self.soc.cfg.lat.icache_miss;
+            self.ctr.stall_icache += stall;
+            self.clock += stall;
+        }
+        self.check_time_limit();
+    }
+
+    fn charge_stall(&mut self, cat: StallCat, cycles: u64) {
+        match cat {
+            StallCat::PrivRead => self.ctr.stall_priv_read += cycles,
+            StallCat::SharedRead => self.ctr.stall_shared_read += cycles,
+            StallCat::Write => self.ctr.stall_write += cycles,
+            StallCat::Noc => self.ctr.stall_noc += cycles,
+            StallCat::Flush => {
+                self.ctr.stall_write += cycles;
+                self.ctr.flush_cycles += cycles;
+            }
+        }
+        self.clock += cycles;
+        self.check_time_limit();
+    }
+
+    /// Run a globally visible action at the right point in virtual time.
+    /// `f` sees the global state at `self.clock` (packets drained) and
+    /// returns its result; any latency must be charged by the caller
+    /// afterwards via `charge_stall`.
+    fn turn<R>(&mut self, f: impl FnOnce(&mut Global, &SocConfig, u64, usize) -> R) -> R {
+        let soc = self.soc;
+        let mut g = soc.global.lock();
+        g.clocks[self.tile] = self.clock;
+        self.published = self.clock;
+        // Wait for our turn in (clock, tile) order.
+        while !g.is_turn(self.tile) {
+            if soc.aborted.load(AtomicOrdering::SeqCst) {
+                drop(g);
+                panic!("tile {}: simulation aborted by a panic on another tile", self.tile);
+            }
+            // Someone else is min; if they are parked, wake them.
+            if let Some(m) = g.min_tile() {
+                if g.waiting[m] {
+                    soc.cvs[m].notify_one();
+                }
+            }
+            g.waiting[self.tile] = true;
+            soc.cvs[self.tile].wait(&mut g);
+            g.waiting[self.tile] = false;
+        }
+        g.drain_packets(self.clock, &soc.cfg);
+        let r = f(&mut g, &soc.cfg, self.clock, self.tile);
+        // The action itself does not advance the clock (the caller
+        // charges latency), but hand the turn to the next tile.
+        if let Some(m) = g.min_tile() {
+            if m != self.tile && g.waiting[m] {
+                soc.cvs[m].notify_one();
+            }
+        }
+        r
+    }
+
+    /// Publish the clock and hand over the turn (forced sync point).
+    fn sync(&mut self) {
+        self.turn(|_, _, _, _| ());
+    }
+
+    /// Fast-path bookkeeping: force a sync if the published clock lags
+    /// too far.
+    fn maybe_sync(&mut self) {
+        if self.clock - self.published >= self.soc.cfg.max_local_run {
+            self.sync();
+        }
+    }
+
+    fn finish(&mut self) {
+        let soc = self.soc;
+        let mut g = soc.global.lock();
+        g.finished[self.tile] = Some((self.ctr, self.clock));
+        g.clocks[self.tile] = u64::MAX;
+        if let Some(m) = g.min_tile() {
+            if g.waiting[m] {
+                soc.cvs[m].notify_one();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compute.
+    // ------------------------------------------------------------------
+
+    /// Execute `instrs` instructions of pure computation.
+    pub fn compute(&mut self, instrs: u64) {
+        self.charge_instr(instrs);
+        self.maybe_sync();
+    }
+
+    // ------------------------------------------------------------------
+    // Data access.
+    // ------------------------------------------------------------------
+
+    /// Read `out.len()` bytes from `addr`. The access must not cross a
+    /// cache-line boundary when cached (split it at a higher layer).
+    pub fn read(&mut self, addr: Addr, out: &mut [u8]) {
+        // One instruction per 32-bit word on the 32-bit core.
+        self.charge_instr((out.len() as u64).div_ceil(4).max(1));
+        match addr::decode(addr) {
+            Region::Local { tile, offset } => {
+                assert_eq!(
+                    tile, self.tile,
+                    "tile {}: read of tile {tile}'s local memory — the NoC is write-only (paper Fig. 7)",
+                    self.tile
+                );
+                let lat = self.soc.cfg.lat.local_mem.saturating_sub(1);
+                self.turn(|g, _, _, me| g.locals[me].read(offset, out));
+                self.charge_stall(StallCat::Noc, lat);
+            }
+            Region::SdramUncached { offset } => {
+                let bytes = out.len() as u32;
+                let (tag, stall) = self.turn(|g, cfg, now, _| {
+                    let start = now.max(g.sdram_free);
+                    let done = start + cfg.sdram_service(bytes);
+                    g.sdram_free = done;
+                    g.sdram.read(offset, out);
+                    (g.tag_of(offset), done - now)
+                });
+                let cat = match tag {
+                    MemTag::Shared => StallCat::SharedRead,
+                    MemTag::Private => StallCat::PrivRead,
+                };
+                self.charge_stall(cat, stall);
+            }
+            Region::SdramCached { offset } => {
+                if self.dcache.contains(offset) {
+                    self.dcache.read_hit(offset, out);
+                    self.ctr.dcache_hits += 1;
+                    let hit_lat = self.soc.cfg.lat.cache_hit;
+                    if hit_lat > 0 {
+                        self.charge_stall(StallCat::PrivRead, hit_lat);
+                    }
+                    self.maybe_sync();
+                } else {
+                    let (tag, stall) = self.miss_fill(offset);
+                    // Serve the data from the freshly filled line (the
+                    // cache's internal hit counter is not the per-core
+                    // counter, which already recorded the miss).
+                    self.dcache.read_hit(offset, out);
+                    let cat = match tag {
+                        MemTag::Shared => StallCat::SharedRead,
+                        MemTag::Private => StallCat::PrivRead,
+                    };
+                    self.charge_stall(cat, stall);
+                }
+            }
+        }
+    }
+
+    /// Write `data` to `addr` (same alignment rules as [`Cpu::read`]).
+    pub fn write(&mut self, addr: Addr, data: &[u8]) {
+        self.charge_instr((data.len() as u64).div_ceil(4).max(1));
+        match addr::decode(addr) {
+            Region::Local { tile, offset } => {
+                if tile == self.tile {
+                    let lat = self.soc.cfg.lat.local_mem.saturating_sub(1);
+                    self.turn(|g, _, _, me| g.locals[me].write(offset, data));
+                    self.charge_stall(StallCat::Noc, lat);
+                } else {
+                    // Remote local memory: posted NoC write.
+                    self.noc_write(tile, offset, data);
+                }
+            }
+            Region::SdramUncached { offset } => {
+                let bytes = data.len() as u32;
+                self.turn(|g, cfg, now, _| {
+                    // Posted: the store buffer absorbs the latency; the
+                    // transaction still occupies the SDRAM port.
+                    let start = now.max(g.sdram_free);
+                    g.sdram_free = start + cfg.sdram_service(bytes);
+                    g.sdram.write(offset, data);
+                });
+                let stall = self.soc.cfg.lat.posted_write;
+                self.charge_stall(StallCat::Write, stall);
+            }
+            Region::SdramCached { offset } => {
+                if self.dcache.contains(offset) {
+                    self.dcache.write_hit(offset, data);
+                    self.ctr.dcache_hits += 1;
+                    self.maybe_sync();
+                } else {
+                    // Write-allocate: fill, then write into the cache.
+                    let (_tag, stall) = self.miss_fill(offset);
+                    self.dcache.write_hit(offset, data);
+                    self.charge_stall(StallCat::Write, stall);
+                }
+            }
+        }
+    }
+
+    /// Handle a cached-SDRAM miss: fetch the line (plus victim
+    /// write-back) under the turnstile. Returns the region tag and the
+    /// stall cycles.
+    fn miss_fill(&mut self, offset: u32) -> (MemTag, u64) {
+        self.ctr.dcache_misses += 1;
+        let line = self.dcache.line_of(offset);
+        let line_size = self.soc.cfg.dcache.line_size;
+        let tile = self.tile;
+        let clock = self.clock;
+        let mut g = self.soc.global.lock();
+        g.clocks[tile] = clock;
+        self.published = clock;
+        while !g.is_turn(tile) {
+            if self.soc.aborted.load(AtomicOrdering::SeqCst) {
+                drop(g);
+                panic!("tile {tile}: simulation aborted by a panic on another tile");
+            }
+            if let Some(m) = g.min_tile() {
+                if g.waiting[m] {
+                    self.soc.cvs[m].notify_one();
+                }
+            }
+            g.waiting[tile] = true;
+            self.soc.cvs[tile].wait(&mut g);
+            g.waiting[tile] = false;
+        }
+        g.drain_packets(clock, &self.soc.cfg);
+        // Line fetch, then victim write-back occupying the SDRAM port.
+        let start = clock.max(g.sdram_free);
+        let mut done = start + self.soc.cfg.sdram_service(line_size);
+        let mut line_buf = vec![0u8; line_size as usize];
+        g.sdram.read(line, &mut line_buf);
+        if let Some(wb) = self.dcache.fill(line, &line_buf) {
+            g.sdram.write(wb.offset, &wb.data);
+            done += self.soc.cfg.sdram_service(line_size);
+        }
+        g.sdram_free = done;
+        let tag = g.tag_of(offset);
+        if let Some(m) = g.min_tile() {
+            if m != tile && g.waiting[m] {
+                self.soc.cvs[m].notify_one();
+            }
+        }
+        (tag, done - clock)
+    }
+
+    // Convenience width accessors -------------------------------------
+
+    pub fn read_u8(&mut self, addr: Addr) -> u8 {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b);
+        b[0]
+    }
+
+    pub fn read_u32(&mut self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    pub fn read_u64(&mut self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    pub fn write_u8(&mut self, addr: Addr, v: u8) {
+        self.write(addr, &[v]);
+    }
+
+    pub fn write_u32(&mut self, addr: Addr, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    // ------------------------------------------------------------------
+    // Block transfers (software copy loops, modelled as one transaction).
+    // ------------------------------------------------------------------
+
+    /// Bulk read from uncached SDRAM or the own local memory (a word-copy
+    /// loop on the real core; one port transaction here). Not available
+    /// on the cached window — caches operate line-wise.
+    pub fn read_block(&mut self, addr: Addr, out: &mut [u8]) {
+        let words = (out.len() as u32).div_ceil(4) as u64;
+        self.charge_instr(words.max(1));
+        match addr::decode(addr) {
+            Region::Local { tile, offset } => {
+                assert_eq!(tile, self.tile, "remote local memory is write-only");
+                let lat = self.soc.cfg.lat.local_mem.saturating_sub(1) * words.max(1);
+                self.turn(|g, _, _, me| g.locals[me].read(offset, out));
+                self.charge_stall(StallCat::Noc, lat);
+            }
+            Region::SdramUncached { offset } => {
+                let bytes = out.len() as u32;
+                let (tag, stall) = self.turn(|g, cfg, now, _| {
+                    let start = now.max(g.sdram_free);
+                    let done = start + cfg.sdram_service(bytes);
+                    g.sdram_free = done;
+                    g.sdram.read(offset, out);
+                    (g.tag_of(offset), done - now)
+                });
+                let cat = match tag {
+                    MemTag::Shared => StallCat::SharedRead,
+                    MemTag::Private => StallCat::PrivRead,
+                };
+                self.charge_stall(cat, stall);
+            }
+            Region::SdramCached { .. } => panic!("read_block on the cached window"),
+        }
+    }
+
+    /// Bulk write to uncached SDRAM or the own local memory.
+    pub fn write_block(&mut self, addr: Addr, data: &[u8]) {
+        let words = (data.len() as u32).div_ceil(4) as u64;
+        self.charge_instr(words.max(1));
+        match addr::decode(addr) {
+            Region::Local { tile, offset } => {
+                assert_eq!(tile, self.tile, "use noc_write for remote local memories");
+                let lat = self.soc.cfg.lat.local_mem.saturating_sub(1) * words.max(1);
+                self.turn(|g, _, _, me| g.locals[me].write(offset, data));
+                self.charge_stall(StallCat::Noc, lat);
+            }
+            Region::SdramUncached { offset } => {
+                let bytes = data.len() as u32;
+                self.turn(|g, cfg, now, _| {
+                    let start = now.max(g.sdram_free);
+                    g.sdram_free = start + cfg.sdram_service(bytes);
+                    g.sdram.write(offset, data);
+                });
+                let stall = self.soc.cfg.lat.posted_write + words / 4;
+                self.charge_stall(StallCat::Write, stall);
+            }
+            Region::SdramCached { .. } => panic!("write_block on the cached window"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fences and cache management.
+    // ------------------------------------------------------------------
+
+    /// Memory fence. The simulated core is in-order and its store paths
+    /// are tracked precisely, so — exactly as the paper's Table II states
+    /// for the MicroBlaze — the fence emits no instructions; it exists so
+    /// the *runtime* can forward the PMC `fence()` annotation, and so
+    /// host-Rust reordering cannot leak simulated state (compiler fence).
+    pub fn fence(&mut self) {
+        std::sync::atomic::compiler_fence(AtomicOrdering::SeqCst);
+    }
+
+    /// Flush-and-invalidate every cache line covering
+    /// `[addr, addr + len)` (cached SDRAM window). Dirty lines are
+    /// written back; cycles count as flush overhead.
+    pub fn flush_dcache_range(&mut self, addr: Addr, len: u32) {
+        let offset = addr::sdram_offset(addr);
+        let lines: Vec<u32> = self.dcache.lines_covering(offset, len).collect();
+        for line in lines {
+            self.charge_instr(1); // wdc.flush
+            self.ctr.flush_cycles += 1;
+            let cache_op = self.soc.cfg.lat.cache_op;
+            self.charge_stall(StallCat::Flush, cache_op);
+            if let Some(wb) = self.dcache.flush_line(line) {
+                let line_size = self.soc.cfg.dcache.line_size;
+                self.turn(move |g, cfg, now, _| {
+                    let start = now.max(g.sdram_free);
+                    g.sdram_free = start + cfg.sdram_service(line_size);
+                    g.sdram.write(wb.offset, &wb.data);
+                });
+                let stall = self.soc.cfg.lat.posted_write;
+                self.charge_stall(StallCat::Flush, stall);
+            }
+        }
+        self.maybe_sync();
+    }
+
+    /// Invalidate (without write-back) every cache line covering
+    /// `[addr, addr + len)`. Purely core-local.
+    pub fn invalidate_dcache_range(&mut self, addr: Addr, len: u32) {
+        let offset = addr::sdram_offset(addr);
+        let lines: Vec<u32> = self.dcache.lines_covering(offset, len).collect();
+        for line in lines {
+            self.charge_instr(1); // wdc.clear
+            self.ctr.flush_cycles += 1;
+            let cache_op = self.soc.cfg.lat.cache_op;
+            self.charge_stall(StallCat::Flush, cache_op);
+            self.dcache.invalidate_line(line);
+        }
+        self.maybe_sync();
+    }
+
+    // ------------------------------------------------------------------
+    // NoC operations.
+    // ------------------------------------------------------------------
+
+    /// Posted write into another tile's local memory.
+    pub fn noc_write(&mut self, dst: usize, offset: u32, data: &[u8]) {
+        assert_ne!(dst, self.tile, "use local writes for the own tile");
+        self.charge_instr(1);
+        let arrive = self.clock + self.soc.cfg.noc_latency(self.tile, dst, data.len() as u32);
+        let payload = data.to_vec();
+        self.turn(move |g, _, _, me| {
+            g.noc.send(arrive, me, dst, PacketKind::Write { offset, data: payload });
+        });
+        let stall = self.soc.cfg.lat.posted_write;
+        self.charge_stall(StallCat::Noc, stall);
+    }
+
+    /// Posted versioned write: applied at the destination only if
+    /// `version` exceeds the u32 header currently at `offset` (the
+    /// header is updated together with the payload at `offset + 4`).
+    pub fn noc_write_versioned(&mut self, dst: usize, offset: u32, version: u32, data: &[u8]) {
+        assert_ne!(dst, self.tile, "use local writes for the own tile");
+        self.charge_instr(1);
+        let arrive = self.clock + self.soc.cfg.noc_latency(self.tile, dst, 4 + data.len() as u32);
+        let payload = data.to_vec();
+        self.turn(move |g, _, _, me| {
+            g.noc.send(
+                arrive,
+                me,
+                dst,
+                PacketKind::VersionedWrite { offset, version, data: payload },
+            );
+        });
+        let stall = self.soc.cfg.lat.posted_write;
+        self.charge_stall(StallCat::Noc, stall);
+    }
+
+    /// Remote test-and-set on one byte of `dst`'s local memory; the old
+    /// value arrives in this tile's mailbox word at `mailbox_offset` as
+    /// `0x0100 | old` (poll with [`Cpu::read_u32`] on the own local
+    /// memory). Clear the mailbox before issuing.
+    pub fn noc_test_and_set(&mut self, dst: usize, offset: u32, mailbox_offset: u32) {
+        assert_ne!(dst, self.tile, "use local_test_and_set for the own tile");
+        self.charge_instr(1);
+        let arrive = self.clock + self.soc.cfg.noc_latency(self.tile, dst, 4);
+        self.turn(move |g, _, _, me| {
+            g.noc.send(
+                arrive,
+                me,
+                dst,
+                PacketKind::TestAndSet { offset, reply_tile: me, reply_offset: mailbox_offset },
+            );
+        });
+        let stall = self.soc.cfg.lat.posted_write;
+        self.charge_stall(StallCat::Noc, stall);
+    }
+
+    /// Remote fetch-and-add on a u32 of `dst`'s local memory; reply is
+    /// written to the 8-byte mailbox at `mailbox_offset` (old value, then
+    /// a non-zero flag word).
+    pub fn noc_fetch_add(&mut self, dst: usize, offset: u32, delta: u32, mailbox_offset: u32) {
+        assert_ne!(dst, self.tile, "use local_fetch_add for the own tile");
+        self.charge_instr(1);
+        let arrive = self.clock + self.soc.cfg.noc_latency(self.tile, dst, 4);
+        self.turn(move |g, _, _, me| {
+            g.noc.send(
+                arrive,
+                me,
+                dst,
+                PacketKind::FetchAdd { offset, delta, reply_tile: me, reply_offset: mailbox_offset },
+            );
+        });
+        let stall = self.soc.cfg.lat.posted_write;
+        self.charge_stall(StallCat::Noc, stall);
+    }
+
+    /// Atomic test-and-set on the own local memory (the lock-owner fast
+    /// path of the asymmetric distributed lock [15]).
+    pub fn local_test_and_set(&mut self, offset: u32) -> u8 {
+        self.charge_instr(1);
+        let old = self.turn(|g, _, _, me| {
+            let old = g.locals[me].read_u8(offset);
+            g.locals[me].write_u8(offset, 1);
+            old
+        });
+        let lat = self.soc.cfg.lat.local_mem.saturating_sub(1);
+        self.charge_stall(StallCat::Noc, lat);
+        old
+    }
+
+    /// Atomic fetch-and-add on the own local memory.
+    pub fn local_fetch_add(&mut self, offset: u32, delta: u32) -> u32 {
+        self.charge_instr(1);
+        let old = self.turn(|g, _, _, me| {
+            let old = g.locals[me].read_u32(offset);
+            g.locals[me].write_u32(offset, old.wrapping_add(delta));
+            old
+        });
+        let lat = self.soc.cfg.lat.local_mem.saturating_sub(1);
+        self.charge_stall(StallCat::Noc, lat);
+        old
+    }
+
+    /// LWX/SWX-style compare-and-swap on uncached SDRAM. Returns the old
+    /// value; the swap happened iff `old == expect`.
+    pub fn sdram_cas_u32(&mut self, addr: Addr, expect: u32, new: u32) -> u32 {
+        let offset = match addr::decode(addr) {
+            Region::SdramUncached { offset } => offset,
+            r => panic!("CAS requires the uncached SDRAM window, got {r:?}"),
+        };
+        self.charge_instr(2); // lwx + swx
+        let (tag, old, stall) = self.turn(|g, cfg, now, _| {
+            // Exclusive pair: a read plus a conditional write transaction.
+            let start = now.max(g.sdram_free);
+            let done = start + cfg.sdram_service(4) + cfg.sdram_service(4);
+            g.sdram_free = done;
+            let old = g.sdram.read_u32(offset);
+            if old == expect {
+                g.sdram.write_u32(offset, new);
+            }
+            (g.tag_of(offset), old, done - now)
+        });
+        let cat = match tag {
+            MemTag::Shared => StallCat::SharedRead,
+            MemTag::Private => StallCat::PrivRead,
+        };
+        self.charge_stall(cat, stall);
+        old
+    }
+
+    /// Atomic fetch-and-add on uncached SDRAM (exclusive-pair loop on the
+    /// real core; single transaction here).
+    pub fn sdram_faa_u32(&mut self, addr: Addr, delta: u32) -> u32 {
+        let offset = match addr::decode(addr) {
+            Region::SdramUncached { offset } => offset,
+            r => panic!("FAA requires the uncached SDRAM window, got {r:?}"),
+        };
+        self.charge_instr(2);
+        let (tag, old, stall) = self.turn(|g, cfg, now, _| {
+            let start = now.max(g.sdram_free);
+            let done = start + cfg.sdram_service(4) + cfg.sdram_service(4);
+            g.sdram_free = done;
+            let old = g.sdram.read_u32(offset);
+            g.sdram.write_u32(offset, old.wrapping_add(delta));
+            (g.tag_of(offset), old, done - now)
+        });
+        let cat = match tag {
+            MemTag::Shared => StallCat::SharedRead,
+            MemTag::Private => StallCat::PrivRead,
+        };
+        self.charge_stall(cat, stall);
+        old
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing.
+    // ------------------------------------------------------------------
+
+    /// Record a producer-defined trace event at the current virtual time
+    /// (no cost; only with `cfg.trace`).
+    pub fn trace_event(&mut self, kind: u16, addr: u32, len: u32, value: u64) {
+        if !self.soc.cfg.trace {
+            return;
+        }
+        let tile = self.tile;
+        let time = self.clock;
+        self.turn(move |g, _, _, _| {
+            g.trace.push(TraceRecord { time, tile, kind, addr, len, value });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{local_base, SDRAM_CACHED_BASE, SDRAM_UNCACHED_BASE};
+
+    fn soc(n: usize) -> Soc {
+        Soc::new(SocConfig::small(n))
+    }
+
+    #[test]
+    fn single_core_uncached_rw() {
+        let s = soc(1);
+        let r = s.run(vec![Box::new(|cpu: &mut Cpu| {
+            cpu.write_u32(SDRAM_UNCACHED_BASE + 16, 0xabcd);
+            assert_eq!(cpu.read_u32(SDRAM_UNCACHED_BASE + 16), 0xabcd);
+        })]);
+        assert!(r.makespan > 0);
+        assert_eq!(s.read_sdram_u32(16), 0xabcd);
+    }
+
+    #[test]
+    fn cached_and_uncached_windows_alias() {
+        let s = soc(1);
+        s.run(vec![Box::new(|cpu: &mut Cpu| {
+            cpu.write_u32(SDRAM_CACHED_BASE + 64, 7);
+            // Dirty in cache — the uncached alias still sees the old value.
+            assert_eq!(cpu.read_u32(SDRAM_UNCACHED_BASE + 64), 0);
+            // After a flush the write is visible through the alias.
+            cpu.flush_dcache_range(SDRAM_CACHED_BASE + 64, 4);
+            assert_eq!(cpu.read_u32(SDRAM_UNCACHED_BASE + 64), 7);
+        })]);
+        assert_eq!(s.read_sdram_u32(64), 7);
+    }
+
+    #[test]
+    fn caches_are_incoherent_until_invalidated() {
+        let s = soc(2);
+        // Pre-set SDRAM.
+        s.write_sdram(128, &5u32.to_le_bytes());
+        let r = s.run(vec![
+            Box::new(|cpu: &mut Cpu| {
+                // Tile 0: read (caches line), wait, read again.
+                assert_eq!(cpu.read_u32(SDRAM_CACHED_BASE + 128), 5);
+                cpu.compute(10_000);
+                // Tile 1 has long since updated SDRAM; the stale cached
+                // copy is still served.
+                assert_eq!(cpu.read_u32(SDRAM_CACHED_BASE + 128), 5);
+                cpu.invalidate_dcache_range(SDRAM_CACHED_BASE + 128, 4);
+                assert_eq!(cpu.read_u32(SDRAM_CACHED_BASE + 128), 9);
+            }),
+            Box::new(|cpu: &mut Cpu| {
+                // Tile 1: update through the uncached window early.
+                cpu.write_u32(SDRAM_UNCACHED_BASE + 128, 9);
+            }),
+        ]);
+        assert!(r.per_core[0].dcache_misses >= 1);
+    }
+
+    #[test]
+    fn local_memory_is_fast_and_remote_reads_fault() {
+        let s = soc(2);
+        let r = s.run(vec![
+            Box::new(|cpu: &mut Cpu| {
+                let base = local_base(0);
+                cpu.write_u32(base + 4, 11);
+                assert_eq!(cpu.read_u32(base + 4), 11);
+            }),
+            Box::new(|_cpu: &mut Cpu| {}),
+        ]);
+        let mut out = [0u8; 4];
+        s.read_local(0, 4, &mut out);
+        assert_eq!(u32::from_le_bytes(out), 11);
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-only")]
+    fn remote_local_read_is_bus_error() {
+        let s = soc(2);
+        s.run(vec![
+            Box::new(|cpu: &mut Cpu| {
+                cpu.read_u32(local_base(1));
+            }),
+            Box::new(|_cpu: &mut Cpu| {}),
+        ]);
+    }
+
+    #[test]
+    fn noc_write_is_posted_and_arrives() {
+        let s = soc(4);
+        s.run(vec![
+            Box::new(|cpu: &mut Cpu| {
+                cpu.noc_write(2, 8, &42u32.to_le_bytes());
+            }),
+            Box::new(|_c: &mut Cpu| {}),
+            Box::new(|cpu: &mut Cpu| {
+                // Poll the own local memory until the value arrives.
+                let base = local_base(2);
+                let mut spins = 0;
+                while cpu.read_u32(base + 8) != 42 {
+                    cpu.compute(10);
+                    spins += 1;
+                    assert!(spins < 10_000, "NoC write never arrived");
+                }
+            }),
+            Box::new(|_c: &mut Cpu| {}),
+        ]);
+    }
+
+    #[test]
+    fn remote_tas_reaches_mailbox() {
+        let s = soc(2);
+        s.run(vec![
+            Box::new(|cpu: &mut Cpu| {
+                let mb = 64;
+                cpu.write_u32(local_base(0) + mb, 0);
+                cpu.noc_test_and_set(1, 0, mb);
+                let mut reply = 0;
+                let mut spins = 0;
+                while reply & 0x0100 == 0 {
+                    reply = cpu.read_u32(local_base(0) + mb);
+                    cpu.compute(5);
+                    spins += 1;
+                    assert!(spins < 10_000, "TAS reply never arrived");
+                }
+                assert_eq!(reply & 0xff, 0, "lock byte was free");
+            }),
+            Box::new(|_c: &mut Cpu| {}),
+        ]);
+        // The lock byte at tile 1 offset 0 is now set.
+        let mut b = [0u8; 1];
+        s.read_local(1, 0, &mut b);
+        assert_eq!(b[0], 1);
+    }
+
+    #[test]
+    fn determinism_bit_identical_runs() {
+        let run_once = || {
+            let s = soc(4);
+            s.tag_region(0, 4096, MemTag::Shared);
+            let r = s.run((0..4usize)
+                .map(|t| -> CoreProgram<'static> {
+                    Box::new(move |cpu: &mut Cpu| {
+                        for i in 0..200u32 {
+                            let a = SDRAM_UNCACHED_BASE + ((t as u32 * 97 + i * 13) % 1024) * 4;
+                            cpu.write_u32(a, i);
+                            let _ = cpu.read_u32(a);
+                            cpu.compute(7);
+                            let c = SDRAM_CACHED_BASE + 4096 + ((i * 29) % 512) * 4;
+                            cpu.write_u32(c, i);
+                        }
+                        cpu.flush_dcache_range(SDRAM_CACHED_BASE + 4096, 2048);
+                    })
+                })
+                .collect());
+            (r.makespan, format!("{:?}", r.per_core))
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counters_account_every_cycle() {
+        let s = soc(1);
+        let r = s.run(vec![Box::new(|cpu: &mut Cpu| {
+            cpu.compute(1000);
+            for i in 0..64 {
+                cpu.write_u32(SDRAM_CACHED_BASE + i * 4, i);
+            }
+            let mut sum = 0u32;
+            for i in 0..64 {
+                sum = sum.wrapping_add(cpu.read_u32(SDRAM_CACHED_BASE + i * 4));
+            }
+            assert_eq!(sum, (0..64).sum::<u32>());
+            cpu.flush_dcache_range(SDRAM_CACHED_BASE, 256);
+        })]);
+        let c = &r.per_core[0];
+        assert_eq!(c.total(), r.makespan, "clock must equal the sum of all buckets");
+        assert!(c.busy >= 1000 + 128);
+        assert!(c.dcache_hits > 0 && c.dcache_misses > 0);
+        assert!(c.flush_cycles > 0);
+    }
+
+    #[test]
+    fn fig1_phenomenon_posted_writes_reorder_across_memories() {
+        // Paper Fig. 1, mapped onto the simulated machine: tile 0 posts
+        // X=42 to the *far* tile 2 and then raises a flag in SDRAM. The
+        // reader on tile 2 observes the flag before X arrives: the two
+        // "memories" have different latencies, so the writes are observed
+        // out of order. (The PMC runtime exists to prevent exactly this.)
+        let s = {
+            let mut cfg = SocConfig::small(4);
+            cfg.lat.noc_per_hop = 400; // make the far memory very slow
+            cfg.lat.noc_fixed = 400;
+            Soc::new(cfg)
+        };
+        let flag = SDRAM_UNCACHED_BASE + 512;
+        let stale = std::sync::atomic::AtomicU32::new(u32::MAX);
+        let stale_ref = &stale;
+        s.run(vec![
+            Box::new(move |cpu: &mut Cpu| {
+                cpu.noc_write(2, 16, &42u32.to_le_bytes()); // X = 42 (far)
+                cpu.write_u32(flag, 1); // flag = 1 (near)
+            }),
+            Box::new(|_c: &mut Cpu| {}),
+            Box::new(move |cpu: &mut Cpu| {
+                while cpu.read_u32(flag) != 1 {
+                    cpu.compute(5);
+                }
+                // Immediately read X from the own local memory.
+                let x = cpu.read_u32(local_base(2) + 16);
+                stale_ref.store(x, AtomicOrdering::SeqCst);
+            }),
+            Box::new(|_c: &mut Cpu| {}),
+        ]);
+        assert_eq!(
+            stale.load(AtomicOrdering::SeqCst),
+            0,
+            "with a slow far memory the reader must observe the stale X — the paper's Fig. 1 bug"
+        );
+    }
+
+    #[test]
+    fn sdram_cas_is_atomic_across_tiles() {
+        let s = soc(8);
+        let counter = SDRAM_UNCACHED_BASE + 256;
+        s.tag_region(256, 260, MemTag::Shared);
+        s.run((0..8usize)
+            .map(|_| -> CoreProgram<'static> {
+                Box::new(move |cpu: &mut Cpu| {
+                    for _ in 0..50 {
+                        loop {
+                            let old = cpu.read_u32(counter);
+                            if cpu.sdram_cas_u32(counter, old, old + 1) == old {
+                                break;
+                            }
+                            cpu.compute(13);
+                        }
+                    }
+                })
+            })
+            .collect());
+        assert_eq!(s.read_sdram_u32(256), 400);
+    }
+
+    #[test]
+    fn faa_counts_exactly() {
+        let s = soc(4);
+        let counter = SDRAM_UNCACHED_BASE + 300;
+        s.run((0..4usize)
+            .map(|_| -> CoreProgram<'static> {
+                Box::new(move |cpu: &mut Cpu| {
+                    for _ in 0..25 {
+                        cpu.sdram_faa_u32(counter, 2);
+                    }
+                })
+            })
+            .collect());
+        assert_eq!(s.read_sdram_u32(300), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual time limit")]
+    fn watchdog_fires_on_livelock() {
+        let mut cfg = SocConfig::small(1);
+        cfg.time_limit = 10_000;
+        let s = Soc::new(cfg);
+        s.run(vec![Box::new(|cpu: &mut Cpu| loop {
+            cpu.compute(1000);
+        })]);
+    }
+}

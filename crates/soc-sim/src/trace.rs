@@ -1,0 +1,24 @@
+//! Annotation-level event trace, recorded in global virtual-time order.
+//!
+//! The runtime layer (pmc-runtime) logs its annotation activity through
+//! [`crate::soc::Cpu::trace_event`]; records land in one globally ordered
+//! vector (the scheduler serialises all global operations by virtual
+//! time), so a post-run checker can validate the back-end against the PMC
+//! model without any further sorting.
+
+/// A generic trace record. `kind` is defined by the producer (the runtime
+/// crate exports constants); the simulator only guarantees global
+/// ordering and timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time at which the event committed.
+    pub time: u64,
+    /// Issuing tile.
+    pub tile: usize,
+    /// Producer-defined event kind.
+    pub kind: u16,
+    /// Producer-defined operands.
+    pub addr: u32,
+    pub len: u32,
+    pub value: u64,
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the simulator substrates.
+
+use proptest::prelude::*;
+
+use pmc_soc_sim::cache::Cache;
+use pmc_soc_sim::{addr, CacheConfig, Cpu, Soc, SocConfig};
+use std::collections::HashMap;
+
+/// Reference model: a flat backing store plus a perfect record of which
+/// bytes the cache *should* return.
+#[derive(Default)]
+struct RefModel {
+    backing: HashMap<u32, u8>,
+    cached: HashMap<u32, u8>, // line base -> first byte (we track 1 byte/line)
+    dirty: HashMap<u32, bool>,
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    // (op, line_idx, value): op 0 = read, 1 = write, 2 = flush,
+    // 3 = invalidate.
+    prop::collection::vec((0u8..4, 0u8..12, 0u8..=255), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The write-back cache agrees with a reference model under arbitrary
+    /// fill/write/flush/invalidate sequences (tiny cache to force
+    /// evictions).
+    #[test]
+    fn cache_matches_reference(ops in cache_ops()) {
+        let cfg = CacheConfig { line_size: 8, sets: 2, ways: 2 };
+        let mut cache = Cache::new(cfg);
+        let mut model = RefModel::default();
+        for &(op, line_idx, value) in &ops {
+            let line = line_idx as u32 * 8;
+            match op {
+                0 => {
+                    // Read through the cache, filling on miss.
+                    if !cache.contains(line) {
+                        let byte = *model.backing.get(&line).unwrap_or(&0);
+                        let mut data = [0u8; 8];
+                        data[0] = byte;
+                        if let Some(wb) = cache.fill(line, &data) {
+                            model.backing.insert(wb.offset, wb.data[0]);
+                            model.cached.remove(&wb.offset);
+                            model.dirty.remove(&wb.offset);
+                        }
+                        model.cached.insert(line, byte);
+                        model.dirty.insert(line, false);
+                    }
+                    let mut out = [0u8; 1];
+                    cache.read_hit(line, &mut out);
+                    let expect = model.cached[&line];
+                    prop_assert_eq!(out[0], expect, "stale/fresh mismatch at {}", line);
+                }
+                1 => {
+                    if !cache.contains(line) {
+                        let byte = *model.backing.get(&line).unwrap_or(&0);
+                        let mut data = [0u8; 8];
+                        data[0] = byte;
+                        if let Some(wb) = cache.fill(line, &data) {
+                            model.backing.insert(wb.offset, wb.data[0]);
+                            model.cached.remove(&wb.offset);
+                            model.dirty.remove(&wb.offset);
+                        }
+                        model.cached.insert(line, byte);
+                    }
+                    cache.write_hit(line, &[value]);
+                    model.cached.insert(line, value);
+                    model.dirty.insert(line, true);
+                }
+                2 => {
+                    let wb = cache.flush_line(line);
+                    if model.dirty.remove(&line).unwrap_or(false) {
+                        let v = model.cached[&line];
+                        model.backing.insert(line, v);
+                        prop_assert_eq!(wb.as_ref().map(|w| w.data[0]), Some(v));
+                    } else {
+                        prop_assert!(wb.is_none());
+                    }
+                    model.cached.remove(&line);
+                }
+                _ => {
+                    cache.invalidate_line(line);
+                    model.cached.remove(&line);
+                    model.dirty.remove(&line);
+                }
+            }
+        }
+        // Final flush-all must land exactly the dirty reference state in
+        // backing.
+        for wb in cache.flush_all() {
+            model.backing.insert(wb.offset, wb.data[0]);
+        }
+        for (line, dirty) in model.dirty {
+            if dirty {
+                prop_assert_eq!(model.backing[&line], model.cached[&line]);
+            }
+        }
+    }
+
+    /// Uncached SDRAM is a plain memory regardless of access interleaving
+    /// by a single core: last write wins.
+    #[test]
+    fn uncached_sdram_last_write_wins(writes in prop::collection::vec((0u32..64, 0u32..1000), 1..40)) {
+        let soc = Soc::new(SocConfig::small(1));
+        let writes_ref = &writes;
+        soc.run(vec![Box::new(move |cpu: &mut Cpu| {
+            for &(slot, val) in writes_ref {
+                cpu.write_u32(addr::SDRAM_UNCACHED_BASE + slot * 4, val);
+            }
+        })]);
+        let mut expect: HashMap<u32, u32> = HashMap::new();
+        for &(slot, val) in &writes {
+            expect.insert(slot, val);
+        }
+        for (slot, val) in expect {
+            prop_assert_eq!(soc.read_sdram_u32(slot * 4), val);
+        }
+    }
+}
+
+/// Determinism fuzz: random mixed workloads produce bit-identical
+/// counters on repeat runs.
+#[test]
+fn determinism_over_random_workloads() {
+    for seed in 0..5u32 {
+        let run = |seed: u32| {
+            let soc = Soc::new(SocConfig::small(3));
+            let r = soc.run(
+                (0..3usize)
+                    .map(|t| -> pmc_soc_sim::CoreProgram<'static> {
+                        Box::new(move |cpu: &mut Cpu| {
+                            let mut s = seed as u64 * 77 + t as u64 + 1;
+                            for i in 0..400u32 {
+                                s ^= s << 13;
+                                s ^= s >> 7;
+                                s ^= s << 17;
+                                match s % 5 {
+                                    0 => cpu.write_u32(
+                                        addr::SDRAM_UNCACHED_BASE + (s % 512) as u32 * 4,
+                                        i,
+                                    ),
+                                    1 => {
+                                        cpu.read_u32(addr::SDRAM_CACHED_BASE + 4096 + (s % 512) as u32 * 4);
+                                    }
+                                    2 => cpu.write_u32(
+                                        addr::SDRAM_CACHED_BASE + 4096 + (s % 512) as u32 * 4,
+                                        i,
+                                    ),
+                                    3 => cpu.compute(1 + (s % 50)),
+                                    _ => {
+                                        if t != 2 {
+                                            cpu.noc_write(2, (s % 128) as u32 * 4, &i.to_le_bytes());
+                                        } else {
+                                            cpu.compute(5);
+                                        }
+                                    }
+                                }
+                            }
+                            cpu.flush_dcache_range(addr::SDRAM_CACHED_BASE + 4096, 2048);
+                        })
+                    })
+                    .collect(),
+            );
+            (r.makespan, format!("{:?}", r.per_core))
+        };
+        assert_eq!(run(seed), run(seed), "seed {seed} not deterministic");
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's Fig. 10 case study: full-search motion estimation with
+//! scratch-pad staging, compared against software cache coherency.
+//!
+//! ```sh
+//! cargo run --release --example motion_estimation
+//! ```
+
+use pmc::apps::motion_est::{MotionEst, MotionEstParams};
+use pmc::runtime::{BackendKind, LockKind, System};
+use pmc::sim::SocConfig;
+
+fn main() {
+    let params = MotionEstParams { frame: 64, block: 16, range: 8, seed: 7 };
+    println!(
+        "Motion estimation: {0}x{0} frame, 16x16 blocks, ±{1} search\n",
+        params.frame, params.range
+    );
+    let tiles = 4;
+    for backend in [BackendKind::Swcc, BackendKind::Spm] {
+        let mut cfg = SocConfig { n_tiles: tiles, ..SocConfig::default() };
+        cfg.icache_mpki = 1;
+        let mut sys = System::new(cfg, backend, LockKind::Sdram);
+        let app = MotionEst::build(&mut sys, params);
+        let app_ref = &app;
+        let report = sys.run(
+            (0..tiles)
+                .map(|_| -> pmc::runtime::Program<'_> {
+                    Box::new(move |ctx| app_ref.worker(ctx))
+                })
+                .collect(),
+        );
+        println!(
+            "  {:<6} makespan {:>10} cycles, vectors recovered: {:.0}%",
+            backend.name(),
+            report.makespan,
+            app.accuracy(&sys) * 100.0
+        );
+        for t in [0u32, 5, 10] {
+            let v = app.expected(t);
+            println!("    block {t:>2}: true motion ({:>2}, {:>2})", v.x, v.y);
+        }
+    }
+    println!("\nScratch-pad staging reads the window at local-memory speed — the paper's");
+    println!("\"significant performance increase\" over SWCC for this access pattern.");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the paper's Fig. 6 message-passing program, annotated with
+//! the PMC API and run on every memory architecture of Table II.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pmc::runtime::{read_ro, BackendKind, LockKind, System};
+use pmc::sim::SocConfig;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn main() {
+    println!("PMC quickstart — annotated message passing (paper Fig. 6)\n");
+    for backend in BackendKind::ALL {
+        let mut sys = System::new(SocConfig::small(2), backend, LockKind::Sdram);
+        let x = sys.alloc::<u32>("X");
+        let flag = sys.alloc::<u32>("flag");
+        sys.init(x, 0);
+        sys.init(flag, 0);
+
+        let seen = AtomicU32::new(0);
+        let seen_ref = &seen;
+        let report = sys.run(vec![
+            // Process 1: write the payload, then raise the flag.
+            Box::new(move |ctx| {
+                ctx.entry_x(x);
+                ctx.write(x, 42);
+                ctx.fence();
+                ctx.exit_x(x);
+
+                ctx.entry_x(flag);
+                ctx.write(flag, 1);
+                ctx.flush(flag); // make the flag visible soon
+                ctx.exit_x(flag);
+            }),
+            // Process 2: poll the flag, then read the payload.
+            Box::new(move |ctx| {
+                while read_ro(ctx, flag) != 1 {
+                    ctx.compute(16); // polling back-off
+                }
+                ctx.fence();
+                ctx.entry_x(x);
+                seen_ref.store(ctx.read(x), Ordering::SeqCst);
+                ctx.exit_x(x);
+            }),
+        ]);
+
+        println!(
+            "  backend {:<9} -> read X = {:>2}   ({} virtual cycles)",
+            backend.name(),
+            seen.load(Ordering::SeqCst),
+            report.makespan
+        );
+        assert_eq!(seen.load(Ordering::SeqCst), 42);
+    }
+    println!("\nThe same annotated source ran unmodified on all four architectures.");
+}

@@ -1,0 +1,25 @@
+//! # pmc — Portable Memory Consistency for software-managed distributed memory
+//!
+//! Facade crate of the PMC reproduction (Rutgers, Bekooij, Smit — IPPS
+//! 2013). Re-exports the workspace crates:
+//!
+//! * [`model`] (`pmc-core`) — the formal PMC memory model: operations,
+//!   the Table I ordering rules, executions, litmus enumeration and
+//!   reference checkers for SC/PC/PRAM/CC/Slow consistency.
+//! * [`sim`] (`pmc-soc-sim`) — a deterministic many-core SoC simulator
+//!   with non-coherent caches, per-tile local memories, a write-only NoC
+//!   and SDRAM (the paper's 32-core MicroBlaze platform, simulated).
+//! * [`runtime`] (`pmc-runtime`) — the PMC approach: the annotation API
+//!   (`entry_x`/`exit_x`/`entry_ro`/`exit_ro`/`fence`/`flush`), typed
+//!   shared objects, locks, barriers, the multi-reader/multi-writer FIFO
+//!   and the four architecture back-ends (uncached, SWCC, DSM, SPM).
+//! * [`apps`] (`pmc-apps`) — SPLASH-2-style workloads (radiosity,
+//!   raytrace, volrend), motion estimation and litmus programs.
+//!
+//! See the repository's `README.md` for a tour and `EXPERIMENTS.md` for
+//! the paper-figure reproductions.
+
+pub use pmc_apps as apps;
+pub use pmc_core as model;
+pub use pmc_runtime as runtime;
+pub use pmc_soc_sim as sim;

@@ -1,0 +1,104 @@
+//! E9 — the paper's Section IV-E claims, checked mechanically:
+//!
+//! * fully fenced + lock-protected PMC programs behave like Processor
+//!   Consistency, and (being data-race free) simulate Sequential
+//!   Consistency;
+//! * without fences between critical sections on *different* locations,
+//!   PMC is weaker than Entry Consistency: an SC-forbidden outcome is
+//!   allowed (and the fences restore SC);
+//! * plain PMC reads/writes are Slow Consistency.
+
+use pmc::model::interleave::{outcomes, outcomes_with, Limits};
+use pmc::model::litmus::{catalogue, Instr, Program, Reg};
+use pmc::model::models::trace::MemEvent;
+use pmc::model::models::{check_pc, check_sc, check_slow};
+use pmc::model::op::LocId;
+
+/// Build the value traces corresponding to one enumerated outcome of the
+/// two-thread, one-read-per-thread cross-lock program, then model-check.
+fn cross_lock_traces(r0: u32, r1: u32) -> Vec<Vec<MemEvent>> {
+    let x = LocId(0);
+    let y = LocId(1);
+    vec![
+        vec![MemEvent::write(x, 1), MemEvent::read(y, r0)],
+        vec![MemEvent::write(y, 1), MemEvent::read(x, r1)],
+    ]
+}
+
+#[test]
+fn fenced_cross_locks_are_sc() {
+    let outs = outcomes(&catalogue::drf_fenced_cross_locks()).unwrap();
+    for o in &outs {
+        let traces = cross_lock_traces(o[0][0], o[1][0]);
+        assert!(
+            check_sc(&traces),
+            "fenced DRF program produced a non-SC behaviour: {o:?}"
+        );
+    }
+}
+
+#[test]
+fn unfenced_cross_locks_escape_sc_but_not_slow() {
+    let outs = outcomes(&catalogue::drf_no_fence_cross_locks()).unwrap();
+    let mut saw_non_sc = false;
+    for o in &outs {
+        let traces = cross_lock_traces(o[0][0], o[1][0]);
+        assert!(check_slow(&traces), "outcome below Slow Consistency: {o:?}");
+        if !check_sc(&traces) {
+            saw_non_sc = true;
+        }
+    }
+    assert!(saw_non_sc, "expected an SC-violating outcome without fences");
+}
+
+/// Every enumerated behaviour of the *fully fenced* store-buffering
+/// program satisfies PC (the paper: "If one would add a fence between
+/// every operation, the model is equivalent to Processor Consistency").
+#[test]
+fn fully_fenced_sb_is_pc() {
+    let x = LocId(0);
+    let y = LocId(1);
+    let p = Program::new()
+        .with_init(x, 0)
+        .with_init(y, 0)
+        .thread(vec![
+            Instr::Write(x, 1),
+            Instr::Fence,
+            Instr::Read(y, Reg(0)),
+        ])
+        .thread(vec![
+            Instr::Write(y, 2),
+            Instr::Fence,
+            Instr::Read(x, Reg(0)),
+        ]);
+    let outs = outcomes_with(&p, Limits::default()).unwrap();
+    for o in &outs {
+        let traces = vec![
+            vec![MemEvent::write(x, 1), MemEvent::read(y, o[0][0])],
+            vec![MemEvent::write(y, 2), MemEvent::read(x, o[1][0])],
+        ];
+        assert!(check_pc(&traces), "fenced SB behaviour outside PC: {o:?}");
+    }
+}
+
+/// Unfenced message passing produces a behaviour below PC (the stale
+/// read), yet still within Slow Consistency — the positioning of
+/// Section IV-E.
+#[test]
+fn unfenced_mp_sits_between_slow_and_pc() {
+    let outs = outcomes(&catalogue::mp_unfenced()).unwrap();
+    let x = LocId(0);
+    let flag = LocId(2);
+    let mut saw_below_pc = false;
+    for o in &outs {
+        let traces = vec![
+            vec![MemEvent::write(x, 42), MemEvent::write(flag, 1)],
+            vec![MemEvent::read(flag, 1), MemEvent::read(x, o[1][0])],
+        ];
+        assert!(check_slow(&traces), "outcome below Slow Consistency: {o:?}");
+        if !check_pc(&traces) {
+            saw_below_pc = true;
+        }
+    }
+    assert!(saw_below_pc, "the stale MP read must violate PC");
+}

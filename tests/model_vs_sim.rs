@@ -1,0 +1,140 @@
+//! Mapping soundness: runs on the simulated architectures, validated
+//! against the PMC model.
+//!
+//! Two layers:
+//! 1. the *runtime monitor* replays annotation-level traces and checks
+//!    mutual exclusion, freshness-under-lock and slow-read monotonicity
+//!    (Definitions 11–12) — here exercised on every back-end;
+//! 2. the *model enumerator* provides the set of allowed outcomes for
+//!    litmus programs; simulator outcomes must fall inside it.
+
+use pmc::model::interleave::outcomes;
+use pmc::model::litmus::catalogue;
+use pmc::runtime::monitor::validate;
+use pmc::runtime::{read_ro, BackendKind, LockKind, System};
+use pmc::sim::SocConfig;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn traced(n: usize) -> SocConfig {
+    let mut cfg = SocConfig::small(n);
+    cfg.trace = true;
+    cfg
+}
+
+/// Annotated MP run on each back-end: the observed outcome must be inside
+/// the model's outcome set for the annotated program (which is {42}).
+#[test]
+fn sim_outcomes_within_model_outcomes() {
+    let model_outs = outcomes(&catalogue::mp_annotated()).unwrap();
+    let allowed: BTreeSet<u32> = model_outs.iter().map(|o| o[1][0]).collect();
+    assert_eq!(allowed, BTreeSet::from([42]));
+    for backend in BackendKind::ALL {
+        let mut sys = System::new(traced(2), backend, LockKind::Sdram);
+        let x = sys.alloc::<u32>("X");
+        let f = sys.alloc::<u32>("flag");
+        let seen = AtomicU32::new(u32::MAX);
+        let seen_ref = &seen;
+        sys.run(vec![
+            Box::new(move |ctx| {
+                ctx.entry_x(x);
+                ctx.write(x, 42);
+                ctx.fence();
+                ctx.exit_x(x);
+                ctx.entry_x(f);
+                ctx.write(f, 1);
+                ctx.flush(f);
+                ctx.exit_x(f);
+            }),
+            Box::new(move |ctx| {
+                while read_ro(ctx, f) != 1 {
+                    ctx.compute(12);
+                }
+                ctx.fence();
+                ctx.entry_x(x);
+                seen_ref.store(ctx.read(x), Ordering::SeqCst);
+                ctx.exit_x(x);
+            }),
+        ]);
+        let got = seen.load(Ordering::SeqCst);
+        assert!(allowed.contains(&got), "{backend:?}: outcome {got} outside the model set");
+        let violations = validate(&sys.soc().take_trace());
+        assert!(violations.is_empty(), "{backend:?}: {violations:#?}");
+    }
+}
+
+/// Multi-object churn traces stay clean on every back-end and both lock
+/// kinds (the runtime-vs-model contract under contention).
+#[test]
+fn churn_traces_validate() {
+    for backend in BackendKind::ALL {
+        for lock in [LockKind::Sdram, LockKind::Distributed] {
+            let n = 3usize;
+            let mut sys = System::new(traced(n), backend, lock);
+            let objs = sys.alloc_vec::<u32>("o", 5);
+            sys.run(
+                (0..n)
+                    .map(|t| -> pmc::runtime::Program<'_> {
+                        Box::new(move |ctx| {
+                            for i in 0..10u32 {
+                                let o = objs.at((t as u32 * 2 + i) % objs.len());
+                                ctx.entry_x(o);
+                                let v = ctx.read(o);
+                                ctx.write(o, v + 1);
+                                ctx.exit_x(o);
+                                // Unlocked polling reads interleave.
+                                let _ = read_ro(ctx, objs.at(i % objs.len()));
+                                ctx.compute(25);
+                            }
+                        })
+                    })
+                    .collect(),
+            );
+            let violations = validate(&sys.soc().take_trace());
+            assert!(violations.is_empty(), "{backend:?}/{lock:?}: {violations:#?}");
+            let total: u32 = (0..5).map(|i| sys.read_back(objs.at(i))).sum();
+            assert_eq!(total, 30, "{backend:?}/{lock:?}");
+        }
+    }
+}
+
+/// The model forbids reading (new, old) on one location (CoRR); the
+/// simulated back-ends must too. A writer bumps a counter; readers
+/// sample it twice and must never see it go backwards.
+#[test]
+fn no_backend_violates_read_monotonicity() {
+    for backend in BackendKind::ALL {
+        let mut sys = System::new(SocConfig::small(3), backend, LockKind::Sdram);
+        let x = sys.alloc::<u32>("x");
+        sys.run(vec![
+            Box::new(move |ctx| {
+                for v in 1..=30u32 {
+                    ctx.entry_x(x);
+                    ctx.write(x, v);
+                    ctx.flush(x);
+                    ctx.exit_x(x);
+                    ctx.compute(40);
+                }
+            }),
+            Box::new(move |ctx| {
+                let mut prev = 0;
+                for _ in 0..60 {
+                    let v = read_ro(ctx, x);
+                    assert!(v >= prev, "{backend:?}: read went backwards {prev} -> {v}");
+                    prev = v;
+                    ctx.compute(15);
+                }
+            }),
+            Box::new(move |ctx| {
+                let mut prev = 0;
+                for _ in 0..60 {
+                    let v = read_ro(ctx, x);
+                    assert!(v >= prev, "{backend:?}: read went backwards {prev} -> {v}");
+                    prev = v;
+                    ctx.compute(23);
+                }
+            }),
+        ]);
+        assert_eq!(sys.read_back(x), 30);
+    }
+}

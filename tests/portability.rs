@@ -1,0 +1,110 @@
+//! E5 — the paper's Table II portability claim, end to end: the same
+//! annotated programs run unmodified on all four memory architectures and
+//! produce consistent results.
+
+use pmc::apps::workload::{run_workload, Workload, WorkloadParams};
+use pmc::runtime::{read_ro, BackendKind, LockKind, System};
+use pmc::sim::SocConfig;
+
+#[test]
+fn every_workload_runs_on_every_backend() {
+    for w in [Workload::Raytrace, Workload::Volrend, Workload::MotionEst] {
+        let mut sums = Vec::new();
+        for backend in BackendKind::ALL {
+            let r = run_workload(w, backend, 4, WorkloadParams::Tiny);
+            sums.push(r.checksum);
+        }
+        assert!(
+            sums.iter().all(|&s| s == sums[0]),
+            "{w:?}: outputs differ across back-ends: {sums:?}"
+        );
+    }
+}
+
+#[test]
+fn radiosity_conserves_energy_on_every_backend() {
+    let mut sums = Vec::new();
+    for backend in BackendKind::ALL {
+        let r = run_workload(Workload::Radiosity, backend, 4, WorkloadParams::Tiny);
+        sums.push(r.checksum);
+    }
+    // f32 accumulation order differs; totals must agree closely.
+    let e = sums[0];
+    assert!(
+        sums.iter().all(|s| (s - e).abs() < 1e-3 * e.abs().max(1.0)),
+        "energy totals diverge: {sums:?}"
+    );
+}
+
+/// The distributed lock is a drop-in replacement for the SDRAM lock.
+#[test]
+fn fifo_works_with_distributed_locks() {
+    for backend in [BackendKind::Swcc, BackendKind::Dsm] {
+        let mut sys = System::new(SocConfig::small(3), backend, LockKind::Distributed);
+        let fifo = sys.alloc_fifo::<u32>("f", 4, 2);
+        let items = 25u32;
+        sys.run(vec![
+            Box::new(move |ctx| {
+                for i in 0..items {
+                    fifo.push(ctx, i + 1);
+                }
+            }),
+            Box::new(move |ctx| {
+                let mut prev = 0;
+                for _ in 0..items {
+                    let v = fifo.pop(ctx, 0);
+                    assert!(v > prev);
+                    prev = v;
+                }
+            }),
+            Box::new(move |ctx| {
+                let mut prev = 0;
+                for _ in 0..items {
+                    let v = fifo.pop(ctx, 1);
+                    assert!(v > prev);
+                    prev = v;
+                }
+            }),
+        ]);
+    }
+}
+
+/// Fig. 6 (annotated message passing) across back-ends *and* lock kinds.
+#[test]
+fn annotated_mp_reads_42_everywhere() {
+    for backend in BackendKind::ALL {
+        for lock in [LockKind::Sdram, LockKind::Distributed] {
+            let mut sys = System::new(SocConfig::small(2), backend, lock);
+            let x = sys.alloc::<u32>("X");
+            let f = sys.alloc::<u32>("flag");
+            let seen = std::sync::atomic::AtomicU32::new(0);
+            let seen_ref = &seen;
+            sys.run(vec![
+                Box::new(move |ctx| {
+                    ctx.entry_x(x);
+                    ctx.write(x, 42);
+                    ctx.fence();
+                    ctx.exit_x(x);
+                    ctx.entry_x(f);
+                    ctx.write(f, 1);
+                    ctx.flush(f);
+                    ctx.exit_x(f);
+                }),
+                Box::new(move |ctx| {
+                    while read_ro(ctx, f) != 1 {
+                        ctx.compute(16);
+                    }
+                    ctx.fence();
+                    ctx.entry_x(x);
+                    seen_ref.store(ctx.read(x), std::sync::atomic::Ordering::SeqCst);
+                    ctx.exit_x(x);
+                }),
+            ]);
+            assert_eq!(
+                seen.load(std::sync::atomic::Ordering::SeqCst),
+                42,
+                "{backend:?}/{lock:?}"
+            );
+        }
+    }
+}
