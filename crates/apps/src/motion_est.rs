@@ -131,10 +131,10 @@ impl MotionEst {
                         let b = blk[(row * p.block + xx) as usize] as i32;
                         sad += a.abs_diff(b);
                     }
-                    ctx.compute(p.block as u64); // unrolled SAD: ~1 instr/pixel
-                    // Accumulate per (dx) across rows via host scratch:
-                    // fold into best after the last row.
-                    // (We keep per-candidate SADs in a host array.)
+                    // Unrolled SAD: ~1 instr/pixel. Per-(dx) sums
+                    // accumulate across rows via host scratch and fold
+                    // into `best` after the last row.
+                    ctx.compute(p.block as u64);
                     self.fold(&mut best, row, dx, dy, sad, p, ctx);
                 }
             }

@@ -83,12 +83,7 @@ impl Raytrace {
     /// Nearest intersection of the ray with the scene; returns
     /// `(t, sphere_index)` where index == n_spheres means the ground
     /// plane (y = -1) and `t == f32::INFINITY` means a miss.
-    fn intersect(
-        &self,
-        ctx: &mut PmcCtx<'_, '_>,
-        o: [f32; 3],
-        d: [f32; 3],
-    ) -> (f32, u32) {
+    fn intersect(&self, ctx: &mut PmcCtx<'_, '_>, o: [f32; 3], d: [f32; 3]) -> (f32, u32) {
         let mut best = (f32::INFINITY, u32::MAX);
         for i in 0..self.params.n_spheres {
             // Each sphere test reads 4 shared floats and does ~25 FLOPs.
@@ -120,13 +115,7 @@ impl Raytrace {
     }
 
     /// Shade a ray, with at most `depth` reflection bounces.
-    fn trace(
-        &self,
-        ctx: &mut PmcCtx<'_, '_>,
-        o: [f32; 3],
-        d: [f32; 3],
-        depth: u32,
-    ) -> [f32; 3] {
+    fn trace(&self, ctx: &mut PmcCtx<'_, '_>, o: [f32; 3], d: [f32; 3], depth: u32) -> [f32; 3] {
         let (t, idx) = self.intersect(ctx, o, d);
         if t == f32::INFINITY {
             let sky = 0.15 + 0.25 * d[1].max(0.0);
@@ -141,17 +130,10 @@ impl Raytrace {
             let cy = self.sphere(ctx, idx, 1);
             let cz = self.sphere(ctx, idx, 2);
             let r = self.sphere(ctx, idx, 3);
-            let col = [
-                self.sphere(ctx, idx, 4),
-                self.sphere(ctx, idx, 5),
-                self.sphere(ctx, idx, 6),
-            ];
+            let col =
+                [self.sphere(ctx, idx, 4), self.sphere(ctx, idx, 5), self.sphere(ctx, idx, 6)];
             let refl = self.sphere(ctx, idx, 7);
-            (
-                [(hit[0] - cx) / r, (hit[1] - cy) / r, (hit[2] - cz) / r],
-                col,
-                refl,
-            )
+            ([(hit[0] - cx) / r, (hit[1] - cy) / r, (hit[2] - cz) / r], col, refl)
         };
         ctx.compute(220); // shading arithmetic (soft-FPU)
         let light = [4.0f32, 6.0, 0.0];
@@ -236,13 +218,8 @@ mod tests {
 
     #[test]
     fn image_is_bit_identical_across_backends() {
-        let params = RaytraceParams {
-            width: 16,
-            height: 8,
-            n_spheres: 4,
-            rows_per_task: 2,
-            seed: 42,
-        };
+        let params =
+            RaytraceParams { width: 16, height: 8, n_spheres: 4, rows_per_task: 2, seed: 42 };
         let mut sums = Vec::new();
         // SPM staging of the whole scene works too, but the interesting
         // comparison is uncached vs SWCC vs DSM.

@@ -104,8 +104,7 @@ impl Volrend {
         let mut z = 0u32;
         while z < p.dim {
             if p.use_pyramid && z % CELL == 0 {
-                let cell =
-                    ctx.read_at(self.pyramid, (z / CELL * pd + y / CELL) * pd + x / CELL);
+                let cell = ctx.read_at(self.pyramid, (z / CELL * pd + y / CELL) * pd + x / CELL);
                 ctx.compute(18);
                 if cell < 8 {
                     z += CELL; // empty span: skip
@@ -168,22 +167,14 @@ mod tests {
     use pmc_soc_sim::SocConfig;
 
     fn run(backend: BackendKind, use_pyramid: bool) -> f64 {
-        let params = VolrendParams {
-            dim: 16,
-            img: 16,
-            rows_per_task: 4,
-            use_pyramid,
-            seed: 3,
-        };
+        let params = VolrendParams { dim: 16, img: 16, rows_per_task: 4, use_pyramid, seed: 3 };
         let n = 2usize;
         let mut sys = System::new(SocConfig::small(n), backend, LockKind::Sdram);
         let app = Volrend::build(&mut sys, params);
         let app_ref = &app;
         sys.run(
             (0..n)
-                .map(|_| -> pmc_runtime::Program<'_> {
-                    Box::new(move |ctx| app_ref.worker(ctx))
-                })
+                .map(|_| -> pmc_runtime::Program<'_> { Box::new(move |ctx| app_ref.worker(ctx)) })
                 .collect(),
         );
         app.checksum(&sys)

@@ -85,11 +85,9 @@ pub fn run_workload(
     let (report, checksum) = match workload {
         Workload::Radiosity => {
             let p = match params {
-                WorkloadParams::Tiny => RadiosityParams {
-                    n_patches: 48,
-                    iters: 2,
-                    ..Default::default()
-                },
+                WorkloadParams::Tiny => {
+                    RadiosityParams { n_patches: 48, iters: 2, ..Default::default() }
+                }
                 WorkloadParams::Full => RadiosityParams::default(),
             };
             let app = Radiosity::build(&mut sys, p, n_tiles as u32);
@@ -123,12 +121,9 @@ pub fn run_workload(
         }
         Workload::Volrend => {
             let p = match params {
-                WorkloadParams::Tiny => VolrendParams {
-                    dim: 16,
-                    img: 16,
-                    rows_per_task: 2,
-                    ..Default::default()
-                },
+                WorkloadParams::Tiny => {
+                    VolrendParams { dim: 16, img: 16, rows_per_task: 2, ..Default::default() }
+                }
                 WorkloadParams::Full => VolrendParams::default(),
             };
             let app = Volrend::build(&mut sys, p);
@@ -142,12 +137,9 @@ pub fn run_workload(
         }
         Workload::MotionEst => {
             let p = match params {
-                WorkloadParams::Tiny => MotionEstParams {
-                    frame: 32,
-                    block: 16,
-                    range: 4,
-                    ..Default::default()
-                },
+                WorkloadParams::Tiny => {
+                    MotionEstParams { frame: 32, block: 16, range: 4, ..Default::default() }
+                }
                 WorkloadParams::Full => MotionEstParams::default(),
             };
             let app = MotionEst::build(&mut sys, p);

@@ -1,10 +1,10 @@
 //! Criterion benchmarks of the Fig. 8 workloads (tiny inputs): noCC vs
 //! SWCC virtual-time makespan, plus SPM for motion estimation.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmc_apps::workload::{run_workload, Workload, WorkloadParams};
 use pmc_runtime::BackendKind;
+use std::time::Duration;
 
 fn bench_apps(c: &mut Criterion) {
     let mut g = c.benchmark_group("apps_tiny_4tiles");

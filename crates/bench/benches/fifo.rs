@@ -1,9 +1,9 @@
 //! Criterion benchmarks of the Fig. 9 FIFO across back-ends.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmc_runtime::{BackendKind, LockKind, System};
 use pmc_soc_sim::SocConfig;
+use std::time::Duration;
 
 fn fifo_run(backend: BackendKind, items: u32, depth: u32) -> u64 {
     let mut sys = System::new(SocConfig::small(3), backend, LockKind::Sdram);

@@ -2,10 +2,10 @@
 //! (virtual-time makespan is the figure of merit; wall time measures the
 //! harness).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmc_runtime::lock::{DistLock, Lock, SdramLock};
 use pmc_soc_sim::{addr, CoreProgram, Cpu, Soc, SocConfig};
+use std::time::Duration;
 
 fn run_lock(lock: Lock, n_tiles: usize, iters: u32) -> u64 {
     let soc = Soc::new(SocConfig::small(n_tiles));

@@ -1,12 +1,12 @@
 //! Criterion micro-benchmarks of the formal model: edge-rule application
 //! (Full vs Reduced mode) and litmus enumeration.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmc_core::execution::{EdgeMode, Execution};
 use pmc_core::interleave::outcomes;
 use pmc_core::litmus::catalogue;
 use pmc_core::op::{LocId, ProcId};
+use std::time::Duration;
 
 fn bench_execution_growth(c: &mut Criterion) {
     let mut g = c.benchmark_group("execution_append");

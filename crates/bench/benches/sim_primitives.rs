@@ -1,9 +1,9 @@
 //! Criterion micro-benchmarks of simulator primitives: host-side cost of
 //! cached hits (fast path) vs uncached accesses (turnstile) vs NoC ops.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmc_soc_sim::{addr, Cpu, Soc, SocConfig};
+use std::time::Duration;
 
 fn bench_mem_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_primitives");

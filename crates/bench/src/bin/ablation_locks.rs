@@ -40,7 +40,8 @@ fn main() {
     let iters = arg_u32("--iters", 60);
     println!("Lock ablation — {tiles} tiles x {iters} lock/unlock+CS each\n");
     println!("{:<28} {:>12} {:>20}", "lock", "makespan", "SDRAM-read stalls");
-    let (m, s) = contended(|_| Lock::Sdram(SdramLock { addr: addr::SDRAM_UNCACHED_BASE }), tiles, iters);
+    let (m, s) =
+        contended(|_| Lock::Sdram(SdramLock { addr: addr::SDRAM_UNCACHED_BASE }), tiles, iters);
     println!("{:<28} {m:>12} {s:>20}", "SDRAM test-and-set");
     let (m, s) = contended(
         |_| Lock::Dist(DistLock { home: 0, lock_offset: 0, mailbox_offset: 128 }),
@@ -59,7 +60,7 @@ fn main() {
         let lock = DistLock { home: 0, lock_offset: 0, mailbox_offset: 128 };
         let reps = 40u64;
         let mut programs: Vec<CoreProgram<'_>> = Vec::new();
-        for t in 0..16usize {
+        for _t in 0..16usize {
             programs.push(Box::new(move |cpu: &mut Cpu| {
                 if cpu.tile() == dist {
                     for _ in 0..reps {

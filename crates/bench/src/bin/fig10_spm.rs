@@ -12,7 +12,12 @@ use pmc_bench::arg_u32;
 use pmc_runtime::{BackendKind, LockKind, System};
 use pmc_soc_sim::SocConfig;
 
-fn run(backend: BackendKind, tiles: usize, params: MotionEstParams, cache_sets: u32) -> (u64, f64, f64) {
+fn run(
+    backend: BackendKind,
+    tiles: usize,
+    params: MotionEstParams,
+    cache_sets: u32,
+) -> (u64, f64, f64) {
     let mut cfg = SocConfig { n_tiles: tiles, ..SocConfig::default() };
     cfg.icache_mpki = 1;
     cfg.dcache.sets = cache_sets;

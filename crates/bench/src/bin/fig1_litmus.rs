@@ -19,7 +19,10 @@ fn main() {
     println!("== Fig. 1 — model level ==");
     let outs = outcomes(&catalogue::mp_unfenced()).expect("enumeration");
     let stale = outs.iter().any(|o| o[1][0] == 0);
-    println!("unfenced MP outcomes for r(X): {:?}", outs.iter().map(|o| o[1][0]).collect::<Vec<_>>());
+    println!(
+        "unfenced MP outcomes for r(X): {:?}",
+        outs.iter().map(|o| o[1][0]).collect::<Vec<_>>()
+    );
     println!("  stale read allowed by the model: {stale}");
     let outs = outcomes(&catalogue::mp_annotated()).expect("enumeration");
     println!(

@@ -20,9 +20,7 @@ fn main() {
     let items = arg_u32("--items", 200);
     let depth = arg_u32("--depth", 8);
     let readers = arg_u32("--readers", 2);
-    println!(
-        "Fig. 9 — MFifo: {items} items, depth {depth}, 1 writer, {readers} readers\n"
-    );
+    println!("Fig. 9 — MFifo: {items} items, depth {depth}, 1 writer, {readers} readers\n");
     println!(
         "{:<10} {:>12} {:>16} {:>14} {:>12}",
         "backend", "makespan", "cycles/element", "shared-read%", "noc%"

@@ -1,0 +1,241 @@
+//! Cross-backend conformance support: the litmus catalogue as named
+//! cases, golden outcome-set snapshots, and the canonical lowering that
+//! maps a model-level litmus program onto the runtime's annotation API.
+//!
+//! The differential harness (the workspace's `tests/conformance.rs`)
+//! sweeps every case over every simulated back-end and both lock kinds;
+//! each simulator outcome must fall inside the model enumerator's
+//! allowed-outcome set, and each run's trace must satisfy
+//! `monitor::validate`. This module holds the model-side half:
+//!
+//! * [`cases`] — the whole catalogue (the paper's Figs. 1–6 programs plus
+//!   the classic SB / CoRR / IRIW shapes) with golden snapshots of the
+//!   exact outcome set PMC allows;
+//! * [`lower`] — the canonical lowering the runtime executor applies:
+//!   bare writes become momentary acquire/write/release windows, because
+//!   the PMC approach only ever writes shared data under `entry_x`.
+//!   Membership of a simulator outcome is checked against the *lowered*
+//!   program's outcome set, so model and simulator run the same program;
+//! * [`render_outcomes`] / [`verify_golden`] — a stable textual form for
+//!   outcome sets, diffable in golden assertions.
+
+use std::collections::BTreeSet;
+
+use crate::interleave::{outcomes_with, Exhausted, Limits, Outcome};
+use crate::litmus::{catalogue, Instr, Program};
+use crate::op::LocId;
+
+/// One named conformance case: a litmus program plus the golden snapshot
+/// of the outcome set the PMC model allows for it (rendered by
+/// [`render_outcomes`]).
+pub struct Case {
+    pub name: &'static str,
+    pub program: Program,
+    /// Golden [`render_outcomes`] snapshot of the *original* program's
+    /// PMC outcome set (the model-level ground truth of Figs. 1–6).
+    pub golden: &'static str,
+}
+
+/// The full litmus catalogue as conformance cases.
+pub fn cases() -> Vec<Case> {
+    vec![
+        Case { name: "mp_unfenced", program: catalogue::mp_unfenced(), golden: "-|0\n-|42\n" },
+        Case { name: "mp_annotated", program: catalogue::mp_annotated(), golden: "-|42\n" },
+        Case {
+            name: "store_buffering",
+            program: catalogue::store_buffering(),
+            golden: "0|0\n0|1\n1|0\n1|1\n",
+        },
+        Case { name: "corr", program: catalogue::corr(), golden: "-|0,0\n-|0,1\n-|1,1\n" },
+        Case {
+            name: "iriw",
+            program: catalogue::iriw(),
+            golden: "-|-|0,0|0,0\n-|-|0,0|0,1\n-|-|0,0|1,0\n-|-|0,0|1,1\n\
+                     -|-|0,1|0,0\n-|-|0,1|0,1\n-|-|0,1|1,0\n-|-|0,1|1,1\n\
+                     -|-|1,0|0,0\n-|-|1,0|0,1\n-|-|1,0|1,0\n-|-|1,0|1,1\n\
+                     -|-|1,1|0,0\n-|-|1,1|0,1\n-|-|1,1|1,0\n-|-|1,1|1,1\n",
+        },
+        Case {
+            name: "drf_no_fence_cross_locks",
+            program: catalogue::drf_no_fence_cross_locks(),
+            golden: "0|0\n0|1\n1|0\n1|1\n",
+        },
+        Case {
+            name: "drf_fenced_cross_locks",
+            program: catalogue::drf_fenced_cross_locks(),
+            golden: "0|1\n1|0\n1|1\n",
+        },
+    ]
+}
+
+/// Enumeration limits for conformance sweeps: generous, but a hard error
+/// when exceeded (a truncated set would silently weaken the harness).
+pub fn sweep_limits() -> Limits {
+    Limits::default()
+}
+
+/// Canonical lowering onto the runtime's annotation API: every bare write
+/// (one issued outside an acquire/release window on its own location)
+/// becomes `acquire; write; release`, mirroring the runtime executor's
+/// `write_x`. Reads and waits stay bare — `entry_ro` on a word-sized
+/// object takes no lock (Table II), i.e. they are the model's plain slow
+/// reads. Programs that already lock their writes are returned unchanged.
+pub fn lower(p: &Program) -> Program {
+    let mut out = Program { threads: Vec::new(), init: p.init.clone() };
+    for thread in &p.threads {
+        let mut held: BTreeSet<LocId> = BTreeSet::new();
+        let mut instrs = Vec::with_capacity(thread.len());
+        for i in thread {
+            match i {
+                Instr::Acquire(v) => {
+                    held.insert(*v);
+                    instrs.push(i.clone());
+                }
+                Instr::Release(v) => {
+                    held.remove(v);
+                    instrs.push(i.clone());
+                }
+                Instr::Write(v, _) if !held.contains(v) => {
+                    instrs.push(Instr::Acquire(*v));
+                    instrs.push(i.clone());
+                    instrs.push(Instr::Release(*v));
+                }
+                _ => instrs.push(i.clone()),
+            }
+        }
+        out.threads.push(instrs);
+    }
+    out
+}
+
+/// Number of distinct locations a program touches (locations are dense:
+/// `LocId(0..n)`).
+pub fn loc_count(p: &Program) -> u32 {
+    let mut max = 0u32;
+    for &(LocId(l), _) in &p.init {
+        max = max.max(l + 1);
+    }
+    for t in &p.threads {
+        for i in t {
+            let l = match i {
+                Instr::Write(LocId(l), _)
+                | Instr::Read(LocId(l), _)
+                | Instr::Acquire(LocId(l))
+                | Instr::Release(LocId(l))
+                | Instr::WaitEq(LocId(l), _) => *l,
+                Instr::Fence => continue,
+            };
+            max = max.max(l + 1);
+        }
+    }
+    max
+}
+
+/// Render an outcome set in its canonical textual form: one outcome per
+/// line (the `BTreeSet` order), threads joined by `|`, registers joined
+/// by `,`, `-` for a thread without registers. Stable across runs, so
+/// golden snapshots diff cleanly.
+pub fn render_outcomes(outs: &BTreeSet<Outcome>) -> String {
+    let mut s = String::new();
+    for o in outs {
+        let line: Vec<String> = o
+            .iter()
+            .map(|regs| {
+                if regs.is_empty() {
+                    "-".to_string()
+                } else {
+                    regs.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+                }
+            })
+            .collect();
+        s.push_str(&line.join("|"));
+        s.push('\n');
+    }
+    s
+}
+
+/// Enumerate a case's program and compare against its golden snapshot.
+/// `Ok(outcomes)` when they match; `Err` carries a diff-friendly message.
+pub fn verify_golden(case: &Case) -> Result<BTreeSet<Outcome>, String> {
+    let outs = outcomes_with(&case.program, sweep_limits())
+        .map_err(|e: Exhausted| format!("{}: {e}", case.name))?;
+    let got = render_outcomes(&outs);
+    let want: String = case.golden.split_whitespace().map(|l| format!("{l}\n")).collect();
+    if got == want {
+        Ok(outs)
+    } else {
+        Err(format!(
+            "{}: golden outcome set drifted.\n-- golden --\n{want}-- enumerated --\n{got}",
+            case.name
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::outcomes;
+    use crate::litmus::Reg;
+
+    /// Every golden snapshot matches the enumerator exactly — the
+    /// model-level Figs. 1–6 ground truth is pinned.
+    #[test]
+    fn goldens_match_enumerator() {
+        for case in cases() {
+            if let Err(msg) = verify_golden(&case) {
+                panic!("{msg}");
+            }
+        }
+    }
+
+    /// Lowering wraps exactly the bare writes and nothing else.
+    #[test]
+    fn lower_wraps_bare_writes_only() {
+        let p = Program::new()
+            .with_init(LocId(0), 0)
+            .thread(vec![Instr::Write(LocId(0), 1), Instr::Read(LocId(0), Reg(0))]);
+        let l = lower(&p);
+        assert_eq!(
+            l.threads[0],
+            vec![
+                Instr::Acquire(LocId(0)),
+                Instr::Write(LocId(0), 1),
+                Instr::Release(LocId(0)),
+                Instr::Read(LocId(0), Reg(0)),
+            ]
+        );
+        // Already-locked programs are untouched.
+        let locked = catalogue::mp_annotated();
+        assert_eq!(lower(&locked).threads, locked.threads);
+        // Idempotent.
+        assert_eq!(lower(&l).threads, l.threads);
+    }
+
+    /// The lowered program's outcome set is a subset of nothing *smaller*
+    /// than the original's observable behaviours on the catalogue's
+    /// hallmark: lowering `mp_unfenced` still allows the stale read (the
+    /// locks order the writes, not the reader).
+    #[test]
+    fn lowered_mp_unfenced_still_allows_stale_read() {
+        let outs = outcomes(&lower(&catalogue::mp_unfenced())).unwrap();
+        let r0s: BTreeSet<u32> = outs.iter().map(|o| o[1][0]).collect();
+        assert_eq!(r0s, BTreeSet::from([0, 42]));
+    }
+
+    #[test]
+    fn loc_count_covers_init_and_instrs() {
+        assert_eq!(loc_count(&catalogue::mp_unfenced()), 3);
+        assert_eq!(loc_count(&catalogue::corr()), 1);
+        assert_eq!(loc_count(&catalogue::iriw()), 2);
+    }
+
+    /// Fence-only programs have zero locations and render to one empty
+    /// outcome.
+    #[test]
+    fn render_handles_reg_free_threads() {
+        let p = Program::new().thread(vec![Instr::Fence]);
+        let outs = outcomes(&p).unwrap();
+        assert_eq!(render_outcomes(&outs), "-\n");
+        assert_eq!(loc_count(&p), 0);
+    }
+}

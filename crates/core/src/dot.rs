@@ -67,12 +67,8 @@ fn is_redundant(
 ) -> bool {
     // BFS from `from` to `to` avoiding the direct edge; any indirect path
     // makes the direct edge redundant for drawing purposes.
-    let mut stack: Vec<crate::op::OpId> = e
-        .succs(from)
-        .iter()
-        .filter(|&&(t, _)| t != to)
-        .map(|&(t, _)| t)
-        .collect();
+    let mut stack: Vec<crate::op::OpId> =
+        e.succs(from).iter().filter(|&&(t, _)| t != to).map(|&(t, _)| t).collect();
     let mut seen = vec![false; e.len()];
     while let Some(cur) = stack.pop() {
         if cur == to {

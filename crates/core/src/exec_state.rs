@@ -134,10 +134,7 @@ impl ModelState {
             use crate::order::View;
             cands.retain(|&w| staged.reaches(floor, w, View::Proc(p)));
         }
-        cands
-            .into_iter()
-            .map(|w| (w, staged.op(w).value))
-            .collect()
+        cands.into_iter().map(|w| (w, staged.op(w).value)).collect()
     }
 
     /// Commit a read by `p` of `v` returning the value of write `from`.
@@ -156,10 +153,7 @@ impl ModelState {
     /// Convenience: commit a read returning any candidate with the given
     /// value (used by tests and the `WaitEq` litmus instruction).
     pub fn read_value(&mut self, p: ProcId, v: LocId, value: Value) -> Result<OpId, ModelError> {
-        let cand = self
-            .read_candidates(p, v)
-            .into_iter()
-            .find(|&(_, val)| val == value);
+        let cand = self.read_candidates(p, v).into_iter().find(|&(_, val)| val == value);
         match cand {
             Some((w, _)) => self.read_from(p, v, w),
             None => Err(ModelError::IllegalRead { loc: v, from: OpId(u32::MAX) }),
@@ -180,21 +174,12 @@ mod tests {
     fn lock_discipline_enforced() {
         let mut m = ModelState::default();
         m.acquire(P0, X).unwrap();
-        assert_eq!(
-            m.acquire(P1, X),
-            Err(ModelError::AlreadyLocked { loc: X, holder: P0 })
-        );
-        assert_eq!(
-            m.release(P1, X),
-            Err(ModelError::NotLockHolder { loc: X, holder: Some(P0) })
-        );
+        assert_eq!(m.acquire(P1, X), Err(ModelError::AlreadyLocked { loc: X, holder: P0 }));
+        assert_eq!(m.release(P1, X), Err(ModelError::NotLockHolder { loc: X, holder: Some(P0) }));
         m.release(P0, X).unwrap();
         m.acquire(P1, X).unwrap();
         m.release(P1, X).unwrap();
-        assert_eq!(
-            m.release(P1, X),
-            Err(ModelError::NotLockHolder { loc: X, holder: None })
-        );
+        assert_eq!(m.release(P1, X), Err(ModelError::NotLockHolder { loc: X, holder: None }));
     }
 
     /// Slow reads: a write by another process may or may not be visible,

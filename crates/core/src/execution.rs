@@ -130,9 +130,7 @@ impl Execution {
 
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.preds.iter().enumerate().flat_map(|(to, preds)| {
-            preds
-                .iter()
-                .map(move |&(from, kind)| Edge { from, to: OpId(to as u32), kind })
+            preds.iter().map(move |&(from, kind)| Edge { from, to: OpId(to as u32), kind })
         })
     }
 
@@ -239,9 +237,11 @@ impl Execution {
         if n.kind == OpKind::Fence {
             for (v, ids) in &self.by_loc {
                 let _ = v;
-                candidates.extend(ids.iter().copied().filter(|id| {
-                    *id != new && self.ops[id.index()].issued_by(n.proc)
-                }));
+                candidates.extend(
+                    ids.iter()
+                        .copied()
+                        .filter(|id| *id != new && self.ops[id.index()].issued_by(n.proc)),
+                );
             }
         } else {
             if let Some(ids) = self.by_loc.get(&n.loc) {
@@ -363,11 +363,8 @@ impl Execution {
                 let owner = self.ops[from.index()].proc;
                 // Local edges connect two ops of one process; for init ops
                 // (pseudo-process) the owner is the target's process.
-                let owner = if owner == crate::op::PROC_ALL {
-                    self.ops[cur.index()].proc
-                } else {
-                    owner
-                };
+                let owner =
+                    if owner == crate::op::PROC_ALL { self.ops[cur.index()].proc } else { owner };
                 if !view.sees(kind, owner) {
                     continue;
                 }
@@ -398,11 +395,8 @@ impl Execution {
         while let Some(cur) = stack.pop() {
             for &(from, kind) in &self.preds[cur.index()] {
                 let owner = self.ops[from.index()].proc;
-                let owner = if owner == crate::op::PROC_ALL {
-                    self.ops[cur.index()].proc
-                } else {
-                    owner
-                };
+                let owner =
+                    if owner == crate::op::PROC_ALL { self.ops[cur.index()].proc } else { owner };
                 if !view.sees(kind, owner) || seen[from.index()] {
                     continue;
                 }
@@ -427,7 +421,11 @@ impl Execution {
         let cone = self.past_cone(o, view);
         let writes: Vec<OpId> = cone
             .into_iter()
-            .filter(|&x| x != o && self.ops[x.index()].kind.is_write_like() && self.ops[x.index()].on_loc(op.loc))
+            .filter(|&x| {
+                x != o
+                    && self.ops[x.index()].kind.is_write_like()
+                    && self.ops[x.index()].on_loc(op.loc)
+            })
             .collect();
         // Maximal elements: no other write in the set strictly after them.
         writes

@@ -125,9 +125,7 @@ pub fn outcomes_with(program: &Program, limits: Limits) -> Result<BTreeSet<Outco
     for &(v, value) in &program.init {
         model.init(v, value);
     }
-    let regs = (0..program.threads.len())
-        .map(|t| vec![0; program.reg_count(t)])
-        .collect();
+    let regs = (0..program.threads.len()).map(|t| vec![0; program.reg_count(t)]).collect();
     let issued = program.threads.iter().map(|t| vec![false; t.len()]).collect();
     let root = Node { model, issued, regs };
     let mut search = Search { program, limits, states: 0, outcomes: BTreeSet::new() };
@@ -176,9 +174,7 @@ impl<'p> Search<'p> {
                     Instr::Release(v) => {
                         any_step = true;
                         let mut next = node.clone();
-                        next.model
-                            .release(p, *v)
-                            .expect("litmus programs are lock-balanced");
+                        next.model.release(p, *v).expect("litmus programs are lock-balanced");
                         next.issued[t][idx] = true;
                         self.dfs(next)?;
                     }
@@ -188,8 +184,7 @@ impl<'p> Search<'p> {
                         // outcome).
                         let mut probe = node.clone();
                         let cands = probe.model.read_candidates(p, *v);
-                        let mut values: Vec<Value> =
-                            cands.iter().map(|&(_, val)| val).collect();
+                        let mut values: Vec<Value> = cands.iter().map(|&(_, val)| val).collect();
                         values.sort_unstable();
                         values.dedup();
                         for value in values {
@@ -231,10 +226,7 @@ impl<'p> Search<'p> {
             // Either all threads finished, or the remaining instructions
             // are permanently blocked (deadlock / unsatisfied wait) —
             // record only completed runs.
-            let complete = node
-                .issued
-                .iter()
-                .all(|flags| flags.iter().all(|&done| done));
+            let complete = node.issued.iter().all(|flags| flags.iter().all(|&done| done));
             if complete {
                 self.outcomes.insert(node.regs);
             }
@@ -320,18 +312,10 @@ mod tests {
                 Write(L(2), 1),
                 Release(L(2)),
             ])
-            .thread(vec![
-                WaitEq(L(2), 1),
-                Acquire(L(0)),
-                Read(L(0), Reg(0)),
-                Release(L(0)),
-            ]);
+            .thread(vec![WaitEq(L(2), 1), Acquire(L(0)), Read(L(0), Reg(0)), Release(L(0))]);
         let outs = outcomes(&p).unwrap();
         let r0s: BTreeSet<Value> = outs.iter().map(|o| o[1][0]).collect();
-        assert!(
-            r0s.contains(&0),
-            "without fences the acquire may overtake the poll: {outs:?}"
-        );
+        assert!(r0s.contains(&0), "without fences the acquire may overtake the poll: {outs:?}");
     }
 
     /// Store buffering: both-zero is allowed (no cross-location order).
@@ -348,10 +332,7 @@ mod tests {
     fn corr_forbids_backwards_reads() {
         let outs = outcomes(&catalogue::corr()).unwrap();
         for o in &outs {
-            assert!(
-                !(o[1][0] == 1 && o[1][1] == 0),
-                "monotonicity violation allowed: {outs:?}"
-            );
+            assert!(!(o[1][0] == 1 && o[1][1] == 0), "monotonicity violation allowed: {outs:?}");
         }
         // All three legal combinations appear: (0,0), (0,1), (1,1).
         let pairs: BTreeSet<(Value, Value)> = outs.iter().map(|o| (o[1][0], o[1][1])).collect();
@@ -366,9 +347,7 @@ mod tests {
     #[test]
     fn iriw_allows_disagreement() {
         let outs = outcomes(&catalogue::iriw()).unwrap();
-        let disagree = outs
-            .iter()
-            .any(|o| o[2] == vec![1, 0] && o[3] == vec![1, 0]);
+        let disagree = outs.iter().any(|o| o[2] == vec![1, 0] && o[3] == vec![1, 0]);
         assert!(disagree, "IRIW disagreement must be allowed: {outs:?}");
     }
 
@@ -410,10 +389,7 @@ mod tests {
     /// The state budget aborts rather than truncates.
     #[test]
     fn exhausted_budget_is_an_error() {
-        let outs = outcomes_with(
-            &catalogue::drf_no_fence_cross_locks(),
-            Limits { max_states: 10 },
-        );
+        let outs = outcomes_with(&catalogue::drf_no_fence_cross_locks(), Limits { max_states: 10 });
         assert_eq!(outs, Err(Exhausted));
     }
 }

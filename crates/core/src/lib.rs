@@ -51,6 +51,7 @@
 //! assert!(e.precedes(w1, w2, View::Global));
 //! ```
 
+pub mod conformance;
 pub mod dot;
 pub mod exec_state;
 pub mod execution;

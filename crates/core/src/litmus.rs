@@ -212,10 +212,8 @@ mod tests {
 
     #[test]
     fn reg_count_counts_highest() {
-        let p = Program::new().thread(vec![
-            Instr::Read(LocId(0), Reg(2)),
-            Instr::Read(LocId(0), Reg(0)),
-        ]);
+        let p = Program::new()
+            .thread(vec![Instr::Read(LocId(0), Reg(2)), Instr::Read(LocId(0), Reg(0))]);
         assert_eq!(p.reg_count(0), 3);
         let p = Program::new().thread(vec![Instr::Fence]);
         assert_eq!(p.reg_count(0), 0);

@@ -21,9 +21,7 @@ pub fn check_sc(traces: &[ThreadTrace]) -> bool {
 /// Cache Consistency (coherence): sequential consistency per location.
 pub fn check_cc(traces: &[ThreadTrace]) -> bool {
     validate(traces).expect("malformed trace");
-    locations(traces)
-        .into_iter()
-        .all(|v| serializable(&project_loc(traces, v), None))
+    locations(traces).into_iter().all(|v| serializable(&project_loc(traces, v), None))
 }
 
 /// The per-process streams used by PRAM and PC for process `i`: process
@@ -33,13 +31,15 @@ fn pram_streams(traces: &[ThreadTrace], i: usize) -> Vec<ThreadTrace> {
     traces
         .iter()
         .enumerate()
-        .map(|(j, t)| {
-            if j == i {
-                t.clone()
-            } else {
-                t.iter().copied().filter(|e| e.is_write).collect()
-            }
-        })
+        .map(
+            |(j, t)| {
+                if j == i {
+                    t.clone()
+                } else {
+                    t.iter().copied().filter(|e| e.is_write).collect()
+                }
+            },
+        )
         .collect()
 }
 
@@ -133,8 +133,8 @@ pub fn check_slow(traces: &[ThreadTrace]) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::trace::MemEvent;
+    use super::*;
     use crate::op::LocId as L;
 
     fn w(loc: u32, v: Value) -> MemEvent {
@@ -149,10 +149,7 @@ mod tests {
     /// both, GPO).
     #[test]
     fn mp_stale_read_classification() {
-        let traces = vec![
-            vec![w(0, 42), w(1, 1)],
-            vec![r(1, 1), r(0, 0)],
-        ];
+        let traces = vec![vec![w(0, 42), w(1, 1)], vec![r(1, 1), r(0, 0)]];
         assert!(check_slow(&traces));
         assert!(check_cc(&traces));
         assert!(!check_pram(&traces), "PRAM orders one process's writes");
@@ -163,10 +160,7 @@ mod tests {
     /// Store buffering both-zero: allowed by everything except SC.
     #[test]
     fn sb_classification() {
-        let traces = vec![
-            vec![w(0, 1), r(1, 0)],
-            vec![w(1, 2), r(0, 0)],
-        ];
+        let traces = vec![vec![w(0, 1), r(1, 0)], vec![w(1, 2), r(0, 0)]];
         assert!(check_slow(&traces));
         assert!(check_cc(&traces));
         assert!(check_pram(&traces));
@@ -178,10 +172,7 @@ mod tests {
     /// in the hierarchy including Slow.
     #[test]
     fn corr_violation_rejected_everywhere() {
-        let traces = vec![
-            vec![w(0, 1), w(0, 2)],
-            vec![r(0, 2), r(0, 1)],
-        ];
+        let traces = vec![vec![w(0, 1), w(0, 2)], vec![r(0, 2), r(0, 1)]];
         assert!(!check_slow(&traces));
         assert!(!check_cc(&traces));
         assert!(!check_pram(&traces));
@@ -196,12 +187,8 @@ mod tests {
     fn per_location_disagreement() {
         // Writers: w1=1 (thread 0), w1=2 (thread 1) to the same location.
         // Reader A sees 1 then 2; reader B sees 2 then 1.
-        let traces = vec![
-            vec![w(0, 1)],
-            vec![w(0, 2)],
-            vec![r(0, 1), r(0, 2)],
-            vec![r(0, 2), r(0, 1)],
-        ];
+        let traces =
+            vec![vec![w(0, 1)], vec![w(0, 2)], vec![r(0, 1), r(0, 2)], vec![r(0, 2), r(0, 1)]];
         assert!(check_slow(&traces), "different writers are unordered in slow memory");
         assert!(!check_cc(&traces), "CC requires per-location agreement");
         assert!(!check_pc(&traces));
@@ -212,12 +199,8 @@ mod tests {
     /// PC allows it (no cross-location write agreement), SC does not.
     #[test]
     fn iriw_classification() {
-        let traces = vec![
-            vec![w(0, 1)],
-            vec![w(1, 2)],
-            vec![r(0, 1), r(1, 0)],
-            vec![r(1, 2), r(0, 0)],
-        ];
+        let traces =
+            vec![vec![w(0, 1)], vec![w(1, 2)], vec![r(0, 1), r(1, 0)], vec![r(1, 2), r(0, 0)]];
         assert!(check_pram(&traces));
         assert!(check_pc(&traces));
         assert!(!check_sc(&traces));
@@ -226,10 +209,7 @@ mod tests {
     /// Fully sequential behaviour passes everything.
     #[test]
     fn sequential_passes_all() {
-        let traces = vec![
-            vec![w(0, 1), w(1, 2)],
-            vec![r(1, 2), r(0, 1)],
-        ];
+        let traces = vec![vec![w(0, 1), w(1, 2)], vec![r(1, 2), r(0, 1)]];
         for (name, ok) in [
             ("slow", check_slow(&traces)),
             ("cc", check_cc(&traces)),
@@ -245,10 +225,7 @@ mod tests {
     /// by slow (per-writer monotonicity includes init).
     #[test]
     fn init_after_write_rejected_by_slow() {
-        let traces = vec![
-            vec![w(0, 1)],
-            vec![r(0, 1), r(0, 0)],
-        ];
+        let traces = vec![vec![w(0, 1)], vec![r(0, 1), r(0, 0)]];
         assert!(!check_slow(&traces));
     }
 

@@ -205,8 +205,7 @@ mod tests {
 
     #[test]
     fn trivially_serializable() {
-        let traces =
-            vec![vec![MemEvent::write(L(0), 1)], vec![MemEvent::read(L(0), 1)]];
+        let traces = vec![vec![MemEvent::write(L(0), 1)], vec![MemEvent::read(L(0), 1)]];
         assert!(serializable(&traces, None));
     }
 
@@ -246,10 +245,7 @@ mod tests {
         });
         assert_eq!(count, 2);
         // Two locations with 2 single-write streams each: 4 combinations.
-        let wpl = HashMap::from([
-            (L(0), vec![vec![1], vec![2]]),
-            (L(1), vec![vec![3], vec![4]]),
-        ]);
+        let wpl = HashMap::from([(L(0), vec![vec![1], vec![2]]), (L(1), vec![vec![3], vec![4]])]);
         let mut count = 0;
         for_each_coherence_order(&wpl, &mut |_| {
             count += 1;

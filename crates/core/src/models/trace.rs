@@ -55,10 +55,7 @@ pub fn validate(traces: &[ThreadTrace]) -> Result<HashMap<(LocId, Value), (usize
     }
     for (t, trace) in traces.iter().enumerate() {
         for ev in trace {
-            if !ev.is_write
-                && ev.value != INIT_VALUE
-                && !writes.contains_key(&(ev.loc, ev.value))
-            {
+            if !ev.is_write && ev.value != INIT_VALUE && !writes.contains_key(&(ev.loc, ev.value)) {
                 return Err(format!(
                     "thread {t} reads value {} from v{} that nobody wrote",
                     ev.value, ev.loc.0
@@ -72,18 +69,12 @@ pub fn validate(traces: &[ThreadTrace]) -> Result<HashMap<(LocId, Value), (usize
 /// Project a set of traces onto a single location (used by the Cache
 /// Consistency checker: CC = SC per location).
 pub fn project_loc(traces: &[ThreadTrace], loc: LocId) -> Vec<ThreadTrace> {
-    traces
-        .iter()
-        .map(|t| t.iter().copied().filter(|e| e.loc == loc).collect())
-        .collect()
+    traces.iter().map(|t| t.iter().copied().filter(|e| e.loc == loc).collect()).collect()
 }
 
 /// All locations mentioned anywhere in the traces.
 pub fn locations(traces: &[ThreadTrace]) -> Vec<LocId> {
-    let mut locs: Vec<LocId> = traces
-        .iter()
-        .flat_map(|t| t.iter().map(|e| e.loc))
-        .collect();
+    let mut locs: Vec<LocId> = traces.iter().flat_map(|t| t.iter().map(|e| e.loc)).collect();
     locs.sort_unstable();
     locs.dedup();
     locs

@@ -131,7 +131,9 @@ pub fn rules_for_existing(existing: OpKind, new: OpKind) -> impl Iterator<Item =
 /// this next to the paper's published table for visual comparison).
 pub fn render() -> String {
     let mut out = String::new();
-    out.push_str("Table I — orderings between existing and new operations on location v by process p\n\n");
+    out.push_str(
+        "Table I — orderings between existing and new operations on location v by process p\n\n",
+    );
     out.push_str(&format!("{:<22}", "existing \\ new"));
     for c in COLS {
         out.push_str(&format!("{:>6}", c.symbol()));

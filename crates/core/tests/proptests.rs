@@ -164,10 +164,7 @@ fn pmc_behaviours_are_slow_and_locked_ones_cache_consistent() {
                     _ => None,
                 })
                 .collect();
-            let traces = vec![
-                writes,
-                vec![MemEvent::read(x, o[1][0]), MemEvent::read(y, o[1][1])],
-            ];
+            let traces = vec![writes, vec![MemEvent::read(x, o[1][0]), MemEvent::read(y, o[1][1])]];
             assert!(check_slow(&traces), "case {case}: behaviour below Slow: {o:?}");
             if locked {
                 assert!(check_cc(&traces), "case {case}: locked writes not CC: {o:?}");

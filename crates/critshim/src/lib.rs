@@ -1,0 +1,202 @@
+//! Minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! The CI container cannot reach crates.io, so this workspace vendors the
+//! slice of criterion's API its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] knobs (`measurement_time`, `warm_up_time`,
+//! `sample_size`), [`BenchmarkId`], `bench_function` / `bench_with_input`,
+//! [`Bencher::iter`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple: one warm-up call, then
+//! `sample_size` timed samples (capped by `measurement_time`), reporting
+//! min / mean / max wall time per iteration on stdout. Good enough to
+//! compare virtual-time workloads and spot order-of-magnitude regressions;
+//! swap in the real criterion for publication-grade statistics.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (`"<function>/<parameter>"`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the iteration loop of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    result: Option<Stats>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, also forces lazy init
+        let started = Instant::now();
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut n = 0usize;
+        while n < self.samples && (n == 0 || started.elapsed() < self.budget) {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            min = min.min(dt);
+            max = max.max(dt);
+            total += dt;
+            n += 1;
+        }
+        self.result = Some(Stats { min, mean: total / n as u32, max, samples: n });
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self // the shim always warms up with exactly one call
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size.max(1),
+            budget: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(s) => println!(
+                "{}/{id:<40} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+                self.name, s.mean, s.min, s.max, s.samples
+            ),
+            None => println!("{}/{id:<40} (no samples — Bencher::iter never called)", self.name),
+        }
+    }
+}
+
+/// Entry point handed to each `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            measurement_time: Duration::from_secs(3),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, &mut f);
+        self
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

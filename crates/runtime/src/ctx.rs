@@ -138,8 +138,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
             BackendKind::Swcc => {
                 // Ensure the first read misses and refetches the
                 // just-released version from SDRAM.
-                self.cpu
-                    .invalidate_dcache_range(addr::SDRAM_CACHED_BASE + sdram_off, size);
+                self.cpu.invalidate_dcache_range(addr::SDRAM_CACHED_BASE + sdram_off, size);
             }
             BackendKind::Dsm => {
                 scope.version = self.dsm_await_version(version_off, dsm_off);
@@ -360,8 +359,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
                 self.cpu.noc_write_versioned(t, dsm_off, new_version, &buf);
             }
         }
-        self.cpu
-            .write_u32(addr::SDRAM_UNCACHED_BASE + version_off, new_version);
+        self.cpu.write_u32(addr::SDRAM_UNCACHED_BASE + version_off, new_version);
     }
 
     /// SPM: stage an object into the local scratch-pad; returns the SPM
@@ -404,9 +402,8 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     // ==================================================================
 
     fn raw_read(&mut self, id: u32, byte_off: u32, buf: &mut [u8]) {
-        let idx = self
-            .find_scope(id)
-            .expect("read of a shared object outside any entry/exit scope");
+        let idx =
+            self.find_scope(id).expect("read of a shared object outside any entry/exit scope");
         let scope = self.scopes[idx];
         let base = self.data_addr(id, &scope);
         chunked_read(self.cpu, self.shared.line, base + byte_off, buf);
@@ -423,9 +420,8 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     }
 
     fn raw_write(&mut self, id: u32, byte_off: u32, data: &[u8]) {
-        let idx = self
-            .find_scope(id)
-            .expect("write of a shared object outside any entry/exit scope");
+        let idx =
+            self.find_scope(id).expect("write of a shared object outside any entry/exit scope");
         assert_eq!(
             self.scopes[idx].kind,
             ScopeKind::X,
@@ -466,9 +462,8 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     /// burst transfer; on cached back-ends it is the usual word-copy loop.
     pub fn read_bytes_at<T: Pod>(&mut self, slab: Slab<T>, byte_off: u32, buf: &mut [u8]) {
         assert!(byte_off + buf.len() as u32 <= slab.len * T::SIZE);
-        let idx = self
-            .find_scope(slab.id)
-            .expect("read of a shared object outside any entry/exit scope");
+        let idx =
+            self.find_scope(slab.id).expect("read of a shared object outside any entry/exit scope");
         let scope = self.scopes[idx];
         let base = self.data_addr(slab.id, &scope) + byte_off;
         match self.shared.backend {

@@ -131,7 +131,6 @@ impl<T: Pod> MFifo<T> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::system::{BackendKind, LockKind, System};
     use pmc_soc_sim::SocConfig;
     use std::sync::Mutex;

@@ -37,6 +37,7 @@
 pub mod barrier;
 pub mod ctx;
 pub mod fifo;
+pub mod litmus_exec;
 pub mod lock;
 pub mod monitor;
 pub mod pod;

@@ -203,11 +203,8 @@ mod tests {
 
     #[test]
     fn dist_lock_mutual_exclusion() {
-        let total = hammer(
-            || Lock::Dist(DistLock { home: 1, lock_offset: 0, mailbox_offset: 128 }),
-            4,
-            30,
-        );
+        let total =
+            hammer(|| Lock::Dist(DistLock { home: 1, lock_offset: 0, mailbox_offset: 128 }), 4, 30);
         assert_eq!(total, 120);
     }
 
@@ -219,7 +216,7 @@ mod tests {
             let soc = Soc::new(SocConfig::small(4));
             let lock = DistLock { home: 0, lock_offset: 0, mailbox_offset: 128 };
             let mut programs: Vec<CoreProgram<'_>> = Vec::new();
-            for t in 0..4 {
+            for _t in 0..4 {
                 programs.push(Box::new(move |cpu: &mut Cpu| {
                     if cpu.tile() == tile {
                         for _ in 0..50 {

@@ -318,11 +318,7 @@ impl System {
         }
         assert!(self.priv_cursor - bytes > self.sdram_cursor, "SDRAM exhausted");
         self.priv_cursor -= bytes;
-        PrivSlab {
-            addr: addr::SDRAM_CACHED_BASE + self.priv_cursor,
-            len,
-            _ph: PhantomData,
-        }
+        PrivSlab { addr: addr::SDRAM_CACHED_BASE + self.priv_cursor, len, _ph: PhantomData }
     }
 
     /// Allocate a phase barrier for `n` participants (counter and phase
@@ -447,8 +443,11 @@ impl System {
         // Stall attribution (paper Fig. 8): lock/version words and shared
         // objects are shared; private arenas private (the default).
         self.soc.tag_region(self.version_region.0, self.version_region.1.max(4), MemTag::Shared);
-        self.soc
-            .tag_region(self.shared_region.0, self.shared_region.1.max(SHARED_REGION_BASE + 4), MemTag::Shared);
+        self.soc.tag_region(
+            self.shared_region.0,
+            self.shared_region.1.max(SHARED_REGION_BASE + 4),
+            MemTag::Shared,
+        );
         assert!(
             self.dsm_cursor <= self.shared.spm_end,
             "local memory arena exhausted by DSM replicas"

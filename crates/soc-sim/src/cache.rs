@@ -117,13 +117,9 @@ impl Cache {
         let base = (set * self.cfg.ways) as usize;
         let end = base + self.cfg.ways as usize;
         // Prefer an invalid way; otherwise evict LRU.
-        let victim = (base..end)
-            .find(|&i| !self.lines[i].valid)
-            .unwrap_or_else(|| {
-                (base..end)
-                    .min_by_key(|&i| self.lines[i].stamp)
-                    .expect("ways >= 1")
-            });
+        let victim = (base..end).find(|&i| !self.lines[i].valid).unwrap_or_else(|| {
+            (base..end).min_by_key(|&i| self.lines[i].stamp).expect("ways >= 1")
+        });
         let evicted = {
             let l = &self.lines[victim];
             if l.valid && l.dirty {

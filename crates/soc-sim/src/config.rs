@@ -141,7 +141,9 @@ impl SocConfig {
     /// End-to-end NoC latency for a payload of `bytes` bytes.
     pub fn noc_latency(&self, from: usize, to: usize, bytes: u32) -> u64 {
         let words = bytes.div_ceil(4) as u64;
-        self.lat.noc_fixed + self.lat.noc_per_hop * self.hops(from, to) + self.lat.noc_per_word * words
+        self.lat.noc_fixed
+            + self.lat.noc_per_hop * self.hops(from, to)
+            + self.lat.noc_per_word * words
     }
 
     /// SDRAM service time for a transfer of `bytes` bytes (excluding

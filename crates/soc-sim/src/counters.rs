@@ -109,7 +109,8 @@ mod tests {
 
     #[test]
     fn utilization_and_total() {
-        let c = Counters { busy: 70, stall_shared_read: 20, stall_icache: 10, ..Default::default() };
+        let c =
+            Counters { busy: 70, stall_shared_read: 20, stall_icache: 10, ..Default::default() };
         assert_eq!(c.total(), 100);
         assert!((c.utilization() - 0.7).abs() < 1e-12);
         assert_eq!(Counters::default().utilization(), 0.0);

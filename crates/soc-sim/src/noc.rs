@@ -49,10 +49,7 @@ pub struct Packet {
 impl Ord for Packet {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .arrive
-            .cmp(&self.arrive)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.arrive.cmp(&self.arrive).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

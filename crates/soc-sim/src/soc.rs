@@ -29,8 +29,15 @@
 //!   across destinations (the paper's Fig. 1 failure mode).
 
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
-use parking_lot::{Condvar, Mutex};
+/// Lock ignoring poisoning: a panicking tile is already handled by the
+/// abort protocol, and the scheduler state stays consistent (every mutation
+/// completes before any panic can fire), so poisoned guards are safe to
+/// reuse while the run unwinds.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 use crate::addr::{self, Addr, Region};
 use crate::cache::Cache;
@@ -62,17 +69,15 @@ struct Global {
 
 impl Global {
     fn tag_of(&self, sdram_offset: u32) -> MemTag {
-        match self
-            .tags
-            .binary_search_by(|&(start, end, _)| {
-                if sdram_offset < start {
-                    std::cmp::Ordering::Greater
-                } else if sdram_offset >= end {
-                    std::cmp::Ordering::Less
-                } else {
-                    std::cmp::Ordering::Equal
-                }
-            }) {
+        match self.tags.binary_search_by(|&(start, end, _)| {
+            if sdram_offset < start {
+                std::cmp::Ordering::Greater
+            } else if sdram_offset >= end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
             Ok(i) => self.tags[i].2,
             Err(_) => MemTag::Private,
         }
@@ -192,7 +197,7 @@ impl Soc {
     /// and wake every parked tile so the panic can propagate.
     fn abort(&self, tile: usize) {
         self.aborted.store(true, AtomicOrdering::SeqCst);
-        let mut g = self.global.lock();
+        let mut g = lock_ignore_poison(&self.global);
         g.clocks[tile] = u64::MAX;
         for cv in &self.cvs {
             cv.notify_one();
@@ -203,7 +208,7 @@ impl Soc {
     /// Tag an SDRAM offset range for stall attribution (shared vs.
     /// private data, paper Fig. 8). Ranges must not overlap.
     pub fn tag_region(&self, sdram_start: u32, sdram_end: u32, tag: MemTag) {
-        let mut g = self.global.lock();
+        let mut g = lock_ignore_poison(&self.global);
         g.tags.push((sdram_start, sdram_end, tag));
         g.tags.sort_unstable_by_key(|&(s, _, _)| s);
         for w in g.tags.windows(2) {
@@ -213,29 +218,29 @@ impl Soc {
 
     /// Pre-run (or post-run) direct SDRAM access, bypassing timing.
     pub fn write_sdram(&self, offset: u32, data: &[u8]) {
-        self.global.lock().sdram.write(offset, data);
+        lock_ignore_poison(&self.global).sdram.write(offset, data);
     }
 
     pub fn read_sdram(&self, offset: u32, out: &mut [u8]) {
-        self.global.lock().sdram.read(offset, out);
+        lock_ignore_poison(&self.global).sdram.read(offset, out);
     }
 
     pub fn read_sdram_u32(&self, offset: u32) -> u32 {
-        self.global.lock().sdram.read_u32(offset)
+        lock_ignore_poison(&self.global).sdram.read_u32(offset)
     }
 
     /// Pre-run direct local-memory access, bypassing timing.
     pub fn write_local(&self, tile: usize, offset: u32, data: &[u8]) {
-        self.global.lock().locals[tile].write(offset, data);
+        lock_ignore_poison(&self.global).locals[tile].write(offset, data);
     }
 
     pub fn read_local(&self, tile: usize, offset: u32, out: &mut [u8]) {
-        self.global.lock().locals[tile].read(offset, out);
+        lock_ignore_poison(&self.global).locals[tile].read(offset, out);
     }
 
     /// The recorded trace (empty unless `cfg.trace`).
     pub fn take_trace(&self) -> Vec<TraceRecord> {
-        std::mem::take(&mut self.global.lock().trace)
+        std::mem::take(&mut lock_ignore_poison(&self.global).trace)
     }
 
     /// Run one program per tile (programs beyond `n_tiles` are an error;
@@ -246,7 +251,7 @@ impl Soc {
         {
             // Reset scheduling state (memories persist across runs so
             // callers can pre-initialise and post-inspect).
-            let mut g = self.global.lock();
+            let mut g = lock_ignore_poison(&self.global);
             let n_programs = programs.len();
             for t in 0..self.cfg.n_tiles {
                 g.clocks[t] = if t < n_programs { 0 } else { u64::MAX };
@@ -255,26 +260,25 @@ impl Soc {
             }
         }
         self.aborted.store(false, AtomicOrdering::SeqCst);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (tile, program) in programs.into_iter().enumerate() {
                 let soc = &*self;
-                scope
-                    .builder()
+                std::thread::Builder::new()
                     .name(format!("tile{tile}"))
-                    .spawn(move |_| {
+                    .spawn_scoped(scope, move || {
                         let mut cpu = Cpu::new(soc, tile);
                         // A panicking tile must not leave the others
                         // waiting on its clock forever: mark the run
                         // aborted, wake everyone, then propagate.
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || program(&mut cpu),
-                        ));
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            program(&mut cpu)
+                        }));
                         match result {
                             Ok(()) => cpu.finish(),
                             Err(payload) => {
                                 // Record the first (original) payload;
                                 // secondary abort panics are noise.
-                                let mut slot = soc.panic_payload.lock();
+                                let mut slot = lock_ignore_poison(&soc.panic_payload);
                                 let primary = slot.is_none();
                                 if primary {
                                     *slot = Some(payload);
@@ -286,24 +290,14 @@ impl Soc {
                     })
                     .expect("spawn tile thread");
             }
-        })
-        .expect("tile threads never panic (payloads are captured)");
-        if let Some(payload) = self.panic_payload.lock().take() {
+        });
+        if let Some(payload) = lock_ignore_poison(&self.panic_payload).take() {
             std::panic::resume_unwind(payload);
         }
-        let g = self.global.lock();
-        let per_core: Vec<Counters> = g
-            .finished
-            .iter()
-            .map(|f| f.map(|(c, _)| c).unwrap_or_default())
-            .collect();
-        let makespan = g
-            .finished
-            .iter()
-            .flatten()
-            .map(|&(_, clock)| clock)
-            .max()
-            .unwrap_or(0);
+        let g = lock_ignore_poison(&self.global);
+        let per_core: Vec<Counters> =
+            g.finished.iter().map(|f| f.map(|(c, _)| c).unwrap_or_default()).collect();
+        let makespan = g.finished.iter().flatten().map(|&(_, clock)| clock).max().unwrap_or(0);
         self.makespan.store(makespan, AtomicOrdering::Relaxed);
         RunReport { per_core, makespan }
     }
@@ -419,7 +413,7 @@ impl<'a> Cpu<'a> {
     /// afterwards via `charge_stall`.
     fn turn<R>(&mut self, f: impl FnOnce(&mut Global, &SocConfig, u64, usize) -> R) -> R {
         let soc = self.soc;
-        let mut g = soc.global.lock();
+        let mut g = lock_ignore_poison(&soc.global);
         g.clocks[self.tile] = self.clock;
         self.published = self.clock;
         // Wait for our turn in (clock, tile) order.
@@ -435,7 +429,7 @@ impl<'a> Cpu<'a> {
                 }
             }
             g.waiting[self.tile] = true;
-            soc.cvs[self.tile].wait(&mut g);
+            g = soc.cvs[self.tile].wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
             g.waiting[self.tile] = false;
         }
         g.drain_packets(self.clock, &soc.cfg);
@@ -465,7 +459,7 @@ impl<'a> Cpu<'a> {
 
     fn finish(&mut self) {
         let soc = self.soc;
-        let mut g = soc.global.lock();
+        let mut g = lock_ignore_poison(&soc.global);
         g.finished[self.tile] = Some((self.ctr, self.clock));
         g.clocks[self.tile] = u64::MAX;
         if let Some(m) = g.min_tile() {
@@ -595,7 +589,7 @@ impl<'a> Cpu<'a> {
         let line_size = self.soc.cfg.dcache.line_size;
         let tile = self.tile;
         let clock = self.clock;
-        let mut g = self.soc.global.lock();
+        let mut g = lock_ignore_poison(&self.soc.global);
         g.clocks[tile] = clock;
         self.published = clock;
         while !g.is_turn(tile) {
@@ -609,7 +603,7 @@ impl<'a> Cpu<'a> {
                 }
             }
             g.waiting[tile] = true;
-            self.soc.cvs[tile].wait(&mut g);
+            g = self.soc.cvs[tile].wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
             g.waiting[tile] = false;
         }
         g.drain_packets(clock, &self.soc.cfg);
@@ -847,7 +841,12 @@ impl<'a> Cpu<'a> {
                 arrive,
                 me,
                 dst,
-                PacketKind::FetchAdd { offset, delta, reply_tile: me, reply_offset: mailbox_offset },
+                PacketKind::FetchAdd {
+                    offset,
+                    delta,
+                    reply_tile: me,
+                    reply_offset: mailbox_offset,
+                },
             );
         });
         let stall = self.soc.cfg.lat.posted_write;
@@ -1090,21 +1089,23 @@ mod tests {
         let run_once = || {
             let s = soc(4);
             s.tag_region(0, 4096, MemTag::Shared);
-            let r = s.run((0..4usize)
-                .map(|t| -> CoreProgram<'static> {
-                    Box::new(move |cpu: &mut Cpu| {
-                        for i in 0..200u32 {
-                            let a = SDRAM_UNCACHED_BASE + ((t as u32 * 97 + i * 13) % 1024) * 4;
-                            cpu.write_u32(a, i);
-                            let _ = cpu.read_u32(a);
-                            cpu.compute(7);
-                            let c = SDRAM_CACHED_BASE + 4096 + ((i * 29) % 512) * 4;
-                            cpu.write_u32(c, i);
-                        }
-                        cpu.flush_dcache_range(SDRAM_CACHED_BASE + 4096, 2048);
+            let r = s.run(
+                (0..4usize)
+                    .map(|t| -> CoreProgram<'static> {
+                        Box::new(move |cpu: &mut Cpu| {
+                            for i in 0..200u32 {
+                                let a = SDRAM_UNCACHED_BASE + ((t as u32 * 97 + i * 13) % 1024) * 4;
+                                cpu.write_u32(a, i);
+                                let _ = cpu.read_u32(a);
+                                cpu.compute(7);
+                                let c = SDRAM_CACHED_BASE + 4096 + ((i * 29) % 512) * 4;
+                                cpu.write_u32(c, i);
+                            }
+                            cpu.flush_dcache_range(SDRAM_CACHED_BASE + 4096, 2048);
+                        })
                     })
-                })
-                .collect());
+                    .collect(),
+            );
             (r.makespan, format!("{:?}", r.per_core))
         };
         let a = run_once();
@@ -1178,21 +1179,23 @@ mod tests {
         let s = soc(8);
         let counter = SDRAM_UNCACHED_BASE + 256;
         s.tag_region(256, 260, MemTag::Shared);
-        s.run((0..8usize)
-            .map(|_| -> CoreProgram<'static> {
-                Box::new(move |cpu: &mut Cpu| {
-                    for _ in 0..50 {
-                        loop {
-                            let old = cpu.read_u32(counter);
-                            if cpu.sdram_cas_u32(counter, old, old + 1) == old {
-                                break;
+        s.run(
+            (0..8usize)
+                .map(|_| -> CoreProgram<'static> {
+                    Box::new(move |cpu: &mut Cpu| {
+                        for _ in 0..50 {
+                            loop {
+                                let old = cpu.read_u32(counter);
+                                if cpu.sdram_cas_u32(counter, old, old + 1) == old {
+                                    break;
+                                }
+                                cpu.compute(13);
                             }
-                            cpu.compute(13);
                         }
-                    }
+                    })
                 })
-            })
-            .collect());
+                .collect(),
+        );
         assert_eq!(s.read_sdram_u32(256), 400);
     }
 
@@ -1200,15 +1203,17 @@ mod tests {
     fn faa_counts_exactly() {
         let s = soc(4);
         let counter = SDRAM_UNCACHED_BASE + 300;
-        s.run((0..4usize)
-            .map(|_| -> CoreProgram<'static> {
-                Box::new(move |cpu: &mut Cpu| {
-                    for _ in 0..25 {
-                        cpu.sdram_faa_u32(counter, 2);
-                    }
+        s.run(
+            (0..4usize)
+                .map(|_| -> CoreProgram<'static> {
+                    Box::new(move |cpu: &mut Cpu| {
+                        for _ in 0..25 {
+                            cpu.sdram_faa_u32(counter, 2);
+                        }
+                    })
                 })
-            })
-            .collect());
+                .collect(),
+        );
         assert_eq!(s.read_sdram_u32(300), 200);
     }
 

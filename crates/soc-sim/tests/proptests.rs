@@ -143,7 +143,9 @@ fn determinism_over_random_workloads() {
                                         i,
                                     ),
                                     1 => {
-                                        cpu.read_u32(addr::SDRAM_CACHED_BASE + 4096 + (s % 512) as u32 * 4);
+                                        cpu.read_u32(
+                                            addr::SDRAM_CACHED_BASE + 4096 + (s % 512) as u32 * 4,
+                                        );
                                     }
                                     2 => cpu.write_u32(
                                         addr::SDRAM_CACHED_BASE + 4096 + (s % 512) as u32 * 4,
@@ -152,7 +154,11 @@ fn determinism_over_random_workloads() {
                                     3 => cpu.compute(1 + (s % 50)),
                                     _ => {
                                         if t != 2 {
-                                            cpu.noc_write(2, (s % 128) as u32 * 4, &i.to_le_bytes());
+                                            cpu.noc_write(
+                                                2,
+                                                (s % 128) as u32 * 4,
+                                                &i.to_le_bytes(),
+                                            );
                                         } else {
                                             cpu.compute(5);
                                         }

@@ -24,9 +24,7 @@ fn main() {
         let app_ref = &app;
         let report = sys.run(
             (0..tiles)
-                .map(|_| -> pmc::runtime::Program<'_> {
-                    Box::new(move |ctx| app_ref.worker(ctx))
-                })
+                .map(|_| -> pmc::runtime::Program<'_> { Box::new(move |ctx| app_ref.worker(ctx)) })
                 .collect(),
         );
         println!(

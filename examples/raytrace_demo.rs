@@ -10,13 +10,8 @@ use pmc::runtime::{BackendKind, LockKind, System};
 use pmc::sim::SocConfig;
 
 fn render(backend: BackendKind) -> (u64, f64, String) {
-    let params = RaytraceParams {
-        width: 64,
-        height: 24,
-        n_spheres: 8,
-        rows_per_task: 2,
-        seed: 0xACE,
-    };
+    let params =
+        RaytraceParams { width: 64, height: 24, n_spheres: 8, rows_per_task: 2, seed: 0xACE };
     let mut cfg = SocConfig { n_tiles: 4, ..SocConfig::default() };
     cfg.icache_mpki = 3;
     let mut sys = System::new(cfg, backend, LockKind::Sdram);

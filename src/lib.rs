@@ -17,7 +17,32 @@
 //!   raytrace, volrend), motion estimation and litmus programs.
 //!
 //! See the repository's `README.md` for a tour and `EXPERIMENTS.md` for
-//! the paper-figure reproductions.
+//! the paper-figure reproductions. The differential conformance harness
+//! (litmus catalogue × back-ends × lock kinds, validated against the
+//! model) lives in `tests/conformance.rs` on top of
+//! [`model::conformance`](pmc_core::conformance) and
+//! [`runtime::litmus_exec`](pmc_runtime::litmus_exec).
+//!
+//! ## Quick example
+//!
+//! The annotated message-passing idiom through the facade paths:
+//!
+//! ```
+//! use pmc::runtime::{read_ro, write_x, BackendKind, LockKind, System};
+//! use pmc::sim::SocConfig;
+//!
+//! let mut sys = System::new(SocConfig::small(2), BackendKind::Dsm, LockKind::Distributed);
+//! let x = sys.alloc::<u32>("x");
+//! sys.run(vec![
+//!     Box::new(move |ctx| write_x(ctx, x, 7, true)),
+//!     Box::new(move |ctx| {
+//!         while read_ro(ctx, x) != 7 {
+//!             ctx.compute(16);
+//!         }
+//!     }),
+//! ]);
+//! assert_eq!(sys.read_back(x), 7);
+//! ```
 
 pub use pmc_apps as apps;
 pub use pmc_core as model;

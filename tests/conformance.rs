@@ -1,0 +1,127 @@
+//! Differential conformance harness: the entire litmus catalogue swept
+//! over every simulated back-end and both lock kinds, validated two ways
+//! against the PMC model:
+//!
+//! 1. **outcome membership** — each traced simulation's final registers
+//!    must fall inside the model enumerator's allowed-outcome set for the
+//!    canonically lowered program ([`conformance::lower`]: the runtime
+//!    only writes under `entry_x`, so bare model writes become momentary
+//!    acquire/write/release windows);
+//! 2. **trace validity** — every run's annotation trace must satisfy
+//!    [`monitor::validate`] (mutual exclusion, freshness under lock,
+//!    slow-read monotonicity) with zero violations.
+//!
+//! Golden snapshots of the model-level outcome sets (the paper's
+//! Figs. 1–6 ground truth) are pinned in [`conformance::cases`] and
+//! re-verified here, so any model drift fails the same suite that checks
+//! the back-ends.
+
+use std::collections::BTreeSet;
+
+use pmc::model::conformance::{self, render_outcomes, sweep_limits, verify_golden};
+use pmc::model::interleave::{outcomes_with, Outcome};
+use pmc::runtime::litmus_exec::run_litmus;
+use pmc::runtime::monitor::validate;
+use pmc::runtime::{BackendKind, LockKind, System};
+use pmc::sim::SocConfig;
+
+const LOCK_KINDS: [LockKind; 2] = [LockKind::Sdram, LockKind::Distributed];
+
+/// The tentpole sweep: catalogue × 4 back-ends × 2 lock kinds. Every
+/// simulator outcome inside the model set, every trace clean.
+#[test]
+fn catalogue_sweep_outcomes_within_model_and_traces_clean() {
+    for case in conformance::cases() {
+        let lowered = conformance::lower(&case.program);
+        let allowed: BTreeSet<Outcome> = outcomes_with(&lowered, sweep_limits())
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        assert!(!allowed.is_empty(), "{}: empty model outcome set", case.name);
+        for backend in BackendKind::ALL {
+            for lock in LOCK_KINDS {
+                let run = run_litmus(&case.program, backend, lock);
+                assert!(
+                    allowed.contains(&run.outcome),
+                    "{}/{}/{lock:?}: simulator outcome {:?} outside the model's \
+                     allowed set:\n{}",
+                    case.name,
+                    backend.name(),
+                    run.outcome,
+                    render_outcomes(&allowed),
+                );
+                let violations = validate(&run.trace);
+                assert!(
+                    violations.is_empty(),
+                    "{}/{}/{lock:?}: monitor violations: {violations:#?}",
+                    case.name,
+                    backend.name(),
+                );
+            }
+        }
+    }
+}
+
+/// The golden outcome-set snapshots (paper Figs. 1–6 programs) match the
+/// enumerator bit-for-bit.
+#[test]
+fn golden_outcome_sets_are_pinned() {
+    for case in conformance::cases() {
+        if let Err(msg) = verify_golden(&case) {
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Repeated sweeps of a racy case accumulate only model-allowed outcomes:
+/// perturbing the poll cadence via different lock kinds and back-ends
+/// exercises different interleavings, and none may escape the set.
+#[test]
+fn unfenced_mp_never_escapes_model_set() {
+    let case = conformance::cases().into_iter().find(|c| c.name == "mp_unfenced").unwrap();
+    let allowed = outcomes_with(&conformance::lower(&case.program), sweep_limits()).unwrap();
+    let mut observed: BTreeSet<Outcome> = BTreeSet::new();
+    for backend in BackendKind::ALL {
+        for lock in LOCK_KINDS {
+            let run = run_litmus(&case.program, backend, lock);
+            assert!(allowed.contains(&run.outcome), "{}/{lock:?}", backend.name());
+            observed.insert(run.outcome);
+        }
+    }
+    // Every observation is one of the two model outcomes (42 always; 0
+    // additionally on back-ends where the flag outruns X).
+    assert!(!observed.is_empty());
+    for o in &observed {
+        assert!(allowed.contains(o));
+    }
+}
+
+/// The harness is falsifiable: a deliberately corrupted trace (exclusive
+/// scopes overlapping) is flagged, so "zero violations" above is a real
+/// guarantee, not a vacuous pass.
+#[test]
+fn monitor_still_catches_planted_violations() {
+    let mut sys = System::new(
+        {
+            let mut cfg = SocConfig::small(2);
+            cfg.trace = true;
+            cfg
+        },
+        BackendKind::Uncached,
+        LockKind::Sdram,
+    );
+    let x = sys.alloc::<u32>("x");
+    sys.run(vec![
+        Box::new(move |ctx| {
+            ctx.entry_x(x);
+            ctx.write(x, 1);
+            ctx.exit_x(x);
+        }),
+        Box::new(move |_ctx| {}),
+    ]);
+    let mut trace = sys.soc().take_trace();
+    assert!(validate(&trace).is_empty());
+    // Plant a second, overlapping ENTRY_X from the other tile at time 0.
+    let mut forged = trace[0].clone();
+    forged.tile = 1;
+    trace.insert(1, forged);
+    assert!(!validate(&trace).is_empty(), "forged overlap must be flagged");
+}

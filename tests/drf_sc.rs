@@ -30,10 +30,7 @@ fn fenced_cross_locks_are_sc() {
     let outs = outcomes(&catalogue::drf_fenced_cross_locks()).unwrap();
     for o in &outs {
         let traces = cross_lock_traces(o[0][0], o[1][0]);
-        assert!(
-            check_sc(&traces),
-            "fenced DRF program produced a non-SC behaviour: {o:?}"
-        );
+        assert!(check_sc(&traces), "fenced DRF program produced a non-SC behaviour: {o:?}");
     }
 }
 
@@ -61,16 +58,8 @@ fn fully_fenced_sb_is_pc() {
     let p = Program::new()
         .with_init(x, 0)
         .with_init(y, 0)
-        .thread(vec![
-            Instr::Write(x, 1),
-            Instr::Fence,
-            Instr::Read(y, Reg(0)),
-        ])
-        .thread(vec![
-            Instr::Write(y, 2),
-            Instr::Fence,
-            Instr::Read(x, Reg(0)),
-        ]);
+        .thread(vec![Instr::Write(x, 1), Instr::Fence, Instr::Read(y, Reg(0))])
+        .thread(vec![Instr::Write(y, 2), Instr::Fence, Instr::Read(x, Reg(0))]);
     let outs = outcomes_with(&p, Limits::default()).unwrap();
     for o in &outs {
         let traces = vec![

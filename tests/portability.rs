@@ -100,11 +100,7 @@ fn annotated_mp_reads_42_everywhere() {
                     ctx.exit_x(x);
                 }),
             ]);
-            assert_eq!(
-                seen.load(std::sync::atomic::Ordering::SeqCst),
-                42,
-                "{backend:?}/{lock:?}"
-            );
+            assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 42, "{backend:?}/{lock:?}");
         }
     }
 }
