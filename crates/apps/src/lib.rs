@@ -20,6 +20,7 @@
 pub mod motion_est;
 pub mod radiosity;
 pub mod raytrace;
+pub mod stream;
 pub mod volrend;
 pub mod workload;
 

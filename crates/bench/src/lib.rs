@@ -11,6 +11,7 @@
 //! | `fig8` | Fig. 8 (SPLASH-2 under no-CC vs SWCC, stall breakdown) |
 //! | `fig9_fifo` | Fig. 9 (multi-reader/multi-writer FIFO) |
 //! | `fig10_spm` | Fig. 10 (motion estimation on scratch-pads) |
+//! | `fig_dma` | extension: DMA bursts vs word-copy, per-link NoC contention |
 //! | `ablation_locks` | extension: SDRAM lock vs asymmetric distributed lock |
 
 use pmc_apps::workload::Breakdown;

@@ -56,6 +56,26 @@ pub fn cases() -> Vec<Case> {
                      -|-|1,1|0,0\n-|-|1,1|0,1\n-|-|1,1|1,0\n-|-|1,1|1,1\n",
         },
         Case {
+            name: "wrc",
+            program: catalogue::wrc(),
+            golden: "-|0|0,0\n-|0|0,1\n-|0|1,0\n-|0|1,1\n\
+                     -|1|0,0\n-|1|0,1\n-|1|1,0\n-|1|1,1\n",
+        },
+        Case {
+            // Exactly the WRC set minus the non-causal -|1|1,0.
+            name: "wrc_annotated",
+            program: catalogue::wrc_annotated(),
+            golden: "-|0|0,0\n-|0|0,1\n-|0|1,0\n-|0|1,1\n\
+                     -|1|0,0\n-|1|0,1\n-|1|1,1\n",
+        },
+        Case { name: "dma_mp_put", program: catalogue::dma_mp_put(), golden: "-|42\n" },
+        Case {
+            name: "dma_put_after_write",
+            program: catalogue::dma_put_after_write(),
+            golden: "-|0,0\n-|0,1\n-|0,2\n-|1,1\n-|1,2\n-|2,2\n",
+        },
+        Case { name: "dma_get_fresh", program: catalogue::dma_get_fresh(), golden: "-|0\n-|7\n" },
+        Case {
             name: "drf_no_fence_cross_locks",
             program: catalogue::drf_no_fence_cross_locks(),
             golden: "0|0\n0|1\n1|0\n1|1\n",
@@ -70,16 +90,22 @@ pub fn cases() -> Vec<Case> {
 
 /// Enumeration limits for conformance sweeps: generous, but a hard error
 /// when exceeded (a truncated set would silently weaken the harness).
+/// Visited-state memoization is on — it is outcome-set-preserving (see
+/// `interleave::tests::memoization_preserves_outcome_sets`) and collapses
+/// the wide catalogue programs (IRIW, WRC) by orders of magnitude.
 pub fn sweep_limits() -> Limits {
-    Limits::default()
+    Limits::memoized()
 }
 
 /// Canonical lowering onto the runtime's annotation API: every bare write
 /// (one issued outside an acquire/release window on its own location)
 /// becomes `acquire; write; release`, mirroring the runtime executor's
-/// `write_x`. Reads and waits stay bare — `entry_ro` on a word-sized
-/// object takes no lock (Table II), i.e. they are the model's plain slow
-/// reads. Programs that already lock their writes are returned unchanged.
+/// `write_x`. Bare DMA transfers likewise become momentary windows with
+/// an explicit wait before the release (the runtime only issues transfers
+/// inside the owning scope, and `exit_x` completes outstanding ones).
+/// Reads and waits stay bare — `entry_ro` on a word-sized object takes no
+/// lock (Table II), i.e. they are the model's plain slow reads. Programs
+/// that already lock their writes are returned unchanged.
 pub fn lower(p: &Program) -> Program {
     let mut out = Program { threads: Vec::new(), init: p.init.clone() };
     for thread in &p.threads {
@@ -98,6 +124,12 @@ pub fn lower(p: &Program) -> Program {
                 Instr::Write(v, _) if !held.contains(v) => {
                     instrs.push(Instr::Acquire(*v));
                     instrs.push(i.clone());
+                    instrs.push(Instr::Release(*v));
+                }
+                Instr::DmaPut(v, _) | Instr::DmaGet(v, _) if !held.contains(v) => {
+                    instrs.push(Instr::Acquire(*v));
+                    instrs.push(i.clone());
+                    instrs.push(Instr::DmaWait);
                     instrs.push(Instr::Release(*v));
                 }
                 _ => instrs.push(i.clone()),
@@ -122,8 +154,10 @@ pub fn loc_count(p: &Program) -> u32 {
                 | Instr::Read(LocId(l), _)
                 | Instr::Acquire(LocId(l))
                 | Instr::Release(LocId(l))
-                | Instr::WaitEq(LocId(l), _) => *l,
-                Instr::Fence => continue,
+                | Instr::WaitEq(LocId(l), _)
+                | Instr::DmaPut(LocId(l), _)
+                | Instr::DmaGet(LocId(l), _) => *l,
+                Instr::Fence | Instr::DmaWait => continue,
             };
             max = max.max(l + 1);
         }

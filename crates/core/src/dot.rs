@@ -33,6 +33,8 @@ fn render(e: &Execution, reduce: bool) -> String {
             OpKind::Acquire => format!("p{}: acq v{}", op.proc.0, op.loc.0),
             OpKind::Release => format!("p{}: rel v{}", op.proc.0, op.loc.0),
             OpKind::Fence => format!("p{}: fence", op.proc.0),
+            OpKind::DmaIssue => format!("p{}: dma-issue v{}", op.proc.0, op.loc.0),
+            OpKind::DmaComplete => format!("p{}: dma-complete v{}", op.proc.0, op.loc.0),
         };
         let _ = writeln!(s, "  n{} [label=\"{}\"];", id.0, label);
     }

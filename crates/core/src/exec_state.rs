@@ -17,7 +17,8 @@
 use std::collections::HashMap;
 
 use crate::execution::{EdgeMode, Execution};
-use crate::op::{LocId, OpId, ProcId, Value};
+use crate::op::{LocId, OpId, OpKind, ProcId, Value, PROC_ALL};
+use crate::order::OrderKind;
 
 /// Errors for operations the platform would never let happen.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,6 +118,111 @@ impl ModelState {
 
     pub fn fence(&mut self, p: ProcId) -> OpId {
         self.exec.fence(p)
+    }
+
+    /// Mark the hand-off of an asynchronous bulk transfer on `v` (the DMA
+    /// extension; the data movement itself is modelled by plain
+    /// reads/writes floating between issue and complete).
+    pub fn dma_issue(&mut self, p: ProcId, v: LocId) -> OpId {
+        self.exec.ensure_init(v, 0);
+        self.exec.dma_issue(p, v)
+    }
+
+    /// Mark the observed completion of outstanding transfers on `v`.
+    pub fn dma_complete(&mut self, p: ProcId, v: LocId) -> OpId {
+        self.exec.ensure_init(v, 0);
+        self.exec.dma_complete(p, v)
+    }
+
+    /// A canonical fingerprint of the executor state, independent of the
+    /// *global* append order: operations are identified by (process,
+    /// per-process issue index) — within one process, append order is the
+    /// process's own issue order — and initial operations by their
+    /// location. Two states reached along different interleavings of the
+    /// same per-process histories therefore produce identical keys, which
+    /// is what makes the litmus enumerator's opt-in memoization sound:
+    /// equal keys ⇒ isomorphic executions (respecting per-process order)
+    /// with equal lock tables and read floors ⇒ identical future
+    /// behaviour.
+    pub fn canonical_key(&self) -> Vec<u64> {
+        let kind_code = |k: OpKind| -> u64 {
+            match k {
+                OpKind::Read => 0,
+                OpKind::Write => 1,
+                OpKind::Acquire => 2,
+                OpKind::Release => 3,
+                OpKind::Fence => 4,
+                OpKind::Init => 5,
+                OpKind::DmaIssue => 6,
+                OpKind::DmaComplete => 7,
+            }
+        };
+        let order_code = |k: OrderKind| -> u64 {
+            match k {
+                OrderKind::Local => 0,
+                OrderKind::Program => 1,
+                OrderKind::Sync => 2,
+                OrderKind::Fence => 3,
+            }
+        };
+        // Canonical id per op, in append order.
+        let mut per_proc: HashMap<ProcId, u64> = HashMap::new();
+        let canon: Vec<u64> = self
+            .exec
+            .ops()
+            .map(|(_, op)| {
+                if op.proc == PROC_ALL {
+                    (u64::from(u16::MAX) << 32) | u64::from(op.loc.0)
+                } else {
+                    let c = per_proc.entry(op.proc).or_insert(0);
+                    let cid = (u64::from(op.proc.0) << 32) | *c;
+                    *c += 1;
+                    cid
+                }
+            })
+            .collect();
+        // Ops: (cid, kind, loc, value), canonically sorted.
+        let mut ops: Vec<[u64; 4]> = self
+            .exec
+            .ops()
+            .map(|(id, op)| {
+                [canon[id.index()], kind_code(op.kind), u64::from(op.loc.0), u64::from(op.value)]
+            })
+            .collect();
+        ops.sort_unstable();
+        // Edges: (canon from, canon to, order kind), canonically sorted.
+        let mut edges: Vec<[u64; 3]> = self
+            .exec
+            .edges()
+            .map(|e| [canon[e.from.index()], canon[e.to.index()], order_code(e.kind)])
+            .collect();
+        edges.sort_unstable();
+        // Lock table and read floors, canonically sorted.
+        let mut locks: Vec<[u64; 2]> =
+            self.locks.iter().map(|(v, p)| [u64::from(v.0), u64::from(p.0)]).collect();
+        locks.sort_unstable();
+        let mut floors: Vec<[u64; 3]> = self
+            .floor
+            .iter()
+            .map(|(&(p, v), w)| [u64::from(p.0), u64::from(v.0), canon[w.index()]])
+            .collect();
+        floors.sort_unstable();
+
+        let mut key = Vec::with_capacity(
+            4 + ops.len() * 4 + edges.len() * 3 + locks.len() * 2 + floors.len() * 3,
+        );
+        for (section, rows) in [
+            (0u64, ops.iter().map(|r| r.as_slice()).collect::<Vec<_>>()),
+            (1, edges.iter().map(|r| r.as_slice()).collect()),
+            (2, locks.iter().map(|r| r.as_slice()).collect()),
+            (3, floors.iter().map(|r| r.as_slice()).collect()),
+        ] {
+            key.push(section << 56 | rows.len() as u64);
+            for row in rows {
+                key.extend_from_slice(row);
+            }
+        }
+        key
     }
 
     /// The writes a read by `p` of `v` may legally return *now*:

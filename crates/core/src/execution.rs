@@ -47,6 +47,17 @@ struct Frontier {
     last_write: Option<OpId>,
     last_acquire: Option<OpId>,
     last_release: Option<OpId>,
+    /// Latest DMA marker (issue or complete) — the markers chain, so one
+    /// slot covers both kinds.
+    last_dma: Option<OpId>,
+}
+
+impl Frontier {
+    fn candidates(&self) -> impl Iterator<Item = OpId> {
+        [self.last_read, self.last_write, self.last_acquire, self.last_release, self.last_dma]
+            .into_iter()
+            .flatten()
+    }
 }
 
 /// An execution `E = (P, V, O, ≺)` under construction (paper
@@ -205,6 +216,13 @@ impl Execution {
     pub fn fence(&mut self, p: ProcId) -> OpId {
         self.execute(Op::fence(p))
     }
+    /// DMA-window markers (extension; see [`crate::table1::dma_rule`]).
+    pub fn dma_issue(&mut self, p: ProcId, v: LocId) -> OpId {
+        self.execute(Op::dma_issue(p, v))
+    }
+    pub fn dma_complete(&mut self, p: ProcId, v: LocId) -> OpId {
+        self.execute(Op::dma_complete(p, v))
+    }
 
     fn apply_rule_if_matching(&mut self, existing: OpId, new: OpId) {
         let e = self.ops[existing.index()];
@@ -272,25 +290,15 @@ impl Execution {
                 .filter(|(p, _)| *p == n.proc || *p == crate::op::PROC_ALL)
                 .collect();
             for key in keys {
-                let f = &self.frontier[&key];
-                candidates.extend(
-                    [f.last_read, f.last_write, f.last_acquire, f.last_release]
-                        .into_iter()
-                        .flatten(),
-                );
+                candidates.extend(self.frontier[&key].candidates());
             }
             // Init ops count as writes/releases by every process.
             for (&_v, &init) in &self.init {
                 candidates.push(init);
             }
         } else {
-            let own = self.frontier.get(&(n.proc, n.loc));
-            if let Some(f) = own {
-                candidates.extend(
-                    [f.last_read, f.last_write, f.last_acquire, f.last_release]
-                        .into_iter()
-                        .flatten(),
-                );
+            if let Some(f) = self.frontier.get(&(n.proc, n.loc)) {
+                candidates.extend(f.candidates());
             }
             // Init op of this location (write+release by all processes).
             if let Some(&init) = self.init.get(&n.loc) {
@@ -339,6 +347,7 @@ impl Execution {
                         f.last_release = Some(id);
                         self.last_release_any.insert(op.loc, id);
                     }
+                    OpKind::DmaIssue | OpKind::DmaComplete => f.last_dma = Some(id),
                     _ => unreachable!(),
                 }
             }

@@ -34,11 +34,27 @@ pub struct Limits {
     /// hard error: a truncated outcome set would silently weaken the
     /// soundness harness.
     pub max_states: usize,
+    /// Opt-in visited-state memoization: prune DFS nodes whose canonical
+    /// state ([`crate::exec_state::ModelState::canonical_key`] plus
+    /// program position and registers) has already been explored. Two
+    /// interleavings of independent steps converge on one canonical
+    /// state, so the pruned subtree's outcomes are exactly the ones the
+    /// first visit produces — the outcome set is unchanged (see the
+    /// `memoization_preserves_outcome_sets` test) while the explored
+    /// state count can drop by orders of magnitude on wide programs.
+    pub memoize: bool,
 }
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_states: 20_000_000 }
+        Limits { max_states: 20_000_000, memoize: false }
+    }
+}
+
+impl Limits {
+    /// Default limits with memoization enabled.
+    pub fn memoized() -> Self {
+        Limits { memoize: true, ..Limits::default() }
     }
 }
 
@@ -54,8 +70,10 @@ impl std::fmt::Display for Exhausted {
 
 impl std::error::Error for Exhausted {}
 
-/// The operation kind and location an instruction issues (fences have no
-/// location).
+/// The operation kind and location an instruction issues (fences and DMA
+/// waits have no location). DMA transfers report the kind of their
+/// floating data-movement operation: a put behaves like a write, a get
+/// like a read, for intra-thread dependency purposes.
 fn instr_sig(i: &Instr) -> (OpKind, Option<LocId>) {
     match i {
         Instr::Write(v, _) => (OpKind::Write, Some(*v)),
@@ -64,13 +82,32 @@ fn instr_sig(i: &Instr) -> (OpKind, Option<LocId>) {
         Instr::Acquire(v) => (OpKind::Acquire, Some(*v)),
         Instr::Release(v) => (OpKind::Release, Some(*v)),
         Instr::Fence => (OpKind::Fence, None),
+        Instr::DmaPut(v, _) => (OpKind::Write, Some(*v)),
+        Instr::DmaGet(v, _) => (OpKind::Read, Some(*v)),
+        Instr::DmaWait => (OpKind::DmaComplete, None),
     }
 }
 
 /// Would Table I order instruction `a` before instruction `b` when both
 /// are issued (in program-text order) by the same process? If so, the
 /// platform must not reorder them; otherwise it may.
+///
+/// DMA extension: a transfer depends on earlier same-location accesses
+/// (its issue point is program-ordered) and later same-location accesses
+/// depend on it — where "on it" means on its *perform* step, which floats
+/// until the thread's next [`Instr::DmaWait`]; the wait itself depends on
+/// every outstanding transfer (and chains with fences and other waits).
 pub fn intra_thread_dep(a: &Instr, b: &Instr) -> bool {
+    // DmaWait rows/columns: the wait orders after every earlier DMA
+    // transfer of the thread (any location), chains with earlier waits,
+    // and fences order both ways. Later transfers start after the wait
+    // (per-tile engines are FIFO).
+    if matches!(b, Instr::DmaWait) {
+        return a.is_dma_transfer() || matches!(a, Instr::Fence | Instr::DmaWait);
+    }
+    if matches!(a, Instr::DmaWait) {
+        return b.is_dma_transfer() || matches!(b, Instr::Fence);
+    }
     let (ka, la) = instr_sig(a);
     let (kb, lb) = instr_sig(b);
     match table1::rule(ka, kb) {
@@ -87,11 +124,22 @@ pub fn intra_thread_dep(a: &Instr, b: &Instr) -> bool {
     }
 }
 
+/// The transfers a `DmaWait` at `idx` completes: every DMA transfer
+/// instruction after the previous wait (static — waits issue in program
+/// order thanks to the wait-chains-with-wait dependency).
+fn open_transfers(thread: &[Instr], idx: usize) -> Vec<usize> {
+    let prev_wait =
+        thread[..idx].iter().rposition(|i| matches!(i, Instr::DmaWait)).map_or(0, |p| p + 1);
+    (prev_wait..idx).filter(|&j| thread[j].is_dma_transfer()).collect()
+}
+
 struct Search<'p> {
     program: &'p Program,
     limits: Limits,
     states: usize,
     outcomes: BTreeSet<Outcome>,
+    /// Canonical states already explored (memoization, opt-in).
+    seen: Option<std::collections::HashSet<Vec<u64>>>,
 }
 
 #[derive(Clone)]
@@ -99,18 +147,49 @@ struct Node {
     model: ModelState,
     /// Issued-instruction flags, per thread.
     issued: Vec<Vec<bool>>,
+    /// Perform flags: for DMA transfers, whether the floating data
+    /// movement has executed; for every other instruction, equal to
+    /// `issued` (single-phase).
+    performed: Vec<Vec<bool>>,
     regs: Vec<Vec<Value>>,
 }
 
 impl Node {
-    /// Instruction `idx` of thread `t` is ready when every earlier
-    /// instruction it depends on (per Table I) has been issued.
+    /// Instruction `idx` of thread `t` is ready to *issue* when every
+    /// earlier instruction it depends on (per Table I) has completed —
+    /// for DMA transfers, completion means the perform step, not just the
+    /// issue.
     fn ready(&self, program: &Program, t: usize, idx: usize) -> bool {
         if self.issued[t][idx] {
             return false;
         }
         let thread = &program.threads[t];
-        (0..idx).all(|j| self.issued[t][j] || !intra_thread_dep(&thread[j], &thread[idx]))
+        (0..idx).all(|j| self.performed[t][j] || !intra_thread_dep(&thread[j], &thread[idx]))
+    }
+
+    /// Canonical memoization key: model fingerprint + program position +
+    /// registers.
+    fn key(&self) -> Vec<u64> {
+        let mut key = self.model.canonical_key();
+        for flags in [&self.issued, &self.performed] {
+            for thread in flags.iter() {
+                // Pack into as many words as the thread needs — thread
+                // lengths are fixed per program, so the key layout is
+                // stable and long (≥ 64-instruction) threads cannot
+                // alias.
+                for chunk in thread.chunks(64) {
+                    let mut packed = 0u64;
+                    for (i, &b) in chunk.iter().enumerate() {
+                        packed |= (b as u64) << i;
+                    }
+                    key.push(packed);
+                }
+            }
+        }
+        for regs in &self.regs {
+            key.extend(regs.iter().map(|&v| u64::from(v)));
+        }
+        key
     }
 }
 
@@ -121,16 +200,31 @@ pub fn outcomes(program: &Program) -> Result<BTreeSet<Outcome>, Exhausted> {
 
 /// As [`outcomes`], with explicit limits.
 pub fn outcomes_with(program: &Program, limits: Limits) -> Result<BTreeSet<Outcome>, Exhausted> {
+    outcomes_counted(program, limits).map(|(outs, _)| outs)
+}
+
+/// As [`outcomes_with`], additionally returning the number of DFS states
+/// explored (memoization-pruned nodes count once).
+pub fn outcomes_counted(
+    program: &Program,
+    limits: Limits,
+) -> Result<(BTreeSet<Outcome>, usize), Exhausted> {
     let mut model = ModelState::new(EdgeMode::Full);
     for &(v, value) in &program.init {
         model.init(v, value);
     }
     let regs = (0..program.threads.len()).map(|t| vec![0; program.reg_count(t)]).collect();
-    let issued = program.threads.iter().map(|t| vec![false; t.len()]).collect();
-    let root = Node { model, issued, regs };
-    let mut search = Search { program, limits, states: 0, outcomes: BTreeSet::new() };
+    let issued: Vec<Vec<bool>> = program.threads.iter().map(|t| vec![false; t.len()]).collect();
+    let root = Node { model, performed: issued.clone(), issued, regs };
+    let mut search = Search {
+        program,
+        limits,
+        states: 0,
+        outcomes: BTreeSet::new(),
+        seen: limits.memoize.then(std::collections::HashSet::new),
+    };
     search.dfs(root)?;
-    Ok(search.outcomes)
+    Ok((search.outcomes, search.states))
 }
 
 impl<'p> Search<'p> {
@@ -139,10 +233,53 @@ impl<'p> Search<'p> {
         if self.states > self.limits.max_states {
             return Err(Exhausted);
         }
+        if let Some(seen) = &mut self.seen {
+            if !seen.insert(node.key()) {
+                // Already explored from an equivalent state: the pruned
+                // subtree's outcomes are exactly the first visit's.
+                return Ok(());
+            }
+        }
         let mut any_step = false;
         for t in 0..self.program.threads.len() {
             let thread = &self.program.threads[t];
             let p = ProcId(t as u16);
+            // Perform steps: issued-but-unperformed DMA transfers may
+            // execute their floating data movement at any point.
+            for (idx, instr) in thread.iter().enumerate() {
+                if !node.issued[t][idx] || node.performed[t][idx] {
+                    continue;
+                }
+                match instr {
+                    Instr::DmaPut(v, value) => {
+                        any_step = true;
+                        let mut next = node.clone();
+                        next.model.write(p, *v, *value);
+                        next.performed[t][idx] = true;
+                        self.dfs(next)?;
+                    }
+                    Instr::DmaGet(v, reg) => {
+                        // Like a plain read: branch over every
+                        // model-allowed value at the sample point.
+                        let mut probe = node.clone();
+                        let cands = probe.model.read_candidates(p, *v);
+                        let mut values: Vec<Value> = cands.iter().map(|&(_, val)| val).collect();
+                        values.sort_unstable();
+                        values.dedup();
+                        for value in values {
+                            any_step = true;
+                            let mut next = node.clone();
+                            next.model
+                                .read_value(p, *v, value)
+                                .expect("candidate value must be readable");
+                            next.regs[t][reg.0 as usize] = value;
+                            next.performed[t][idx] = true;
+                            self.dfs(next)?;
+                        }
+                    }
+                    other => unreachable!("{other:?} is single-phase"),
+                }
+            }
             for idx in 0..thread.len() {
                 if !node.ready(self.program, t, idx) {
                     continue;
@@ -153,6 +290,7 @@ impl<'p> Search<'p> {
                         let mut next = node.clone();
                         next.model.write(p, *v, *value);
                         next.issued[t][idx] = true;
+                        next.performed[t][idx] = true;
                         self.dfs(next)?;
                     }
                     Instr::Fence => {
@@ -160,6 +298,7 @@ impl<'p> Search<'p> {
                         let mut next = node.clone();
                         next.model.fence(p);
                         next.issued[t][idx] = true;
+                        next.performed[t][idx] = true;
                         self.dfs(next)?;
                     }
                     Instr::Acquire(v) => {
@@ -168,6 +307,7 @@ impl<'p> Search<'p> {
                             let mut next = node.clone();
                             next.model.acquire(p, *v).expect("checked can_acquire");
                             next.issued[t][idx] = true;
+                            next.performed[t][idx] = true;
                             self.dfs(next)?;
                         }
                     }
@@ -176,6 +316,7 @@ impl<'p> Search<'p> {
                         let mut next = node.clone();
                         next.model.release(p, *v).expect("litmus programs are lock-balanced");
                         next.issued[t][idx] = true;
+                        next.performed[t][idx] = true;
                         self.dfs(next)?;
                     }
                     Instr::Read(v, reg) => {
@@ -195,6 +336,7 @@ impl<'p> Search<'p> {
                                 .expect("candidate value must be readable");
                             next.regs[t][reg.0 as usize] = value;
                             next.issued[t][idx] = true;
+                            next.performed[t][idx] = true;
                             self.dfs(next)?;
                         }
                     }
@@ -216,8 +358,37 @@ impl<'p> Search<'p> {
                                 .read_value(p, *v, *value)
                                 .expect("candidate value must be readable");
                             next.issued[t][idx] = true;
+                            next.performed[t][idx] = true;
                             self.dfs(next)?;
                         }
+                    }
+                    Instr::DmaPut(v, _) | Instr::DmaGet(v, _) => {
+                        // Issue step only: the data movement floats as a
+                        // separate perform step (loop above).
+                        any_step = true;
+                        let mut next = node.clone();
+                        next.model.dma_issue(p, *v);
+                        next.issued[t][idx] = true;
+                        self.dfs(next)?;
+                    }
+                    Instr::DmaWait => {
+                        // Ready only once every outstanding transfer has
+                        // performed (intra-thread dependency); mark the
+                        // completion of each waited location.
+                        any_step = true;
+                        let mut next = node.clone();
+                        let mut locs: Vec<LocId> = open_transfers(thread, idx)
+                            .into_iter()
+                            .map(|j| instr_sig(&thread[j]).1.expect("transfers have a location"))
+                            .collect();
+                        locs.sort_unstable_by_key(|l| l.0);
+                        locs.dedup();
+                        for v in locs {
+                            next.model.dma_complete(p, v);
+                        }
+                        next.issued[t][idx] = true;
+                        next.performed[t][idx] = true;
+                        self.dfs(next)?;
                     }
                 }
             }
@@ -225,7 +396,9 @@ impl<'p> Search<'p> {
         if !any_step {
             // Either all threads finished, or the remaining instructions
             // are permanently blocked (deadlock / unsatisfied wait) —
-            // record only completed runs.
+            // record only completed runs. Perform steps stay enabled
+            // until taken, so a reachable leaf always has every transfer
+            // performed too.
             let complete = node.issued.iter().all(|flags| flags.iter().all(|&done| done));
             if complete {
                 self.outcomes.insert(node.regs);
@@ -389,7 +562,118 @@ mod tests {
     /// The state budget aborts rather than truncates.
     #[test]
     fn exhausted_budget_is_an_error() {
-        let outs = outcomes_with(&catalogue::drf_no_fence_cross_locks(), Limits { max_states: 10 });
+        let outs = outcomes_with(
+            &catalogue::drf_no_fence_cross_locks(),
+            Limits { max_states: 10, ..Limits::default() },
+        );
         assert_eq!(outs, Err(Exhausted));
+    }
+
+    /// DMA message passing: with the put waited before the release, the
+    /// annotated reader can only observe 42.
+    #[test]
+    fn dma_mp_put_always_reads_42() {
+        let outs = outcomes(&catalogue::dma_mp_put()).unwrap();
+        assert!(!outs.is_empty());
+        for o in &outs {
+            assert_eq!(o[1][0], 42, "DMA MP must read 42, outcomes: {outs:?}");
+        }
+    }
+
+    /// Put-after-write: the plain write and the bulk write stay ordered
+    /// (1 before 2), so a slow reader observes a monotone sub-sequence of
+    /// 0, 1, 2 — never 2 then 1.
+    #[test]
+    fn dma_put_after_write_is_ordered_for_readers() {
+        let outs = outcomes(&catalogue::dma_put_after_write()).unwrap();
+        let pairs: BTreeSet<(Value, Value)> = outs.iter().map(|o| (o[1][0], o[1][1])).collect();
+        for &(a, b) in &pairs {
+            assert!(a <= b, "backwards read allowed: {pairs:?}");
+        }
+        // The overlap window is real: both the intermediate and the final
+        // value are observable.
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(1, 2)));
+    }
+
+    /// Wait-before-read: the locked get returns only a committed value.
+    #[test]
+    fn dma_get_fresh_returns_committed_values() {
+        let outs = outcomes(&catalogue::dma_get_fresh()).unwrap();
+        let vals: BTreeSet<Value> = outs.iter().map(|o| o[1][0]).collect();
+        assert_eq!(vals, BTreeSet::from([0, 7]));
+    }
+
+    /// Without the wait, the put's bulk write may float past the release:
+    /// the reader under the lock may still see the old value — the race
+    /// `dma_wait` exists to close.
+    #[test]
+    fn unwaited_put_can_escape_the_scope() {
+        let p = Program::new()
+            .with_init(L(0), 0)
+            .thread(vec![Acquire(L(0)), DmaPut(L(0), 1), Release(L(0))])
+            .thread(vec![Acquire(L(0)), Read(L(0), Reg(0)), Release(L(0))]);
+        let outs = outcomes(&p).unwrap();
+        let vals: BTreeSet<Value> = outs.iter().map(|o| o[1][0]).collect();
+        assert!(vals.contains(&0), "unwaited put must be able to miss the reader: {outs:?}");
+        assert!(vals.contains(&1));
+    }
+
+    /// WRC: the causal chain does not transfer through plain reads, even
+    /// fenced — (1, then stale 0) stays allowed.
+    #[test]
+    fn wrc_allows_non_causal_read() {
+        let outs = outcomes(&catalogue::wrc()).unwrap();
+        assert!(
+            outs.iter().any(|o| o[1][0] == 1 && o[2][0] == 1 && o[2][1] == 0),
+            "WRC non-causal outcome must be allowed: {outs:?}"
+        );
+    }
+
+    /// Annotated WRC: locks + fences transfer causality; once both
+    /// forwarding reads saw 1, the final read cannot be stale.
+    #[test]
+    fn wrc_annotated_forbids_non_causal_read() {
+        let outs = outcomes(&catalogue::wrc_annotated()).unwrap();
+        assert!(
+            !outs.iter().any(|o| o[1][0] == 1 && o[2][0] == 1 && o[2][1] == 0),
+            "annotated WRC must forbid the stale read: {outs:?}"
+        );
+    }
+
+    /// Memoization is outcome-preserving on the whole catalogue and
+    /// explores no more states than plain DFS.
+    #[test]
+    fn memoization_preserves_outcome_sets() {
+        for p in [
+            catalogue::mp_unfenced(),
+            catalogue::mp_annotated(),
+            catalogue::store_buffering(),
+            catalogue::corr(),
+            catalogue::wrc(),
+            catalogue::dma_put_after_write(),
+            catalogue::dma_get_fresh(),
+            catalogue::drf_no_fence_cross_locks(),
+        ] {
+            let (plain, plain_states) = outcomes_counted(&p, Limits::default()).unwrap();
+            let (memo, memo_states) = outcomes_counted(&p, Limits::memoized()).unwrap();
+            assert_eq!(plain, memo, "outcome sets must be identical");
+            assert!(memo_states <= plain_states, "{memo_states} > {plain_states}");
+        }
+    }
+
+    /// On a wide program (IRIW: four threads, many independent steps)
+    /// memoization collapses the state space by a large factor.
+    #[test]
+    fn memoization_prunes_iriw_substantially() {
+        let p = catalogue::iriw();
+        let (plain, plain_states) = outcomes_counted(&p, Limits::default()).unwrap();
+        let (memo, memo_states) = outcomes_counted(&p, Limits::memoized()).unwrap();
+        assert_eq!(plain, memo);
+        assert!(
+            memo_states * 2 < plain_states,
+            "expected substantial pruning: {memo_states} vs {plain_states}"
+        );
     }
 }

@@ -33,6 +33,29 @@ pub enum Instr {
     /// Section IV-D). The enumerator treats it as a read constrained to
     /// return `val`, enabled once the model allows that value.
     WaitEq(LocId, Value),
+    /// Asynchronous bulk-transfer (DMA) write: hand `value` to the
+    /// platform's DMA engine. The write *performs* at a nondeterministic
+    /// point between this instruction and the thread's next [`Instr::DmaWait`]
+    /// (the enumerator explores every placement). Runtime mapping:
+    /// `ctx.write(..)` staged locally + `ctx.dma_put(..)`.
+    DmaPut(LocId, Value),
+    /// Asynchronous bulk-transfer read into a register; samples the
+    /// location at a nondeterministic point between issue and the next
+    /// [`Instr::DmaWait`]. Runtime mapping: `ctx.dma_get(..)` + a read of
+    /// the staged bytes after the wait.
+    DmaGet(LocId, Reg),
+    /// Block until every outstanding DMA transfer of this thread has
+    /// performed (the runtime's `dma_wait(ticket)` on the tile's newest
+    /// ticket — per-tile engines complete in issue order).
+    DmaWait,
+}
+
+impl Instr {
+    /// Whether this instruction issues an asynchronous (two-phase)
+    /// transfer.
+    pub fn is_dma_transfer(&self) -> bool {
+        matches!(self, Instr::DmaPut(..) | Instr::DmaGet(..))
+    }
 }
 
 /// A litmus program: one instruction list per thread plus initial values.
@@ -62,7 +85,7 @@ impl Program {
         self.threads[thread]
             .iter()
             .filter_map(|i| match i {
-                Instr::Read(_, Reg(r)) => Some(*r as usize + 1),
+                Instr::Read(_, Reg(r)) | Instr::DmaGet(_, Reg(r)) => Some(*r as usize + 1),
                 _ => None,
             })
             .max()
@@ -177,6 +200,108 @@ pub mod catalogue {
             ])
     }
 
+    /// WRC (write-to-read causality): P0 writes X; P1 reads X and then
+    /// writes Y; P2 reads Y then X. Even with fences, PMC's plain reads
+    /// carry no global ordering (reads order only locally, `≺ℓ`), so the
+    /// causal chain does not transfer: P2 may observe Y = 1 yet still
+    /// read the stale X = 0.
+    pub fn wrc() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .thread(vec![Instr::Write(X, 1)])
+            .thread(vec![Instr::Read(X, Reg(0)), Instr::Fence, Instr::Write(Y, 1)])
+            .thread(vec![Instr::Read(Y, Reg(0)), Instr::Fence, Instr::Read(X, Reg(1))])
+    }
+
+    /// WRC with every access annotated (locked) and fences between the
+    /// critical sections: the acquire chain transfers causality, so
+    /// observing Y = 1 after X = 1 was forwarded forbids the stale read
+    /// (no outcome with r0 = 1 on both forwarding reads and r1 = 0).
+    pub fn wrc_annotated() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .thread(vec![Instr::Acquire(X), Instr::Write(X, 1), Instr::Release(X)])
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Read(X, Reg(0)),
+                Instr::Release(X),
+                Instr::Fence,
+                Instr::Acquire(Y),
+                Instr::Write(Y, 1),
+                Instr::Release(Y),
+            ])
+            .thread(vec![
+                Instr::Acquire(Y),
+                Instr::Read(Y, Reg(0)),
+                Instr::Release(Y),
+                Instr::Fence,
+                Instr::Acquire(X),
+                Instr::Read(X, Reg(1)),
+                Instr::Release(X),
+            ])
+    }
+
+    /// DMA message passing: the payload travels as an asynchronous bulk
+    /// transfer, completed (`DmaWait`) before the lock is released and the
+    /// flag is raised. The annotated reader must observe 42 — the
+    /// put-completes-before-release guarantee of the DMA extension.
+    pub fn dma_mp_put() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(FLAG, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::DmaPut(X, 42),
+                Instr::DmaWait,
+                Instr::Fence,
+                Instr::Release(X),
+                Instr::Acquire(FLAG),
+                Instr::Write(FLAG, 1),
+                Instr::Release(FLAG),
+            ])
+            .thread(vec![
+                Instr::WaitEq(FLAG, 1),
+                Instr::Fence,
+                Instr::Acquire(X),
+                Instr::Read(X, Reg(0)),
+                Instr::Release(X),
+            ])
+    }
+
+    /// Put-after-write overlap: inside one exclusive scope, a plain write
+    /// is followed by a DMA put of the same location. The put's bulk
+    /// write performs at some point before the wait; an unsynchronised
+    /// slow reader may observe 0, 1 or 2, but never backwards.
+    pub fn dma_put_after_write() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Write(X, 1),
+                Instr::DmaPut(X, 2),
+                Instr::DmaWait,
+                Instr::Release(X),
+            ])
+            .thread(vec![Instr::Read(X, Reg(0)), Instr::Read(X, Reg(1))])
+    }
+
+    /// Wait-before-read: a DMA get under the location's lock, waited
+    /// before use, returns the committed value — whichever side won the
+    /// lock race (0 or 7), never a torn or stale intermediate.
+    pub fn dma_get_fresh() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .thread(vec![Instr::Acquire(X), Instr::Write(X, 7), Instr::Release(X)])
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::DmaGet(X, Reg(0)),
+                Instr::DmaWait,
+                Instr::Release(X),
+            ])
+    }
+
     /// Same as [`drf_no_fence_cross_locks`] but with fences between the
     /// critical sections: recovers the SC-forbidden-outcome guarantee.
     pub fn drf_fenced_cross_locks() -> Program {
@@ -227,6 +352,11 @@ mod tests {
             catalogue::store_buffering(),
             catalogue::corr(),
             catalogue::iriw(),
+            catalogue::wrc(),
+            catalogue::wrc_annotated(),
+            catalogue::dma_mp_put(),
+            catalogue::dma_put_after_write(),
+            catalogue::dma_get_fresh(),
             catalogue::drf_no_fence_cross_locks(),
             catalogue::drf_fenced_cross_locks(),
         ] {

@@ -59,7 +59,7 @@ pub fn check_pram(traces: &[ThreadTrace]) -> bool {
 pub fn check_pc(traces: &[ThreadTrace]) -> bool {
     validate(traces).expect("malformed trace");
     let mut writes_per_loc: HashMap<LocId, Vec<Vec<Value>>> = HashMap::new();
-    for (_, trace) in traces.iter().enumerate() {
+    for trace in traces.iter() {
         let mut per_loc: HashMap<LocId, Vec<Value>> = HashMap::new();
         for ev in trace {
             if ev.is_write {

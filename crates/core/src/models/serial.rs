@@ -55,7 +55,7 @@ impl CoherenceOrder {
 /// * with `coherence`, writes to a location must be scheduled in the
 ///   agreed order.
 pub fn serializable(streams: &[ThreadTrace], coherence: Option<&CoherenceOrder>) -> bool {
-    let mut memo: HashSet<(Vec<usize>, Vec<(LocId, Value)>)> = HashSet::new();
+    let mut memo: SerialMemo = HashSet::new();
     let mut mem: HashMap<LocId, Value> = HashMap::new();
     // Progress of the coherence order per location (next write position
     // that may be scheduled).
@@ -64,13 +64,16 @@ pub fn serializable(streams: &[ThreadTrace], coherence: Option<&CoherenceOrder>)
     dfs(streams, coherence, &mut pos, &mut mem, &mut co_next, &mut memo)
 }
 
+/// Memo key: thread positions plus the memory snapshot.
+type SerialMemo = HashSet<(Vec<usize>, Vec<(LocId, Value)>)>;
+
 fn dfs(
     streams: &[ThreadTrace],
     coherence: Option<&CoherenceOrder>,
     pos: &mut Vec<usize>,
     mem: &mut HashMap<LocId, Value>,
     co_next: &mut HashMap<LocId, usize>,
-    memo: &mut HashSet<(Vec<usize>, Vec<(LocId, Value)>)>,
+    memo: &mut SerialMemo,
 ) -> bool {
     if pos.iter().zip(streams).all(|(&p, s)| p >= s.len()) {
         return true;

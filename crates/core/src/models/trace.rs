@@ -31,11 +31,15 @@ pub type ThreadTrace = Vec<MemEvent>;
 /// `None` denotes the initial value.
 pub type WriteRef = Option<(usize, usize)>;
 
+/// Map from `(loc, value)` to the identity of the write that produced
+/// the value.
+pub type WriteMap = HashMap<(LocId, Value), (usize, usize)>;
+
 /// Checks the unique-write-value convention and that every read returns
 /// either the initial value or some written value. Returns a map from
 /// `(loc, value)` to the write's identity.
-pub fn validate(traces: &[ThreadTrace]) -> Result<HashMap<(LocId, Value), (usize, usize)>, String> {
-    let mut writes: HashMap<(LocId, Value), (usize, usize)> = HashMap::new();
+pub fn validate(traces: &[ThreadTrace]) -> Result<WriteMap, String> {
+    let mut writes: WriteMap = HashMap::new();
     for (t, trace) in traces.iter().enumerate() {
         let mut w_idx = 0;
         for ev in trace {

@@ -59,6 +59,18 @@ pub enum OpKind {
     /// *and* a release (paper Definition 3), issued by the pseudo-process
     /// "all" (paper ♦).
     Init,
+    /// Extension beyond the paper's five operations: marks the *program
+    /// point* at which a process hands an asynchronous bulk (DMA)
+    /// transfer of a location to the platform. The data movement itself
+    /// is modelled by ordinary `Read`/`Write` operations floating between
+    /// the issue and the matching [`OpKind::DmaComplete`]; the markers
+    /// carry only *local* ordering (they pin the transfer window for the
+    /// issuing process and are invisible to every other process).
+    DmaIssue,
+    /// The point at which the issuing process *observes* completion of
+    /// outstanding DMA transfers on a location (`dma_wait` in the
+    /// runtime). Like [`OpKind::DmaIssue`], purely locally ordered.
+    DmaComplete,
 }
 
 impl OpKind {
@@ -85,6 +97,8 @@ impl OpKind {
             OpKind::Release => "R",
             OpKind::Fence => "F",
             OpKind::Init => "init",
+            OpKind::DmaIssue => "dI",
+            OpKind::DmaComplete => "dC",
         }
     }
 }
@@ -137,6 +151,12 @@ impl Op {
     pub fn init(v: LocId, value: Value) -> Self {
         Op { kind: OpKind::Init, proc: PROC_ALL, loc: v, value }
     }
+    pub fn dma_issue(p: ProcId, v: LocId) -> Self {
+        Op { kind: OpKind::DmaIssue, proc: p, loc: v, value: 0 }
+    }
+    pub fn dma_complete(p: ProcId, v: LocId) -> Self {
+        Op { kind: OpKind::DmaComplete, proc: p, loc: v, value: 0 }
+    }
 
     /// Whether this operation counts as issued by process `p`.
     /// Initial operations are issued by every process (Definition 3).
@@ -162,6 +182,8 @@ impl fmt::Display for Op {
             OpKind::Release => write!(f, "R(p{}, v{})", self.proc.0, self.loc.0),
             OpKind::Fence => write!(f, "F(p{})", self.proc.0),
             OpKind::Init => write!(f, "init(v{})={}", self.loc.0, self.value),
+            OpKind::DmaIssue => write!(f, "dI(p{}, v{})", self.proc.0, self.loc.0),
+            OpKind::DmaComplete => write!(f, "dC(p{}, v{})", self.proc.0, self.loc.0),
         }
     }
 }

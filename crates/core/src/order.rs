@@ -7,7 +7,10 @@ use crate::op::ProcId;
 /// Kind of an ordering edge between two operations.
 ///
 /// * `Local` — paper Definition 6 (`≺ℓ`): visible only to the executing
-///   process; preserves local control/data dependencies.
+///   process; preserves local control/data dependencies. The DMA-window
+///   markers of the bulk-transfer extension ([`crate::op::OpKind::DmaIssue`]
+///   / [`crate::op::OpKind::DmaComplete`]) order exclusively through this
+///   kind — see [`crate::table1::dma_rule`].
 /// * `Program` — paper Definition 5 (`≺P`): globally visible orderings
 ///   between two operations of one process on one location.
 /// * `Sync` — paper Definition 7 (`≺S`): globally visible, per-location

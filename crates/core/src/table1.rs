@@ -70,7 +70,7 @@ pub const COLS: [OpKind; 5] =
 /// handling `Init` should query both `Write` and `Release` rows (see
 /// [`rules_for_existing`]).
 pub fn rule(existing: OpKind, new: OpKind) -> Option<Rule> {
-    use OpKind::{Acquire, Fence, Init, Read, Release, Write};
+    use OpKind::{Acquire, DmaComplete, DmaIssue, Fence, Init, Read, Release, Write};
     use OrderKind::{Fence as OF, Local, Program, Sync};
     use RuleScope::*;
     let cell = |kind, scope| Some(Rule { kind, scope });
@@ -113,6 +113,47 @@ pub fn rule(existing: OpKind, new: OpKind) -> Option<Rule> {
 
         // Init rows are handled by the caller via write/release duality.
         (Init, _) | (_, Init) => None,
+
+        // DMA markers are outside the paper's table; see [`dma_rule`].
+        (DmaIssue | DmaComplete, _) | (_, DmaIssue | DmaComplete) => None,
+    }
+}
+
+/// Ordering rules for the DMA-marker extension ([`OpKind::DmaIssue`] /
+/// [`OpKind::DmaComplete`]), beyond the paper's Table I.
+///
+/// The markers pin the *transfer window* of an asynchronous bulk
+/// transfer for the issuing process: the issue point is ordered after the
+/// process's earlier accesses of the location, the completion point
+/// before its later ones, and issue before completion. All edges are
+/// **local** (`≺ℓ`) — a DMA transfer's global visibility is carried
+/// entirely by the ordinary read/write operations that model its data
+/// movement (floating between the two markers), so the markers add no
+/// cross-process ordering and cannot shrink the outcome set another
+/// process observes.
+pub fn dma_rule(existing: OpKind, new: OpKind) -> Option<Rule> {
+    use OpKind::{Acquire, DmaComplete, DmaIssue, Fence, Read, Release, Write};
+    use OrderKind::Local;
+    let is_dma = |k: OpKind| matches!(k, DmaIssue | DmaComplete);
+    if !is_dma(existing) && !is_dma(new) {
+        return None;
+    }
+    let cell = |scope| Some(Rule { kind: Local, scope });
+    match (existing, new) {
+        // Into a marker: the process's same-location accesses precede it,
+        // and its fences span all locations (like every fence row).
+        (Read | Write | Acquire | Release, DmaIssue | DmaComplete) => {
+            cell(RuleScope::SameProcSameLoc)
+        }
+        (Fence, DmaIssue | DmaComplete) => cell(RuleScope::SameProcAnyLoc),
+        // Out of a marker: later same-process same-location operations
+        // (including a fence, which spans all of them) come after.
+        (DmaIssue | DmaComplete, Read | Write | Acquire | Release | Fence) => {
+            cell(RuleScope::SameProcSameLoc)
+        }
+        // issue ≺ℓ complete, and markers chain among themselves.
+        (DmaIssue | DmaComplete, DmaIssue | DmaComplete) => cell(RuleScope::SameProcSameLoc),
+        _ => None,
     }
 }
 
@@ -120,11 +161,13 @@ pub fn rule(existing: OpKind, new: OpKind) -> Option<Rule> {
 /// (resolving the `Init` = write + release duality of Definition 3) to a
 /// new operation of kind `new`.
 pub fn rules_for_existing(existing: OpKind, new: OpKind) -> impl Iterator<Item = Rule> {
-    let (a, b) = match existing {
-        OpKind::Init => (rule(OpKind::Write, new), rule(OpKind::Release, new)),
-        other => (rule(other, new), None),
+    let (a, b, d) = match existing {
+        OpKind::Init => {
+            (rule(OpKind::Write, new), rule(OpKind::Release, new), dma_rule(OpKind::Write, new))
+        }
+        other => (rule(other, new), None, dma_rule(other, new)),
     };
-    a.into_iter().chain(b)
+    a.into_iter().chain(b).chain(d)
 }
 
 /// Render the table as plain text (the `table1` harness binary prints
@@ -146,7 +189,7 @@ pub fn render() -> String {
             OpKind::Acquire => "acquire (A, p, v, *)",
             OpKind::Release => "release (R, p, v, *)",
             OpKind::Fence => "fence   (F, p, *, *)",
-            OpKind::Init => unreachable!(),
+            _ => unreachable!("ROWS holds the paper's five kinds"),
         };
         out.push_str(&format!("{pattern:<22}"));
         for c in COLS {

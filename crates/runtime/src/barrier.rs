@@ -74,7 +74,7 @@ mod tests {
                             for other in 0..n as u32 {
                                 let seen = ctx.read_at(slots, other);
                                 assert!(
-                                    seen >= p + 1,
+                                    seen > p,
                                     "tile {t}: slot {other} at {seen}, expected ≥ {}",
                                     p + 1
                                 );

@@ -106,6 +106,32 @@ impl<T: Pod> MFifo<T> {
         data
     }
 
+    /// Non-blocking variant of [`MFifo::push`] (mirroring
+    /// [`MFifo::try_pop`]): returns `false` — without writing — when some
+    /// reader has not yet consumed the slot the push would overwrite.
+    pub fn try_push(&self, ctx: &mut PmcCtx<'_, '_>, data: T) -> bool {
+        ctx.entry_x(self.write_ptr);
+        let wp_raw = ctx.read(self.write_ptr);
+        let slot = wp_raw % self.depth;
+        for i in 0..self.read_ptr.len() {
+            let rp = read_ro(ctx, self.read_ptr.at(i));
+            // Reader i must have consumed index wp_raw - depth.
+            if (rp as i64) <= (wp_raw as i64) - (self.depth as i64) {
+                ctx.exit_x(self.write_ptr);
+                return false;
+            }
+        }
+        ctx.fence();
+        ctx.entry_x(self.buf.at(slot));
+        ctx.write(self.buf.at(slot), data);
+        ctx.exit_x(self.buf.at(slot));
+        ctx.fence();
+        ctx.write(self.write_ptr, wp_raw + 1);
+        ctx.flush(self.write_ptr);
+        ctx.exit_x(self.write_ptr);
+        true
+    }
+
     /// Non-blocking variant of [`MFifo::pop`]: returns `None` when no
     /// element is available.
     pub fn try_pop(&self, ctx: &mut PmcCtx<'_, '_>, reader: u32) -> Option<T> {
@@ -230,5 +256,52 @@ mod tests {
             }),
             Box::new(|_ctx| {}),
         ]);
+    }
+
+    /// `try_push` full/empty edges: fails without writing when the FIFO
+    /// is full, succeeds again exactly as slots free up, and the data
+    /// stream stays intact.
+    #[test]
+    fn try_push_full_and_empty_edges() {
+        for backend in [BackendKind::Uncached, BackendKind::Spm] {
+            let mut sys = System::new(SocConfig::small(2), backend, LockKind::Sdram);
+            let fifo = sys.alloc_fifo::<u32>("f", 2, 1);
+            sys.run(vec![
+                Box::new(move |ctx| {
+                    // Fill to the brim: depth slots succeed, then full.
+                    assert!(fifo.try_push(ctx, 10));
+                    assert!(fifo.try_push(ctx, 11));
+                    assert!(!fifo.try_push(ctx, 12), "{backend:?}: push into full must fail");
+                    assert!(!fifo.try_push(ctx, 12), "{backend:?}: still full");
+                    // One pop frees exactly one slot.
+                    assert_eq!(fifo.try_pop(ctx, 0), Some(10));
+                    assert!(fifo.try_push(ctx, 12));
+                    assert!(!fifo.try_push(ctx, 13));
+                    // Drain: the rejected values never entered.
+                    assert_eq!(fifo.pop(ctx, 0), 11);
+                    assert_eq!(fifo.pop(ctx, 0), 12);
+                    assert_eq!(fifo.try_pop(ctx, 0), None, "{backend:?}: empty again");
+                    // Empty FIFO accepts a push immediately.
+                    assert!(fifo.try_push(ctx, 14));
+                    assert_eq!(fifo.try_pop(ctx, 0), Some(14));
+                }),
+                Box::new(|_ctx| {}),
+            ]);
+        }
+    }
+
+    /// A depth-1 FIFO alternates strictly: push, full, pop, empty.
+    #[test]
+    fn try_push_depth_one_alternates() {
+        let mut sys = System::new(SocConfig::small(1), BackendKind::Swcc, LockKind::Sdram);
+        let fifo = sys.alloc_fifo::<u32>("f", 1, 1);
+        sys.run(vec![Box::new(move |ctx| {
+            for round in 0..5u32 {
+                assert!(fifo.try_push(ctx, round));
+                assert!(!fifo.try_push(ctx, 99));
+                assert_eq!(fifo.try_pop(ctx, 0), Some(round));
+                assert_eq!(fifo.try_pop(ctx, 0), None);
+            }
+        })]);
     }
 }

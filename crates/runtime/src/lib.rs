@@ -44,7 +44,7 @@ pub mod pod;
 pub mod queue;
 pub mod system;
 
-pub use ctx::{read_ro, scope_ro, scope_x, write_x, PmcCtx};
+pub use ctx::{read_ro, scope_ro, scope_x, write_x, DmaTicket, PmcCtx};
 pub use fifo::MFifo;
 pub use pod::{Pod, Vec2};
 pub use system::{BackendKind, LockKind, Obj, ObjVec, PrivSlab, Slab, System};

@@ -74,6 +74,12 @@ pub fn run_litmus(program: &Program, backend: BackendKind, lock_kind: LockKind) 
                 Box::new(move |ctx| {
                     let mut regs = vec![0; n_regs];
                     let mut held: Vec<u32> = Vec::new();
+                    // Outstanding DMA state: the newest ticket (per-tile
+                    // engines complete in issue order) and the registers
+                    // awaiting get completions.
+                    let mut last_ticket: Option<crate::ctx::DmaTicket> = None;
+                    let mut pending_gets: Vec<(pmc_core::op::LocId, pmc_core::litmus::Reg)> =
+                        Vec::new();
                     for i in &instrs {
                         let obj = |l: pmc_core::op::LocId| -> Obj<Value> { locs.at(l.0) };
                         match i {
@@ -111,8 +117,40 @@ pub fn run_litmus(program: &Program, backend: BackendKind, lock_kind: LockKind) 
                                     backoff = (backoff * 2).min(512);
                                 }
                             }
+                            Instr::DmaPut(l, v) => {
+                                // Stage the value in the scope's local
+                                // view, then hand the range to the engine.
+                                assert!(
+                                    held.contains(&l.0),
+                                    "DMA transfers require the owning scope"
+                                );
+                                ctx.write(obj(*l), *v);
+                                last_ticket = Some(ctx.dma_put_obj(obj(*l)));
+                            }
+                            Instr::DmaGet(l, r) => {
+                                assert!(
+                                    held.contains(&l.0),
+                                    "DMA transfers require the owning scope"
+                                );
+                                last_ticket = Some(ctx.dma_get_obj(obj(*l)));
+                                pending_gets.push((*l, *r));
+                            }
+                            Instr::DmaWait => {
+                                if let Some(t) = last_ticket.take() {
+                                    ctx.dma_wait(t);
+                                }
+                                // The staged bytes are defined now: land
+                                // the awaited gets in their registers.
+                                for (l, r) in pending_gets.drain(..) {
+                                    regs[r.0 as usize] = ctx.read(obj(l));
+                                }
+                            }
                         }
                     }
+                    assert!(
+                        last_ticket.is_none() && pending_gets.is_empty(),
+                        "litmus DMA transfers must be waited before the thread ends"
+                    );
                     *results_ref[t].lock().unwrap() = regs;
                 })
             })

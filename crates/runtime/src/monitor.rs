@@ -13,10 +13,18 @@
 //!   every previous release);
 //! * **slow-read monotonicity** — an unlocked read-only access may be
 //!   stale, but per reader each location never moves backwards through
-//!   the committed-write history (Definition 12's second clause).
+//!   the committed-write history (Definition 12's second clause);
+//! * **DMA protocol** — bulk transfers are issued only under the owning
+//!   scope (puts need exclusive access), no access by the issuing tile
+//!   touches a range with an in-flight transfer (reads of a DMA target
+//!   before `dma_wait`, writes under an unfinished put), scopes never
+//!   exit with outstanding transfers, and *streaming* scopes read only
+//!   ranges a completed get or an own write defines and publish every
+//!   write with a put before exiting.
 //!
 //! Any back-end bug — a missing invalidate, a lost broadcast, a flush
-//! after the unlock — shows up as a violation.
+//! after the unlock, a transfer outliving its scope — shows up as a
+//! violation.
 
 use std::collections::HashMap;
 
@@ -42,6 +50,11 @@ impl std::fmt::Display for Violation {
 struct ObjState {
     /// Who currently holds exclusive (or locked read-only) access.
     holder: Option<(usize, bool)>, // (tile, exclusive)
+    /// Whether the holding scope is a streaming one (no eager staging).
+    streaming: bool,
+    /// Byte ranges of the holding streaming scope whose local view is
+    /// defined: own writes plus completed gets.
+    covered: Vec<(u32, u32)>, // (start, end)
     /// Committed value history per chunk (offset, len) — index 0 is the
     /// initial value, seeded lazily from the first read.
     history: HashMap<(u32, u32), Vec<u64>>,
@@ -54,11 +67,88 @@ struct ObjState {
     pending: HashMap<(u32, u32), u64>,
 }
 
+impl ObjState {
+    /// Commit the scope's pending writes to the value history (exit,
+    /// flush, or a DMA put — which publishes the staged state).
+    fn commit_pending(&mut self) {
+        self.commit_pending_range(0, u32::MAX);
+    }
+
+    /// Commit only the pending chunks overlapping `[start, end)` — a DMA
+    /// put publishes exactly its byte range, so writes outside it stay
+    /// pending and a streaming `exit_x` can flag them as never
+    /// published (on SPM they would be silently lost).
+    fn commit_pending_range(&mut self, start: u32, end: u32) {
+        let keys: Vec<(u32, u32)> = self
+            .pending
+            .keys()
+            .copied()
+            .filter(|&(off, len)| off < end && off + len > start)
+            .collect();
+        for chunk in keys {
+            let val = self.pending.remove(&chunk).expect("key just listed");
+            let hist = self.history.entry(chunk).or_default();
+            if hist.is_empty() {
+                // First commit before any read: the (unknown) initial
+                // value still precedes this one.
+                self.init_open.insert(chunk);
+            }
+            if hist.last() != Some(&val) {
+                hist.push(val);
+            }
+        }
+    }
+}
+
+/// An in-flight DMA transfer.
+struct Outstanding {
+    tile: usize,
+    obj: u32,
+    start: u32,
+    end: u32,
+    seq: u32,
+    put: bool,
+}
+
+/// Insert `[start, end)` into a sorted, disjoint interval list, merging
+/// overlaps/adjacencies — contiguous writes collapse to one entry, so
+/// coverage queries stay cheap on big streaming scopes.
+fn add_covered(ranges: &mut Vec<(u32, u32)>, start: u32, end: u32) {
+    if start >= end {
+        return;
+    }
+    let i = ranges.partition_point(|&(s, _)| s < start);
+    ranges.insert(i, (start, end));
+    let mut i = i.saturating_sub(1);
+    while i + 1 < ranges.len() {
+        if ranges[i].1 >= ranges[i + 1].0 {
+            ranges[i].1 = ranges[i].1.max(ranges[i + 1].1);
+            ranges.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Does `[start, end)` lie entirely inside the union of `ranges`?
+/// (`ranges` is sorted and disjoint — maintained by [`add_covered`] —
+/// so a containing interval must be the last one starting at or before
+/// `start`.)
+fn covers(ranges: &[(u32, u32)], start: u32, end: u32) -> bool {
+    if start >= end {
+        return true;
+    }
+    let i = ranges.partition_point(|&(s, _)| s <= start);
+    i > 0 && ranges[i - 1].1 >= end
+}
+
 /// Validate a trace; returns all violations (empty = clean).
 pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
     let mut objs: HashMap<u32, ObjState> = HashMap::new();
     // Per (tile, obj, chunk): minimum history index the reader may see.
     let mut floor: HashMap<(usize, u32, (u32, u32)), usize> = HashMap::new();
+    // In-flight DMA transfers across all tiles.
+    let mut outstanding: Vec<Outstanding> = Vec::new();
     let mut out = Vec::new();
     let violate = |r: &TraceRecord, msg: String, out: &mut Vec<Violation>| {
         out.push(Violation { time: r.time, tile: r.tile, message: msg });
@@ -75,6 +165,8 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                     );
                 }
                 st.holder = Some((r.tile, true));
+                st.streaming = r.value & 2 != 0;
+                st.covered.clear();
                 st.pending.clear();
             }
             k::EXIT_X => {
@@ -87,23 +179,31 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                         &mut out,
                     ),
                 }
-                // Commit the scope's writes to history.
-                let pending: Vec<((u32, u32), u64)> = st.pending.drain().collect();
-                for (chunk, val) in pending {
-                    let hist = st.history.entry(chunk).or_default();
-                    if hist.is_empty() {
-                        // First commit before any read: the (unknown)
-                        // initial value still precedes this one.
-                        st.init_open.insert(chunk);
-                    }
-                    if hist.last() != Some(&val) {
-                        hist.push(val);
-                    }
+                if outstanding.iter().any(|o| o.tile == r.tile && o.obj == r.addr) {
+                    violate(
+                        r,
+                        format!("exit_x(obj {}) with outstanding DMA transfers", r.addr),
+                        &mut out,
+                    );
                 }
+                if st.streaming && !st.pending.is_empty() {
+                    violate(
+                        r,
+                        format!(
+                            "streaming exit_x(obj {}) with writes never published by dma_put",
+                            r.addr
+                        ),
+                        &mut out,
+                    );
+                }
+                // Commit the scope's writes to history.
+                st.commit_pending();
                 st.holder = None;
+                st.streaming = false;
+                st.covered.clear();
             }
             k::ENTRY_RO => {
-                let locked = r.value != 0;
+                let locked = r.value & 1 != 0;
                 if locked {
                     let st = objs.entry(r.addr).or_default();
                     if let Some((t, _)) = st.holder {
@@ -114,28 +214,130 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                         );
                     }
                     st.holder = Some((r.tile, false));
+                    st.streaming = r.value & 2 != 0;
+                    st.covered.clear();
                 }
             }
             k::EXIT_RO => {
                 let st = objs.entry(r.addr).or_default();
+                if outstanding.iter().any(|o| o.tile == r.tile && o.obj == r.addr) {
+                    violate(
+                        r,
+                        format!("exit_ro(obj {}) with outstanding DMA transfers", r.addr),
+                        &mut out,
+                    );
+                }
                 if let Some((t, false)) = st.holder {
                     if t == r.tile {
                         st.holder = None;
+                        st.streaming = false;
+                        st.covered.clear();
                     }
                 }
             }
             k::FLUSH => {
                 // Flush commits pending writes early (visibility push).
+                // On a streaming scope it is undefined (a whole-object
+                // stage-out would publish undefined staging bytes on
+                // SPM): the runtime refuses it, so a trace showing one
+                // is a broken back-end or a forged trace.
                 let st = objs.entry(r.addr).or_default();
-                let pending: Vec<((u32, u32), u64)> = st.pending.drain().collect();
-                for (chunk, val) in pending {
-                    let hist = st.history.entry(chunk).or_default();
-                    if hist.is_empty() {
-                        st.init_open.insert(chunk);
+                if st.streaming && matches!(st.holder, Some((t, _)) if t == r.tile) {
+                    violate(r, format!("flush(obj {}) inside a streaming scope", r.addr), &mut out);
+                }
+                st.commit_pending();
+            }
+            k::DMA_GET | k::DMA_PUT => {
+                let put = r.kind == k::DMA_PUT;
+                let start = (r.value >> 32) as u32;
+                let end = start + r.len;
+                let seq = r.value as u32;
+                let st = objs.entry(r.addr).or_default();
+                let held = matches!(st.holder, Some((t, _)) if t == r.tile);
+                let held_x = matches!(st.holder, Some((t, true)) if t == r.tile);
+                if put && !held_x {
+                    violate(
+                        r,
+                        format!(
+                            "dma_put(obj {}) without exclusive access ({:?})",
+                            r.addr, st.holder
+                        ),
+                        &mut out,
+                    );
+                } else if !put && !held && st.holder.is_some() {
+                    violate(
+                        r,
+                        format!("dma_get(obj {}) while another tile holds it", r.addr),
+                        &mut out,
+                    );
+                }
+                if put {
+                    // The put publishes the staged state of its range
+                    // (like a range-limited flush); writes outside the
+                    // range stay pending so a streaming exit can flag
+                    // them as never published.
+                    st.commit_pending_range(start, end);
+                }
+                outstanding.push(Outstanding { tile: r.tile, obj: r.addr, start, end, seq, put });
+            }
+            k::DMA_WAIT => {
+                let waited = r.value as u32;
+                // Per-tile engines complete in issue order: the wait
+                // retires every transfer of this tile up to the sequence
+                // number; completed gets define their target ranges.
+                let mut kept = Vec::with_capacity(outstanding.len());
+                for o in outstanding.drain(..) {
+                    if o.tile == r.tile && o.seq <= waited {
+                        if !o.put {
+                            let st = objs.entry(o.obj).or_default();
+                            if matches!(st.holder, Some((t, _)) if t == o.tile) {
+                                add_covered(&mut st.covered, o.start, o.end);
+                            }
+                        }
+                    } else {
+                        kept.push(o);
                     }
-                    if hist.last() != Some(&val) {
-                        hist.push(val);
-                    }
+                }
+                outstanding = kept;
+            }
+            k::STAGE_IN => {
+                // Synchronous word-copy fill: defines the range in the
+                // streaming scope's coverage.
+                let start = r.value as u32;
+                let end = start + r.len;
+                let st = objs.entry(r.addr).or_default();
+                if st.streaming && matches!(st.holder, Some((t, _)) if t == r.tile) {
+                    add_covered(&mut st.covered, start, end);
+                }
+            }
+            k::READ_BLOCK => {
+                // Bulk read: range checks only (no value history — the
+                // payload is not traced). Same hazards as a word read.
+                let start = r.value as u32;
+                let end = start + r.len;
+                let st = objs.entry(r.addr).or_default();
+                if outstanding.iter().any(|o| {
+                    o.tile == r.tile && o.obj == r.addr && !o.put && start < o.end && end > o.start
+                }) {
+                    violate(
+                        r,
+                        format!("bulk read of obj {} DMA-target memory before dma_wait", r.addr),
+                        &mut out,
+                    );
+                }
+                if st.streaming
+                    && matches!(st.holder, Some((t, _)) if t == r.tile)
+                    && !covers(&st.covered, start, end)
+                {
+                    violate(
+                        r,
+                        format!(
+                            "bulk read of obj {} range never defined in this streaming scope \
+                             (no completed dma_get or own write covers it)",
+                            r.addr
+                        ),
+                        &mut out,
+                    );
                 }
             }
             k::WRITE => {
@@ -149,11 +351,57 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                         &mut out,
                     ),
                 }
+                if outstanding.iter().any(|o| {
+                    o.tile == r.tile
+                        && o.obj == r.addr
+                        && chunk.0 < o.end
+                        && chunk.0 + chunk.1 > o.start
+                }) {
+                    violate(
+                        r,
+                        format!(
+                            "write to obj {} range with an in-flight DMA transfer (before dma_wait)",
+                            r.addr
+                        ),
+                        &mut out,
+                    );
+                }
+                if st.streaming {
+                    add_covered(&mut st.covered, chunk.0, chunk.0 + chunk.1);
+                }
                 st.pending.insert(chunk, r.value);
             }
             k::READ => {
                 let chunk = (r.len >> 8, r.len & 0xff);
                 let st = objs.entry(r.addr).or_default();
+                if outstanding.iter().any(|o| {
+                    o.tile == r.tile
+                        && o.obj == r.addr
+                        && !o.put
+                        && chunk.0 < o.end
+                        && chunk.0 + chunk.1 > o.start
+                }) {
+                    violate(
+                        r,
+                        format!("read of obj {} DMA-target memory before dma_wait", r.addr),
+                        &mut out,
+                    );
+                }
+                if st.streaming
+                    && matches!(st.holder, Some((t, _)) if t == r.tile)
+                    && !st.pending.contains_key(&chunk)
+                    && !covers(&st.covered, chunk.0, chunk.0 + chunk.1)
+                {
+                    violate(
+                        r,
+                        format!(
+                            "read of obj {} range never defined in this streaming scope \
+                             (no completed dma_get or own write covers it)",
+                            r.addr
+                        ),
+                        &mut out,
+                    );
+                }
                 let hist = st.history.entry(chunk).or_default();
                 if hist.is_empty() {
                     // Seed with the initial value on first observation.
@@ -389,6 +637,246 @@ mod tests {
         let v = validate(&backwards);
         assert_eq!(v.len(), 1, "backwards read past an observed commit: {v:#?}");
         assert_eq!(v[0].time, 4);
+    }
+
+    /// A real program that reads its DMA-target range before `dma_wait`
+    /// is rejected: the violation is structural (an in-flight get covers
+    /// the range), so it is flagged on *every* back-end — including the
+    /// ones where the early read happens to return correct bytes. This is
+    /// what keeps streaming code portable to SPM.
+    #[test]
+    fn monitor_rejects_read_of_dma_target_before_wait() {
+        for backend in BackendKind::ALL {
+            let mut sys = System::new(traced_cfg(1), backend, LockKind::Sdram);
+            let s = sys.alloc_slab::<u32>("s", 64);
+            sys.run(vec![Box::new(move |ctx| {
+                ctx.entry_ro_stream(s.obj());
+                let t = ctx.dma_get(s, 0, 64);
+                let _racy: u32 = ctx.read_at(s, 0); // before the wait!
+                ctx.dma_wait(t);
+                ctx.exit_ro(s.obj());
+            })]);
+            let v = validate(&sys.soc().take_trace());
+            assert!(
+                v.iter().any(|v| v.message.contains("before dma_wait")),
+                "{backend:?}: racy read must be flagged, got {v:#?}"
+            );
+        }
+    }
+
+    /// A put publishes only its byte range: a streaming scope that
+    /// writes two elements but puts just one exits with an unpublished
+    /// write — on SPM that second element is silently lost, so the
+    /// monitor must flag it on *every* back-end.
+    #[test]
+    fn monitor_rejects_partial_put_losing_a_write() {
+        for backend in BackendKind::ALL {
+            let mut sys = System::new(traced_cfg(1), backend, LockKind::Sdram);
+            let s = sys.alloc_slab::<u32>("s", 2);
+            sys.run(vec![Box::new(move |ctx| {
+                ctx.entry_x_stream(s.obj());
+                ctx.write_at(s, 0, 111);
+                ctx.write_at(s, 1, 222);
+                let t = ctx.dma_put(s, 0, 1); // element 1 never published
+                ctx.dma_wait(t);
+                ctx.exit_x(s.obj());
+            })]);
+            let v = validate(&sys.soc().take_trace());
+            assert!(
+                v.iter().any(|v| v.message.contains("never published")),
+                "{backend:?}: the unpublished element must be flagged: {v:#?}"
+            );
+        }
+    }
+
+    /// Bulk reads (`read_bytes_at`) are range-checked too: reading the
+    /// target of an in-flight get, or an undefined streaming range, is
+    /// flagged exactly like the word-sized path.
+    #[test]
+    fn monitor_checks_bulk_reads() {
+        let mut sys = System::new(traced_cfg(1), BackendKind::Uncached, LockKind::Sdram);
+        let s = sys.alloc_slab::<u32>("s", 64);
+        sys.run(vec![Box::new(move |ctx| {
+            ctx.entry_ro_stream(s.obj());
+            let t = ctx.dma_get(s, 0, 32);
+            let mut buf = [0u8; 16];
+            ctx.read_bytes_at(s, 0, &mut buf); // in-flight target
+            ctx.dma_wait(t);
+            ctx.read_bytes_at(s, 0, &mut buf); // now defined: clean
+            ctx.read_bytes_at(s, 32 * 4, &mut buf); // never transferred
+            ctx.exit_ro(s.obj());
+        })]);
+        let v = validate(&sys.soc().take_trace());
+        assert_eq!(v.len(), 3, "{v:#?}"); // racy read breaks 2 rules + undefined read
+        assert!(v[0].message.contains("before dma_wait"), "{v:#?}");
+        assert!(v[2].message.contains("never defined"), "{v:#?}");
+    }
+
+    /// A streaming scope reading a range nothing defined (no completed
+    /// get, no own write) is flagged even though no transfer is in
+    /// flight — on SPM those bytes are garbage.
+    #[test]
+    fn monitor_rejects_undefined_streaming_read() {
+        let mut sys = System::new(traced_cfg(1), BackendKind::Uncached, LockKind::Sdram);
+        let s = sys.alloc_slab::<u32>("s", 64);
+        sys.run(vec![Box::new(move |ctx| {
+            ctx.entry_ro_stream(s.obj());
+            let t = ctx.dma_get(s, 0, 16); // covers elements 0..16 only
+            ctx.dma_wait(t);
+            let _ok: u32 = ctx.read_at(s, 3);
+            let _bad: u32 = ctx.read_at(s, 40); // never transferred
+            ctx.exit_ro(s.obj());
+        })]);
+        let v = validate(&sys.soc().take_trace());
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("never defined"), "{v:#?}");
+    }
+
+    /// Forged traces: an exit with an outstanding put (the runtime always
+    /// waits, so this only appears if a back-end lost the wait) and a put
+    /// outside exclusive access are both flagged.
+    #[test]
+    fn monitor_rejects_forged_dma_protocol_breaks() {
+        use crate::ctx::trace_kind as k;
+        use pmc_soc_sim::TraceRecord;
+        let t =
+            |time, tile, kind, addr, len, value| TraceRecord { time, tile, kind, addr, len, value };
+        // exit_x with an unwaited put.
+        let trace = vec![
+            t(0, 0, k::ENTRY_X, 1, 0, 1),
+            t(1, 0, k::DMA_PUT, 1, 64, 1),
+            t(2, 0, k::EXIT_X, 1, 0, 0),
+        ];
+        let v = validate(&trace);
+        assert!(v.iter().any(|v| v.message.contains("outstanding DMA")), "{v:#?}");
+        // dma_put without exclusive access.
+        let trace = vec![t(0, 0, k::DMA_PUT, 1, 64, 1)];
+        let v = validate(&trace);
+        assert!(v.iter().any(|v| v.message.contains("without exclusive access")), "{v:#?}");
+        // A streaming scope whose writes were never published.
+        let chunk = 4u32;
+        let trace = vec![
+            t(0, 0, k::ENTRY_X, 1, 0, 1 | 2),
+            t(1, 0, k::WRITE, 1, chunk, 9),
+            t(2, 0, k::EXIT_X, 1, 0, 0),
+        ];
+        let v = validate(&trace);
+        assert!(v.iter().any(|v| v.message.contains("never published")), "{v:#?}");
+    }
+
+    /// `flush` inside a streaming scope is refused by the runtime (it
+    /// would publish undefined staging bytes on SPM) and flagged by the
+    /// monitor on forged traces.
+    #[test]
+    #[should_panic(expected = "flush is undefined on streaming scopes")]
+    fn flush_on_streaming_scope_is_refused() {
+        let mut sys = System::new(traced_cfg(1), BackendKind::Spm, LockKind::Sdram);
+        let s = sys.alloc::<u32>("s");
+        sys.run(vec![Box::new(move |ctx| {
+            ctx.entry_x_stream(s);
+            ctx.write(s, 1);
+            ctx.flush(s); // must panic
+            ctx.exit_x(s);
+        })]);
+    }
+
+    #[test]
+    fn monitor_flags_forged_streaming_flush() {
+        use crate::ctx::trace_kind as k;
+        use pmc_soc_sim::TraceRecord;
+        let t = |time, kind, value| TraceRecord { time, tile: 0, kind, addr: 1, len: 0, value };
+        let trace = vec![t(0, k::ENTRY_X, 1 | 2), t(1, k::FLUSH, 0)];
+        let v = validate(&trace);
+        assert!(v.iter().any(|v| v.message.contains("streaming scope")), "{v:#?}");
+    }
+
+    /// The word-copy baseline (`stage_in_words`) defines its range: a
+    /// traced WordCopy-style scope validates clean, and un-staged ranges
+    /// are still flagged.
+    #[test]
+    fn stage_in_words_counts_as_coverage() {
+        for backend in BackendKind::ALL {
+            let mut sys = System::new(traced_cfg(1), backend, LockKind::Sdram);
+            let s = sys.alloc_slab::<u32>("s", 16);
+            sys.run(vec![Box::new(move |ctx| {
+                ctx.entry_ro_stream(s.obj());
+                ctx.stage_in_words(s, 0, 8);
+                let mut buf = [0u8; 32];
+                ctx.read_bytes_at(s, 0, &mut buf); // staged: clean
+                let _w: u32 = ctx.read_at(s, 3); // staged: clean
+                let _bad: u32 = ctx.read_at(s, 12); // never staged
+                ctx.exit_ro(s.obj());
+            })]);
+            let v = validate(&sys.soc().take_trace());
+            assert_eq!(v.len(), 1, "{backend:?}: {v:#?}");
+            assert!(v[0].message.contains("never defined"), "{backend:?}: {v:#?}");
+        }
+    }
+
+    /// Word-sized streaming scopes are monitor-visible too (they take
+    /// the shared lock): an un-got read of a 4-byte object is flagged.
+    #[test]
+    fn word_sized_streaming_scope_is_checked() {
+        let mut sys = System::new(traced_cfg(1), BackendKind::Spm, LockKind::Sdram);
+        let s = sys.alloc::<u32>("s");
+        sys.init(s, 7);
+        sys.run(vec![Box::new(move |ctx| {
+            ctx.entry_ro_stream(s);
+            let _garbage = ctx.read(s); // no get: undefined on SPM
+            ctx.exit_ro(s);
+        })]);
+        let v = validate(&sys.soc().take_trace());
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("never defined"), "{v:#?}");
+    }
+
+    /// Interval bookkeeping: merged coverage answers containment across
+    /// adjacent and overlapping inserts.
+    #[test]
+    fn coverage_intervals_merge() {
+        let mut c = Vec::new();
+        super::add_covered(&mut c, 8, 16);
+        super::add_covered(&mut c, 0, 8); // adjacent: merges
+        super::add_covered(&mut c, 32, 48);
+        super::add_covered(&mut c, 12, 36); // bridges the gap
+        assert_eq!(c, vec![(0, 48)]);
+        assert!(super::covers(&c, 0, 48));
+        assert!(super::covers(&c, 10, 40));
+        assert!(!super::covers(&c, 0, 49));
+        super::add_covered(&mut c, 100, 104);
+        assert!(!super::covers(&c, 40, 101));
+        assert!(super::covers(&c, 100, 104));
+    }
+
+    /// Clean DMA traces validate on every back-end (the positive side of
+    /// the new checks).
+    #[test]
+    fn clean_dma_traces_validate_on_all_backends() {
+        for backend in BackendKind::ALL {
+            let mut sys = System::new(traced_cfg(2), backend, LockKind::Sdram);
+            let s = sys.alloc_slab::<u32>("s", 32);
+            sys.run(vec![
+                Box::new(move |ctx| {
+                    ctx.entry_x_stream(s.obj());
+                    for i in 0..32 {
+                        ctx.write_at(s, i, i + 1);
+                    }
+                    let t = ctx.dma_put(s, 0, 32);
+                    ctx.dma_wait(t);
+                    ctx.exit_x(s.obj());
+                }),
+                Box::new(move |ctx| {
+                    ctx.compute(200);
+                    ctx.entry_ro_stream(s.obj());
+                    let t = ctx.dma_get(s, 0, 32);
+                    ctx.dma_wait(t);
+                    let _v: u32 = ctx.read_at(s, 7);
+                    ctx.exit_ro(s.obj());
+                }),
+            ]);
+            let v = validate(&sys.soc().take_trace());
+            assert!(v.is_empty(), "{backend:?}: {v:#?}");
+        }
     }
 
     /// Convenience wrappers produce valid annotated programs too.

@@ -156,10 +156,14 @@ pub(crate) struct ObjMeta {
 }
 
 /// Local-memory layout constants (offsets within every tile's local
-/// memory). Lock bytes and mailboxes come first, then the arena used for
-/// DSM replicas / SPM staging / FIFO scratch.
+/// memory). Lock bytes and mailboxes come first, then the DMA engine's
+/// completion word, then the arena used for DSM replicas / SPM staging /
+/// FIFO scratch.
 pub(crate) const LOCK_BYTES_BASE: u32 = 0;
 pub(crate) const MAILBOX_BASE: u32 = 2048; // 8 bytes per lock id
+/// The tile's DMA completion word (engine writes the sequence number of
+/// the newest completed transfer; `dma_wait` polls it locally).
+pub(crate) const DMA_DONE_OFFSET: u32 = 12 << 10;
 pub(crate) const ARENA_BASE: u32 = 16 << 10;
 
 /// Shared runtime state, immutable during a run.
@@ -171,6 +175,8 @@ pub struct Shared {
     /// SPM staging arena (per tile): [spm_base, spm_end).
     pub(crate) spm_base: u32,
     pub(crate) spm_end: u32,
+    /// DMA burst size in bytes ([`System::set_dma_burst`]).
+    pub(crate) dma_burst: u32,
 }
 
 impl Shared {
@@ -215,6 +221,7 @@ impl System {
                 line,
                 spm_base: ARENA_BASE,
                 spm_end: local_size,
+                dma_burst: 256,
             },
             lock_kind,
             sdram_cursor: SHARED_REGION_BASE,
@@ -240,6 +247,14 @@ impl System {
         self.shared.n_tiles
     }
 
+    /// Set the DMA engines' burst size in bytes (default 256). Larger
+    /// bursts amortise the per-burst SDRAM setup cost; smaller ones
+    /// interleave more fairly on shared NoC links.
+    pub fn set_dma_burst(&mut self, bytes: u32) {
+        assert!(bytes >= 4, "bursts are at least one word");
+        self.shared.dma_burst = bytes;
+    }
+
     fn align_up(v: u32, a: u32) -> u32 {
         v.div_ceil(a) * a
     }
@@ -254,11 +269,20 @@ impl System {
                 self.version_cursor += 4;
                 Lock::Sdram(SdramLock { addr: addr::SDRAM_UNCACHED_BASE + off })
             }
-            LockKind::Distributed => Lock::Dist(DistLock {
-                home: (id as usize) % self.shared.n_tiles,
-                lock_offset: LOCK_BYTES_BASE + id,
-                mailbox_offset: MAILBOX_BASE + id * 8,
-            }),
+            LockKind::Distributed => {
+                // The mailbox region ends where the DMA completion word
+                // lives; a mailbox on top of it would corrupt `dma_wait`.
+                assert!(
+                    MAILBOX_BASE + (id + 1) * 8 <= DMA_DONE_OFFSET,
+                    "distributed-lock mailboxes exhausted (lock id {id} would overlap the \
+                     DMA completion word)"
+                );
+                Lock::Dist(DistLock {
+                    home: (id as usize) % self.shared.n_tiles,
+                    lock_offset: LOCK_BYTES_BASE + id,
+                    mailbox_offset: MAILBOX_BASE + id * 8,
+                })
+            }
         }
     }
 
@@ -448,11 +472,13 @@ impl System {
             self.shared_region.1.max(SHARED_REGION_BASE + 4),
             MemTag::Shared,
         );
-        assert!(
-            self.dsm_cursor <= self.shared.spm_end,
-            "local memory arena exhausted by DSM replicas"
-        );
         if self.shared.backend == BackendKind::Dsm {
+            // Replica slots exist only under DSM; other back-ends keep
+            // the whole arena for staging.
+            assert!(
+                self.dsm_cursor <= self.shared.spm_end,
+                "local memory arena exhausted by DSM replicas"
+            );
             // SPM staging (unused under DSM) starts after the replicas.
             self.shared.spm_base = self.dsm_cursor;
         }
@@ -461,10 +487,7 @@ impl System {
     /// Run one program per tile. Programs receive a [`crate::ctx::PmcCtx`]
     /// bound to their tile. Can be called multiple times; memories persist
     /// between runs.
-    pub fn run<'env>(
-        &'env mut self,
-        programs: Vec<Box<dyn FnOnce(&mut crate::ctx::PmcCtx<'_, '_>) + Send + 'env>>,
-    ) -> RunReport {
+    pub fn run<'env>(&'env mut self, programs: Vec<crate::Program<'env>>) -> RunReport {
         self.finalize();
         let shared = &self.shared;
         let core_programs: Vec<pmc_soc_sim::CoreProgram<'env>> = programs

@@ -54,6 +54,9 @@ pub struct Latencies {
     pub icache_miss: u64,
     /// Cycles for one cache-management instruction (`wdc`-style).
     pub cache_op: u64,
+    /// Per-transfer DMA-engine programming/setup cost (descriptor write
+    /// plus channel arbitration) before the first burst can start.
+    pub dma_setup: u64,
 }
 
 impl Default for Latencies {
@@ -69,6 +72,7 @@ impl Default for Latencies {
             noc_per_word: 1,
             icache_miss: 22,
             cache_op: 2,
+            dma_setup: 16,
         }
     }
 }
@@ -97,6 +101,10 @@ pub struct SocConfig {
     pub time_limit: u64,
     /// Record an annotation-level event trace (for model validation).
     pub trace: bool,
+    /// The ring position the SDRAM controller is attached to: DMA bursts
+    /// traverse the links between the issuing tile and this tile, so
+    /// distance (and shared links) shape bulk-transfer bandwidth.
+    pub mem_tile: usize,
 }
 
 impl Default for SocConfig {
@@ -111,6 +119,7 @@ impl Default for SocConfig {
             max_local_run: 8_192,
             time_limit: 2_000_000_000,
             trace: false,
+            mem_tile: 0,
         }
     }
 }

@@ -38,6 +38,12 @@ pub struct Counters {
     /// Data-cache hits/misses.
     pub dcache_hits: u64,
     pub dcache_misses: u64,
+    /// DMA transfers programmed on this core's engine (completion events
+    /// are observable as the engine's done-word updates; per-link NoC
+    /// occupancy lives in [`crate::noc::LinkStat`]).
+    pub dma_transfers: u64,
+    /// Payload bytes moved by those transfers.
+    pub dma_bytes: u64,
 }
 
 impl Counters {
@@ -71,6 +77,8 @@ impl Counters {
         self.flush_cycles += other.flush_cycles;
         self.dcache_hits += other.dcache_hits;
         self.dcache_misses += other.dcache_misses;
+        self.dma_transfers += other.dma_transfers;
+        self.dma_bytes += other.dma_bytes;
     }
 }
 

@@ -38,6 +38,7 @@ pub mod addr;
 pub mod cache;
 pub mod config;
 pub mod counters;
+pub mod dma;
 pub mod icache;
 pub mod mem;
 pub mod noc;
@@ -47,5 +48,7 @@ pub mod trace;
 pub use addr::Addr;
 pub use config::{CacheConfig, Latencies, SocConfig};
 pub use counters::{Counters, MemTag, RunReport};
+pub use dma::{DmaDir, DmaStats, DmaXfer};
+pub use noc::LinkStat;
 pub use soc::{CoreProgram, Cpu, Soc};
 pub use trace::TraceRecord;

@@ -9,9 +9,22 @@
 //! time order, so arrival order per pair equals issue order. Packets to
 //! *different* destinations may be observed out of order: the paper's
 //! Fig. 1 failure mode.
+//!
+//! ## Per-link bandwidth accounting (DMA bursts)
+//!
+//! Word-sized posted writes are latency-modelled only (the paper's
+//! connectionless NoC never saturates on single words). Bulk DMA bursts,
+//! in contrast, occupy every directed ring link on their route for their
+//! serialisation time: each link is a busy-until resource
+//! ([`Noc::reserve_path`]), so two tiles streaming across a shared link
+//! contend and the per-link counters ([`Noc::link_stats`]) expose where.
+//! Links are directed ring edges: link `i` carries `i → (i+1) % n`
+//! (clockwise), link `n + i` carries `(i+1) % n → i` (counterclockwise).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+use crate::config::SocConfig;
 
 /// The effect a packet applies when it arrives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +45,21 @@ pub enum PacketKind {
     /// Atomic fetch-and-add on a 32-bit word in the destination's local
     /// memory; the old value is posted back like `TestAndSet`.
     FetchAdd { offset: u32, delta: u32, reply_tile: usize, reply_offset: u32 },
+    /// One burst of an asynchronous DMA transfer between SDRAM and the
+    /// *destination* tile's local memory (the issuing tile). The copy is
+    /// performed lazily when the burst arrives — the engine reads memory
+    /// while the transfer is in flight, which is why the runtime monitor
+    /// flags accesses to a range with an outstanding transfer. `done`
+    /// writes the transfer's sequence number to the given local-memory
+    /// offset once the final burst lands (the completion word
+    /// `dma_wait` polls).
+    DmaBurst {
+        dir: crate::dma::DmaDir,
+        sdram_offset: u32,
+        local_offset: u32,
+        len: u32,
+        done: Option<(u32, u32)>,
+    },
 }
 
 /// An in-flight NoC packet.
@@ -59,16 +87,95 @@ impl PartialOrd for Packet {
     }
 }
 
-/// The in-flight packet queue, ordered by arrival time.
+/// Occupancy statistics of one directed ring link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStat {
+    /// Cycles the link spent serialising burst payloads.
+    pub busy: u64,
+    /// Bursts routed over the link.
+    pub bursts: u64,
+}
+
+/// The in-flight packet queue, ordered by arrival time, plus the per-link
+/// busy-until state used for bulk (DMA) traffic.
 #[derive(Debug, Default)]
 pub struct Noc {
     heap: BinaryHeap<Packet>,
     next_seq: u64,
+    /// Busy-until time per directed ring link (`2 * n_tiles` entries;
+    /// empty when constructed without a topology, e.g. in unit tests).
+    link_free: Vec<u64>,
+    link_stats: Vec<LinkStat>,
 }
 
 impl Noc {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A NoC with per-link state for a ring of `n_tiles` tiles.
+    pub fn with_ring(n_tiles: usize) -> Self {
+        Noc {
+            link_free: vec![0; 2 * n_tiles],
+            link_stats: vec![LinkStat::default(); 2 * n_tiles],
+            ..Self::default()
+        }
+    }
+
+    /// Per-link occupancy counters (index: link id as documented above).
+    pub fn link_stats(&self) -> &[LinkStat] {
+        &self.link_stats
+    }
+
+    /// Directed link ids along the shortest ring route `from → to`
+    /// (clockwise on ties, matching [`SocConfig::hops`]).
+    fn ring_route(n: usize, from: usize, to: usize) -> Vec<usize> {
+        if from == to {
+            return Vec::new();
+        }
+        let cw = (to + n - from) % n;
+        let ccw = n - cw;
+        if cw <= ccw {
+            (0..cw).map(|k| (from + k) % n).collect()
+        } else {
+            (0..ccw).map(|k| n + (from + n - 1 - k) % n).collect()
+        }
+    }
+
+    /// Reserve every link on the route `from → to` for a burst of
+    /// `bytes` payload bytes becoming ready at `ready`; returns the
+    /// cut-through arrival time at the destination. Each link is held for
+    /// the burst's serialisation time (`noc_per_word * words`), modelling
+    /// bandwidth; the header adds `noc_per_hop` pipeline latency per hop
+    /// and `noc_fixed` once. Contention appears as waiting for a link's
+    /// earlier reservation to drain.
+    pub fn reserve_path(
+        &mut self,
+        cfg: &SocConfig,
+        ready: u64,
+        from: usize,
+        to: usize,
+        bytes: u32,
+    ) -> u64 {
+        let serialise = cfg.lat.noc_per_word * u64::from(bytes.div_ceil(4).max(1));
+        if from == to {
+            return ready + serialise;
+        }
+        assert!(
+            self.link_free.len() >= 2 * cfg.n_tiles,
+            "Noc::with_ring was not used but bulk traffic needs link state"
+        );
+        let mut t = ready + cfg.lat.noc_fixed;
+        for link in Self::ring_route(cfg.n_tiles, from, to) {
+            let start = t.max(self.link_free[link]);
+            self.link_free[link] = start + serialise;
+            self.link_stats[link].busy += serialise;
+            self.link_stats[link].bursts += 1;
+            // Cut-through: the head moves on after one hop latency; the
+            // tail (serialisation) overlaps across links.
+            t = start + cfg.lat.noc_per_hop;
+        }
+        t + serialise
     }
 
     pub fn send(&mut self, arrive: u64, src: usize, dst: usize, kind: PacketKind) {
@@ -127,6 +234,49 @@ mod tests {
         assert!(noc.pop_arrived(49).is_none());
         assert_eq!(noc.next_arrival(), Some(50));
         assert!(noc.pop_arrived(50).is_some());
+    }
+
+    #[test]
+    fn ring_route_picks_shortest_direction() {
+        // 8-tile ring: 0 → 2 clockwise over links 0, 1.
+        assert_eq!(Noc::ring_route(8, 0, 2), vec![0, 1]);
+        // 0 → 7 counterclockwise over link 8 + 7.
+        assert_eq!(Noc::ring_route(8, 0, 7), vec![15]);
+        // 2 → 0 counterclockwise over links 8+1, 8+0.
+        assert_eq!(Noc::ring_route(8, 2, 0), vec![9, 8]);
+        assert_eq!(Noc::ring_route(8, 3, 3), Vec::<usize>::new());
+        // Antipodal ties go clockwise.
+        assert_eq!(Noc::ring_route(4, 0, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn reserve_path_accounts_contention_per_link() {
+        let cfg = crate::config::SocConfig::small(8);
+        let mut noc = Noc::with_ring(8);
+        // Two bursts over the same first link (0 → 1): the second waits
+        // for the first's serialisation to drain.
+        let a = noc.reserve_path(&cfg, 0, 0, 1, 256);
+        let b = noc.reserve_path(&cfg, 0, 0, 1, 256);
+        assert!(b > a, "second burst must queue behind the first: {a} vs {b}");
+        let serialise = cfg.lat.noc_per_word * 64;
+        assert_eq!(b - a, serialise, "exactly one serialisation time of queueing");
+        assert_eq!(noc.link_stats()[0].bursts, 2);
+        assert_eq!(noc.link_stats()[0].busy, 2 * serialise);
+        // A disjoint route (5 → 4, counterclockwise link 8+4) is
+        // unaffected by the congested link.
+        let c = noc.reserve_path(&cfg, 0, 5, 4, 256);
+        assert_eq!(c, a, "disjoint links must not contend");
+    }
+
+    #[test]
+    fn reserve_path_latency_grows_with_distance() {
+        let cfg = crate::config::SocConfig::small(8);
+        let mut noc = Noc::with_ring(8);
+        let near = noc.reserve_path(&cfg, 0, 0, 1, 64);
+        let mut noc = Noc::with_ring(8);
+        let far = noc.reserve_path(&cfg, 0, 0, 4, 64);
+        assert!(far > near);
+        assert_eq!(far - near, 3 * cfg.lat.noc_per_hop, "one extra hop latency per link");
     }
 
     #[test]

@@ -120,7 +120,7 @@ fn monitor_still_catches_planted_violations() {
     let mut trace = sys.soc().take_trace();
     assert!(validate(&trace).is_empty());
     // Plant a second, overlapping ENTRY_X from the other tile at time 0.
-    let mut forged = trace[0].clone();
+    let mut forged = trace[0];
     forged.tile = 1;
     trace.insert(1, forged);
     assert!(!validate(&trace).is_empty(), "forged overlap must be flagged");

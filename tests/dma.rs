@@ -1,0 +1,116 @@
+//! Workspace-level acceptance tests for the DMA subsystem: the
+//! `fig_dma` headline (bursts beat the word-copy loop, per-link
+//! contention is reported), portability of the streaming kernels, and
+//! the monitor's DMA-protocol rejection — the checks the conformance
+//! sweep (`tests/conformance.rs`, which also runs the DMA litmus cases)
+//! does not cover.
+
+use pmc::apps::stream::{StreamCopy, StreamCopyParams, StreamMode};
+use pmc::runtime::monitor::validate;
+use pmc::runtime::{BackendKind, LockKind, System};
+use pmc::sim::SocConfig;
+
+fn run_stream(mode: StreamMode, burst: u32) -> (u64, u64, Vec<u64>) {
+    let tiles = 4usize;
+    let mut cfg = SocConfig::small(tiles);
+    cfg.local_mem_size = 128 << 10;
+    let mut sys = System::new(cfg, BackendKind::Spm, LockKind::Sdram);
+    sys.set_dma_burst(burst);
+    let params = StreamCopyParams { n_tasks: 16, task_bytes: 4096, compute_per_word: 2 };
+    let app = StreamCopy::build(&mut sys, params);
+    let app_ref = &app;
+    let report = sys.run(
+        (0..tiles)
+            .map(|_| -> pmc::runtime::Program<'_> {
+                Box::new(move |ctx| app_ref.worker(ctx, mode))
+            })
+            .collect(),
+    );
+    let checksum = app.checksum(&sys);
+    let link_busy = sys.soc().link_stats().iter().map(|l| l.busy).collect();
+    (checksum, report.makespan, link_busy)
+}
+
+/// The fig_dma acceptance: DMA burst streaming beats the word-at-a-time
+/// SPM copy at large burst sizes, larger bursts amortise better, and
+/// the per-link NoC contention counters report the traffic.
+#[test]
+fn dma_bursts_beat_word_copy_and_links_report_contention() {
+    let (word_sum, word, no_links) = run_stream(StreamMode::WordCopy, 256);
+    assert!(no_links.iter().all(|&b| b == 0), "word copy moves nothing over the bulk path");
+    let (small_sum, small, _) = run_stream(StreamMode::Dma, 16);
+    let (large_sum, large, links) = run_stream(StreamMode::Dma, 1024);
+    let (double_sum, double, _) = run_stream(StreamMode::DmaDouble, 1024);
+    assert_eq!(word_sum, small_sum);
+    assert_eq!(word_sum, large_sum);
+    assert_eq!(word_sum, double_sum);
+    assert!(large < word, "large bursts must beat the word copy: {large} vs {word}");
+    assert!(large < small, "large bursts must beat small ones: {large} vs {small}");
+    // Double buffering hides transfer behind compute; under heavy link
+    // contention the reordering can cost a fraction of a percent, so
+    // allow 2% slack.
+    assert!(double * 100 <= large * 102, "double buffering must not lose: {double} vs {large}");
+    // Every tile's bursts route to the controller at ring position 0:
+    // the links adjacent to it carry traffic.
+    assert!(links.iter().any(|&b| b > 0), "link counters must report contention: {links:?}");
+    let sum: u64 = links.iter().sum();
+    assert!(links[0] > 0 && links[0] * 2 >= links.iter().copied().max().unwrap(), "{links:?}");
+    assert!(sum > 0);
+}
+
+/// Monitor rejection at the workspace level: a read of DMA-target
+/// memory before `dma_wait` is flagged on every back-end and lock kind —
+/// the acceptance criterion's rejection test.
+#[test]
+fn monitor_rejects_read_before_dma_wait_everywhere() {
+    for backend in BackendKind::ALL {
+        for lock in [LockKind::Sdram, LockKind::Distributed] {
+            let mut cfg = SocConfig::small(1);
+            cfg.trace = true;
+            let mut sys = System::new(cfg, backend, lock);
+            let s = sys.alloc_slab::<u32>("s", 32);
+            sys.run(vec![Box::new(move |ctx| {
+                ctx.entry_ro_stream(s.obj());
+                let t = ctx.dma_get(s, 0, 32);
+                let _racy: u32 = ctx.read_at(s, 1); // protocol violation
+                ctx.dma_wait(t);
+                let _fine: u32 = ctx.read_at(s, 1);
+                ctx.exit_ro(s.obj());
+            })]);
+            let v = validate(&sys.soc().take_trace());
+            assert!(
+                v.iter().any(|v| v.message.contains("before dma_wait")),
+                "{backend:?}/{lock:?}: {v:#?}"
+            );
+            // The racy read breaks two rules (in-flight target + range
+            // not yet defined in the streaming scope) — and nothing else
+            // in the run is flagged.
+            assert_eq!(v.len(), 2, "{backend:?}/{lock:?}: only the racy read: {v:#?}");
+            assert_eq!(v[0].time, v[1].time, "{backend:?}/{lock:?}: {v:#?}");
+        }
+    }
+}
+
+/// The streaming kernel is portable: all modes, all back-ends, one
+/// result.
+#[test]
+fn stream_modes_agree_across_backends() {
+    let mut sums = Vec::new();
+    for backend in BackendKind::ALL {
+        for mode in StreamMode::ALL {
+            let mut sys = System::new(SocConfig::small(2), backend, LockKind::Sdram);
+            let params = StreamCopyParams { n_tasks: 6, task_bytes: 512, compute_per_word: 1 };
+            let app = StreamCopy::build(&mut sys, params);
+            let app_ref = &app;
+            sys.run(
+                (0..2)
+                    .map(|_| -> pmc::runtime::Program<'_> {
+                        Box::new(move |ctx| app_ref.worker(ctx, mode))
+                    })
+                    .collect(),
+            );
+            sums.push(app.checksum(&sys));
+        }
+    }
+    assert!(sums.windows(2).all(|w| w[0] == w[1]), "all runs agree: {sums:?}");
+}
