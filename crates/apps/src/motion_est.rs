@@ -39,6 +39,13 @@ pub struct MotionEst {
     windows: Vec<Slab<u8>>,
     /// Per-task current-frame block.
     blocks: Vec<Slab<u8>>,
+    /// The whole extended reference frame (`ext × ext`, row-major) as one
+    /// shared object — the 2-D prefetch worker gathers each task's search
+    /// window from it with a strided descriptor instead of per-task
+    /// window slabs.
+    frame: Slab<u8>,
+    /// Extended-frame edge (`frame + 2 * range`).
+    ext: u32,
     /// Output motion vectors.
     vectors: ObjVec<Vec2>,
     tickets: pmc_runtime::queue::Tickets,
@@ -68,6 +75,8 @@ impl MotionEst {
                 ((x * 7 + y * 13) % 251) as u8 ^ (rng.random_range(0..8u32) as u8)
             })
             .collect();
+        let frame_slab = sys.alloc_slab::<u8>("me.frame", ext * ext);
+        sys.init_slab_bytes(frame_slab, &reference);
         let mut windows = Vec::new();
         let mut blocks = Vec::new();
         for by in 0..blocks_per_edge {
@@ -104,15 +113,23 @@ impl MotionEst {
         }
         let vectors = sys.alloc_vec::<Vec2>("me.vector", n_tasks);
         let tickets = sys.alloc_ticket();
-        MotionEst { params: p, windows, blocks, vectors, tickets, n_tasks }
+        MotionEst { params: p, windows, blocks, frame: frame_slab, ext, vectors, tickets, n_tasks }
     }
 
     /// Full-search block matching for one task (the paper's
-    /// `motion_est(window, mblock)`).
-    fn search(&self, ctx: &mut PmcCtx<'_, '_>, task: u32) -> Vec2 {
+    /// `motion_est(window, mblock)`). The search window lives in
+    /// `window`; `row_off(r)` maps window-row index `r` to the byte
+    /// offset of that row's first pixel (identity-ish for per-task
+    /// window slabs, strided frame coordinates for the 2-D gather).
+    fn search_rows(
+        &self,
+        ctx: &mut PmcCtx<'_, '_>,
+        task: u32,
+        window: Slab<u8>,
+        row_off: impl Fn(u32) -> u32,
+    ) -> Vec2 {
         let p = self.params;
         let we = Self::window_edge(&p);
-        let window = self.windows[task as usize];
         let block = self.blocks[task as usize];
         // Read the block once into host scratch (the ScopeRO "local
         // copy" reference of Fig. 10).
@@ -123,7 +140,7 @@ impl MotionEst {
         for dy in 0..=2 * p.range {
             for row in 0..p.block {
                 // One window row serves all dx candidates of this (dy, row).
-                ctx.read_bytes_at(window, (dy + row) * we, &mut wrow);
+                ctx.read_bytes_at(window, row_off(dy + row), &mut wrow);
                 for dx in 0..=2 * p.range {
                     let mut sad = 0u32;
                     for xx in 0..p.block {
@@ -140,6 +157,20 @@ impl MotionEst {
             }
         }
         best.1
+    }
+
+    /// Search against the per-task window slab (row `r` at offset
+    /// `r * window_edge`).
+    fn search(&self, ctx: &mut PmcCtx<'_, '_>, task: u32) -> Vec2 {
+        let we = Self::window_edge(&self.params);
+        let window = self.windows[task as usize];
+        self.search_rows(ctx, task, window, |r| r * we)
+    }
+
+    /// Window origin of a task in extended-frame coordinates.
+    fn window_origin(&self, task: u32) -> (u32, u32) {
+        let bpe = self.params.frame / self.params.block;
+        (task % bpe * self.params.block, task / bpe * self.params.block)
     }
 
     /// Per-candidate accumulation: kept in a host-side table indexed by
@@ -241,6 +272,55 @@ impl MotionEst {
         }
     }
 
+    /// Open a streaming scope on a task's block and start its transfer.
+    fn prefetch_block(&self, ctx: &mut PmcCtx<'_, '_>, task: u32) -> DmaTicket {
+        let block = self.blocks[task as usize];
+        ctx.entry_ro_stream(block.obj());
+        ctx.dma_get(block, 0, block.len())
+    }
+
+    /// 2-D streaming variant of [`MotionEst::worker_dma`]: one long-lived
+    /// *shared* streaming scope on the reference frame, with each task's
+    /// search window gathered *in place* by a strided 2-D descriptor —
+    /// only the window rows move; the rest of the frame is never staged,
+    /// and no per-task window slabs exist at all. The per-task block
+    /// streams double-buffered behind the previous task's search; the
+    /// window gather itself is waited at task start, because adjacent
+    /// tasks' windows overlap in the frame and an in-flight gather over
+    /// rows the current search still reads would be a range hazard (the
+    /// monitor flags exactly that).
+    pub fn worker_dma2d(&self, ctx: &mut PmcCtx<'_, '_>) {
+        let Some(mut task) = self.tickets.take(ctx.cpu, self.n_tasks) else {
+            return;
+        };
+        ctx.entry_ro_stream(self.frame.obj());
+        let we = Self::window_edge(&self.params);
+        let ext = self.ext;
+        let mut tb = self.prefetch_block(ctx, task);
+        loop {
+            let (wx0, wy0) = self.window_origin(task);
+            let tw = ctx.dma_get_2d(self.frame, wy0 * ext + wx0, we, we, ext);
+            ctx.dma_wait(tw);
+            ctx.dma_wait(tb);
+            let next = self.tickets.take(ctx.cpu, self.n_tasks);
+            let next_tb = next.map(|n| self.prefetch_block(ctx, n));
+            let vector = self.vectors.at(task);
+            ctx.entry_x(vector);
+            let v = self.search_rows(ctx, task, self.frame, |r| (wy0 + r) * ext + wx0);
+            ctx.write(vector, v);
+            ctx.exit_x(vector);
+            ctx.exit_ro(self.blocks[task as usize].obj());
+            match (next, next_tb) {
+                (Some(n), Some(t)) => {
+                    task = n;
+                    tb = t;
+                }
+                _ => break,
+            }
+        }
+        ctx.exit_ro(self.frame.obj());
+    }
+
     /// The expected (ground-truth) vector for a task.
     pub fn expected(&self, task: u32) -> Vec2 {
         let p = self.params;
@@ -299,6 +379,37 @@ mod tests {
             );
             assert_eq!(app.accuracy(&sys), 1.0, "{backend:?}: all vectors recovered");
             sums.push(app.checksum(&sys));
+        }
+        assert!(sums.windows(2).all(|w| w[0] == w[1]), "bit-identical across backends");
+    }
+
+    /// The 2-D gather worker (strided window prefetch from the shared
+    /// frame) recovers the same vectors on every back-end, and its trace
+    /// passes the monitor — the strided element list covers exactly the
+    /// rows the search reads.
+    #[test]
+    fn dma2d_worker_matches_and_validates() {
+        let params = MotionEstParams { frame: 32, block: 16, range: 4, seed: 5 };
+        let mut sums = Vec::new();
+        for backend in BackendKind::ALL {
+            let n = 2usize;
+            let mut cfg = SocConfig::small(n);
+            cfg.trace = true;
+            cfg.dma_channels = 2;
+            let mut sys = System::new(cfg, backend, LockKind::Sdram);
+            let app = MotionEst::build(&mut sys, params);
+            let app_ref = &app;
+            sys.run(
+                (0..n)
+                    .map(|_| -> pmc_runtime::Program<'_> {
+                        Box::new(move |ctx| app_ref.worker_dma2d(ctx))
+                    })
+                    .collect(),
+            );
+            assert_eq!(app.accuracy(&sys), 1.0, "{backend:?}: all vectors recovered via 2-D DMA");
+            sums.push(app.checksum(&sys));
+            let violations = pmc_runtime::monitor::validate(&sys.soc().take_trace());
+            assert!(violations.is_empty(), "{backend:?}: {violations:#?}");
         }
         assert!(sums.windows(2).all(|w| w[0] == w[1]), "bit-identical across backends");
     }

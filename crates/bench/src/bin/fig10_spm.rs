@@ -5,10 +5,11 @@
 //! cache coherency setup", noting it "depends on many architectural
 //! parameters". A cache-size sweep exposes that dependence.
 //!
-//! Usage: `fig10_spm [--tiles N] [--frame F] [--range R]`
+//! Usage: `fig10_spm [--tiles N] [--frame F] [--range R] [--smoke]`
+//! (`--smoke` = 32x32 frame, ±4, 4 tiles: the CI figure-pipeline check.)
 
 use pmc_apps::motion_est::{MotionEst, MotionEstParams};
-use pmc_bench::arg_u32;
+use pmc_bench::{arg_flag, arg_u32};
 use pmc_runtime::{BackendKind, LockKind, System};
 use pmc_soc_sim::SocConfig;
 
@@ -34,9 +35,10 @@ fn run(
 }
 
 fn main() {
-    let tiles = arg_u32("--tiles", 8) as usize;
-    let frame = arg_u32("--frame", 96);
-    let range = arg_u32("--range", 8);
+    let smoke = arg_flag("--smoke");
+    let tiles = arg_u32("--tiles", if smoke { 4 } else { 8 }) as usize;
+    let frame = arg_u32("--frame", if smoke { 32 } else { 96 });
+    let range = arg_u32("--range", if smoke { 4 } else { 8 });
     let params = MotionEstParams { frame, block: 16, range, seed: 0x5EED_0004 };
     println!(
         "Fig. 10 — motion estimation ({frame}x{frame}, 16x16 blocks, ±{range}), {tiles} cores\n"

@@ -8,6 +8,10 @@
 //!    the NoC) — the reader observes the flag before the data, exactly as
 //!    in Fig. 1 — then run the annotated program on every back-end and
 //!    observe only 42.
+//!
+//! Usage: `fig1_litmus [--smoke]` (`--smoke` is accepted for the CI
+//! figure-pipeline check; the full run already takes only seconds, so it
+//! changes nothing).
 
 use pmc_core::interleave::outcomes;
 use pmc_core::litmus::catalogue;

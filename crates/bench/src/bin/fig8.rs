@@ -8,15 +8,18 @@
 //! ~70 %); RAYTRACE and VOLREND lose almost all shared-read stalls; time
 //! spent in flush instructions is 0.66 % / 0.00 % / 0.01 %.
 //!
-//! Usage: `fig8 [--tiles N] [--tiny]`
+//! Usage: `fig8 [--tiles N] [--tiny] [--smoke]`
+//! (`--smoke` = tiny workloads on 8 tiles: the CI figure-pipeline check.)
 
 use pmc_apps::workload::{run_workload, Workload, WorkloadParams};
 use pmc_bench::{arg_flag, arg_u32, breakdown_header, breakdown_row};
 use pmc_runtime::BackendKind;
 
 fn main() {
-    let tiles = arg_u32("--tiles", 32) as usize;
-    let params = if arg_flag("--tiny") { WorkloadParams::Tiny } else { WorkloadParams::Full };
+    let smoke = arg_flag("--smoke");
+    let tiles = arg_u32("--tiles", if smoke { 8 } else { 32 }) as usize;
+    let params =
+        if arg_flag("--tiny") || smoke { WorkloadParams::Tiny } else { WorkloadParams::Full };
     println!("Fig. 8 — noCC vs SWCC, {tiles} cores ({params:?})\n");
     println!("{}", breakdown_header());
     let mut improvements = Vec::new();

@@ -10,14 +10,16 @@
 //! which is fast and does not influence the execution of other
 //! processors".
 //!
-//! Usage: `fig9_fifo [--items N] [--depth D] [--readers R]`
+//! Usage: `fig9_fifo [--items N] [--depth D] [--readers R] [--smoke]`
+//! (`--smoke` = 40 items: the CI figure-pipeline check.)
 
-use pmc_bench::arg_u32;
+use pmc_bench::{arg_flag, arg_u32};
 use pmc_runtime::{BackendKind, LockKind, System};
 use pmc_soc_sim::SocConfig;
 
 fn main() {
-    let items = arg_u32("--items", 200);
+    let smoke = arg_flag("--smoke");
+    let items = arg_u32("--items", if smoke { 40 } else { 200 });
     let depth = arg_u32("--depth", 8);
     let readers = arg_u32("--readers", 2);
     println!("Fig. 9 — MFifo: {items} items, depth {depth}, 1 writer, {readers} readers\n");

@@ -1,27 +1,34 @@
 //! **fig_dma** — the DMA subsystem's headline numbers: bulk scratchpad
-//! transfers vs the word-at-a-time software copy loop, across burst
-//! sizes, with per-link NoC contention.
+//! transfers vs the word-at-a-time software copy loop, channel scaling,
+//! tile-to-tile transfers vs the SDRAM round trip, and per-link NoC
+//! contention (which, since posted writes route through the same link
+//! model, reflects *total* ring traffic).
 //!
-//! Three experiments on the SPM back-end (the architecture whose scopes
+//! Experiments on the SPM back-end (the architecture whose scopes
 //! physically stage data, i.e. where the paper's Fig. 10 case study
 //! lives):
 //!
 //! 1. the streaming-copy kernel ([`pmc_apps::stream`]) in word-copy /
 //!    single-buffered DMA / double-buffered DMA modes, sweeping the
 //!    engine burst size;
-//! 2. per-directed-ring-link busy cycles for the most contended links —
-//!    every tile's bursts route to the SDRAM controller at ring position
-//!    0, so links near it saturate first;
-//! 3. motion estimation (Fig. 10) with the plain staging worker vs the
-//!    double-buffered DMA worker.
+//! 2. a channel-scaling table: the double-buffered kernel with 1/2/4
+//!    engine channels at 1/2/4 tiles — 2+ channels hide each transfer's
+//!    delivery tail until the shared SDRAM port saturates;
+//! 3. tile-to-tile bandwidth: a scratchpad-to-scratchpad copy vs the
+//!    same payload staged out to SDRAM and fetched back;
+//! 4. per-directed-ring-link busy cycles for the most contended links —
+//!    bulk traffic funnels towards the SDRAM controller at ring
+//!    position 0;
+//! 5. motion estimation (Fig. 10) with the plain staging worker vs the
+//!    double-buffered DMA worker vs the strided 2-D gather worker.
 //!
-//! Usage: `fig_dma [--tiles N] [--tasks K] [--kbytes S]`
+//! Usage: `fig_dma [--tiles N] [--tasks K] [--kbytes S] [--smoke]`
 
 use pmc_apps::motion_est::{MotionEst, MotionEstParams};
 use pmc_apps::stream::{StreamCopy, StreamCopyParams, StreamMode};
-use pmc_bench::arg_u32;
+use pmc_bench::{arg_flag, arg_u32};
 use pmc_runtime::{BackendKind, LockKind, System};
-use pmc_soc_sim::SocConfig;
+use pmc_soc_sim::{addr, CoreProgram, Cpu, DmaDescriptor, DmaDir, DmaKind, Soc, SocConfig};
 
 struct Run {
     makespan: u64,
@@ -30,11 +37,18 @@ struct Run {
     link_busy: Vec<u64>,
 }
 
-fn run_stream(tiles: usize, params: StreamCopyParams, mode: StreamMode, burst: u32) -> Run {
-    let mut cfg = SocConfig { n_tiles: tiles, ..SocConfig::default() };
+fn run_stream(
+    tiles: usize,
+    params: StreamCopyParams,
+    mode: StreamMode,
+    burst: u32,
+    channels: usize,
+) -> Run {
+    let mut cfg = SocConfig { n_tiles: tiles.max(2), ..SocConfig::default() };
     cfg.icache_mpki = 1;
     let mut sys = System::new(cfg, BackendKind::Spm, LockKind::Sdram);
     sys.set_dma_burst(burst);
+    sys.set_dma_channels(channels);
     let app = StreamCopy::build(&mut sys, params);
     let app_ref = &app;
     let report = sys.run(
@@ -48,10 +62,73 @@ fn run_stream(tiles: usize, params: StreamCopyParams, mode: StreamMode, burst: u
     Run { makespan: report.makespan, checksum, dma_bytes, link_busy }
 }
 
+/// Tile-to-tile copy vs SDRAM round trip for one payload; returns
+/// `(t2t_makespan, via_sdram_makespan)`. The payload buffers live at
+/// local offset 4096 so they cannot overlap the completion word
+/// (offset 0) or the ready flag (offset 64).
+fn t2t_vs_sdram(bytes: u32) -> (u64, u64) {
+    const BUF: u32 = 4096;
+    let (src, dst) = (2usize, 5usize);
+    let idle = |n: usize| -> Vec<CoreProgram<'_>> {
+        (0..n).map(|_| -> CoreProgram<'_> { Box::new(|_c: &mut Cpu| {}) }).collect()
+    };
+    let t2t = {
+        let soc = Soc::new(SocConfig::small(8));
+        let mut programs = idle(8);
+        programs[src] = Box::new(move |cpu: &mut Cpu| {
+            let seq = cpu.dma_issue(
+                0,
+                DmaDescriptor::contiguous(
+                    DmaKind::Copy { dst_tile: dst },
+                    BUF,
+                    BUF,
+                    bytes,
+                    1024,
+                    0,
+                ),
+            );
+            while cpu.read_u32(addr::local_base(src)) < seq {
+                cpu.compute(20);
+            }
+        });
+        soc.run(programs).makespan
+    };
+    let via_sdram = {
+        let soc = Soc::new(SocConfig::small(8));
+        let mut programs = idle(8);
+        programs[src] = Box::new(move |cpu: &mut Cpu| {
+            let seq = cpu.dma_issue(
+                0,
+                DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Put), 65536, BUF, bytes, 1024, 0),
+            );
+            while cpu.read_u32(addr::local_base(src)) < seq {
+                cpu.compute(20);
+            }
+            cpu.noc_write(dst, 64, &1u32.to_le_bytes());
+        });
+        programs[dst] = Box::new(move |cpu: &mut Cpu| {
+            let base = addr::local_base(dst);
+            while cpu.read_u32(base + 64) != 1 {
+                cpu.compute(20);
+            }
+            let seq = cpu.dma_issue(
+                0,
+                DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Get), 65536, BUF, bytes, 1024, 0),
+            );
+            while cpu.read_u32(base) < seq {
+                cpu.compute(20);
+            }
+        });
+        soc.run(programs).makespan
+    };
+    (t2t, via_sdram)
+}
+
 fn main() {
-    let tiles = arg_u32("--tiles", 8) as usize;
-    let tasks = arg_u32("--tasks", 64);
-    let kbytes = arg_u32("--kbytes", 4);
+    let smoke = arg_flag("--smoke");
+    let tiles = arg_u32("--tiles", if smoke { 4 } else { 8 }) as usize;
+    let tasks = arg_u32("--tasks", if smoke { 8 } else { 64 });
+    let kbytes = arg_u32("--kbytes", if smoke { 1 } else { 4 });
     let params =
         StreamCopyParams { n_tasks: tasks, task_bytes: kbytes * 1024, compute_per_word: 2 };
     println!(
@@ -63,7 +140,7 @@ fn main() {
         "{:<12} {:>6} {:>12} {:>9} {:>12}",
         "mode", "burst", "makespan", "vs word", "dma-bytes"
     );
-    let word = run_stream(tiles, params, StreamMode::WordCopy, 256);
+    let word = run_stream(tiles, params, StreamMode::WordCopy, 256, 1);
     println!(
         "{:<12} {:>6} {:>12} {:>8.2}x {:>12}",
         StreamMode::WordCopy.name(),
@@ -72,10 +149,11 @@ fn main() {
         1.0,
         word.dma_bytes
     );
+    let bursts: &[u32] = if smoke { &[64, 1024] } else { &[16, 64, 256, 1024, 4096] };
     let mut best: Option<Run> = None;
-    for burst in [16u32, 64, 256, 1024, 4096] {
+    for &burst in bursts {
         for mode in [StreamMode::Dma, StreamMode::DmaDouble] {
-            let r = run_stream(tiles, params, mode, burst);
+            let r = run_stream(tiles, params, mode, burst, 1);
             assert_eq!(r.checksum, word.checksum, "modes must agree");
             println!(
                 "{:<12} {:>6} {:>12} {:>8.2}x {:>12}",
@@ -93,8 +171,54 @@ fn main() {
     let best = best.expect("at least one DMA run");
     assert!(best.makespan < word.makespan, "DMA burst streaming must beat the word-at-a-time copy");
 
-    println!("\nPer-link NoC busy cycles (best DMA run; links sorted by occupancy):");
-    let n = tiles;
+    println!(
+        "\nChannel scaling — double-buffered stream, single 4 KiB bursts, \
+         no extra compute (transfer-bound):"
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10}",
+        "tiles", "1 chan", "2 chan", "4 chan", "2ch gain"
+    );
+    let chan_params = StreamCopyParams {
+        n_tasks: if smoke { 8 } else { 16 },
+        task_bytes: 4096,
+        compute_per_word: 0,
+    };
+    let chan_tiles: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    for &t in chan_tiles {
+        let c1 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 1).makespan;
+        let c2 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 2).makespan;
+        let c4 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 4).makespan;
+        println!("{t:<8} {c1:>12} {c2:>12} {c4:>12} {:>9.2}x", c1 as f64 / c2 as f64);
+        if t == 1 {
+            assert!(c2 < c1, "2 channels must beat 1 at one tile: {c2} vs {c1}");
+        }
+    }
+    println!("  (beyond ~2 streaming tiles the shared SDRAM port saturates: channels tie)");
+
+    println!("\nTile-to-tile vs SDRAM round trip (tile 2 -> tile 5):");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>14} {:>8}",
+        "payload", "t2t cycles", "bytes/kcycle", "via SDRAM", "bytes/kcycle", "gain"
+    );
+    let payloads: &[u32] = if smoke { &[4 << 10] } else { &[4 << 10, 16 << 10, 64 << 10] };
+    for &bytes in payloads {
+        let (t2t, sdram) = t2t_vs_sdram(bytes);
+        assert!(t2t < sdram, "tile-to-tile must sustain higher bandwidth");
+        println!(
+            "{:<10} {:>12} {:>14.0} {:>12} {:>14.0} {:>7.2}x",
+            format!("{}KiB", bytes >> 10),
+            t2t,
+            bytes as f64 * 1000.0 / t2t as f64,
+            sdram,
+            bytes as f64 * 1000.0 / sdram as f64,
+            sdram as f64 / t2t as f64
+        );
+    }
+
+    println!("\nPer-link NoC busy cycles (best DMA run; links sorted by occupancy —");
+    println!("posted writes share the link model, so this is total ring traffic):");
+    let n = tiles.max(2);
     let mut links: Vec<(usize, u64)> =
         best.link_busy.iter().copied().enumerate().filter(|&(_, b)| b > 0).collect();
     links.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
@@ -103,12 +227,17 @@ fn main() {
         println!("  link {id:>3}  tile {from:>2} -> tile {to:>2}  {busy:>10} busy cycles");
     }
 
-    println!("\nFig. 10 revisited — motion estimation, staging vs double-buffered DMA (SPM):");
-    let me_params = MotionEstParams { frame: 96, block: 16, range: 8, seed: 0x5EED_0004 };
+    println!("\nFig. 10 revisited — motion estimation staging strategies (SPM):");
+    let me_params = if smoke {
+        MotionEstParams { frame: 32, block: 16, range: 4, seed: 0x5EED_0004 }
+    } else {
+        MotionEstParams { frame: 96, block: 16, range: 8, seed: 0x5EED_0004 }
+    };
     let mut makespans = Vec::new();
-    for dma in [false, true] {
-        let mut cfg = SocConfig { n_tiles: tiles, ..SocConfig::default() };
+    for variant in 0..3usize {
+        let mut cfg = SocConfig { n_tiles: tiles.max(2), ..SocConfig::default() };
         cfg.icache_mpki = 1;
+        cfg.dma_channels = 2;
         let mut sys = System::new(cfg, BackendKind::Spm, LockKind::Sdram);
         sys.set_dma_burst(1024);
         let app = MotionEst::build(&mut sys, me_params);
@@ -116,24 +245,21 @@ fn main() {
         let report = sys.run(
             (0..tiles)
                 .map(|_| -> pmc_runtime::Program<'_> {
-                    Box::new(
-                        move |ctx| {
-                            if dma {
-                                app_ref.worker_dma(ctx)
-                            } else {
-                                app_ref.worker(ctx)
-                            }
-                        },
-                    )
+                    Box::new(move |ctx| match variant {
+                        0 => app_ref.worker(ctx),
+                        1 => app_ref.worker_dma(ctx),
+                        _ => app_ref.worker_dma2d(ctx),
+                    })
                 })
                 .collect(),
         );
         assert_eq!(app.accuracy(&sys), 1.0);
-        println!(
-            "  {:<22} makespan {:>12}",
-            if dma { "double-buffered DMA" } else { "staging (entry copy)" },
-            report.makespan
-        );
+        let label = match variant {
+            0 => "staging (entry copy)",
+            1 => "double-buffered DMA",
+            _ => "2-D gather (frame rows)",
+        };
+        println!("  {label:<24} makespan {:>12}", report.makespan);
         makespans.push(report.makespan);
     }
     println!(

@@ -75,6 +75,17 @@ pub fn cases() -> Vec<Case> {
             golden: "-|0,0\n-|0,1\n-|0,2\n-|1,1\n-|1,2\n-|2,2\n",
         },
         Case { name: "dma_get_fresh", program: catalogue::dma_get_fresh(), golden: "-|0\n-|7\n" },
+        Case { name: "dma_t2t_mp", program: catalogue::dma_t2t_mp(), golden: "-|42\n" },
+        Case {
+            name: "dma_sg_gather",
+            program: catalogue::dma_sg_gather(),
+            golden: "-|0,0\n-|0,2\n-|1,0\n-|1,2\n",
+        },
+        Case {
+            name: "dma_chan_overlap",
+            program: catalogue::dma_chan_overlap(),
+            golden: "-|0,0\n-|0,1\n-|1,0\n-|1,1\n",
+        },
         Case {
             name: "drf_no_fence_cross_locks",
             program: catalogue::drf_no_fence_cross_locks(),
@@ -132,6 +143,21 @@ pub fn lower(p: &Program) -> Program {
                     instrs.push(Instr::DmaWait);
                     instrs.push(Instr::Release(*v));
                 }
+                Instr::DmaCopy(s, d) if !held.contains(s) || !held.contains(d) => {
+                    // Momentary windows for whichever endpoints are bare
+                    // (the runtime requires scopes on both), waited
+                    // before the releases.
+                    let need: Vec<LocId> =
+                        [*s, *d].into_iter().filter(|v| !held.contains(v)).collect();
+                    for v in &need {
+                        instrs.push(Instr::Acquire(*v));
+                    }
+                    instrs.push(i.clone());
+                    instrs.push(Instr::DmaWait);
+                    for v in need.iter().rev() {
+                        instrs.push(Instr::Release(*v));
+                    }
+                }
                 _ => instrs.push(i.clone()),
             }
         }
@@ -157,6 +183,7 @@ pub fn loc_count(p: &Program) -> u32 {
                 | Instr::WaitEq(LocId(l), _)
                 | Instr::DmaPut(LocId(l), _)
                 | Instr::DmaGet(LocId(l), _) => *l,
+                Instr::DmaCopy(LocId(s), LocId(d)) => (*s).max(*d),
                 Instr::Fence | Instr::DmaWait => continue,
             };
             max = max.max(l + 1);

@@ -70,21 +70,28 @@ impl std::fmt::Display for Exhausted {
 
 impl std::error::Error for Exhausted {}
 
-/// The operation kind and location an instruction issues (fences and DMA
-/// waits have no location). DMA transfers report the kind of their
-/// floating data-movement operation: a put behaves like a write, a get
-/// like a read, for intra-thread dependency purposes.
-fn instr_sig(i: &Instr) -> (OpKind, Option<LocId>) {
+/// The operation signatures an instruction issues (fences and DMA waits
+/// have no location). DMA transfers report the kind of their floating
+/// data-movement operation: a put behaves like a write, a get like a
+/// read, for intra-thread dependency purposes. A `DmaCopy` carries *two*
+/// signatures — a read of the source and a write of the destination.
+/// Allocation-free (this runs in the DFS's ready-check hot path): at
+/// most two signatures, returned as a fixed array plus a length.
+type Sigs = ([(OpKind, Option<LocId>); 2], usize);
+
+fn instr_sigs(i: &Instr) -> Sigs {
+    let one = |k, l| ([(k, l), (OpKind::Fence, None)], 1);
     match i {
-        Instr::Write(v, _) => (OpKind::Write, Some(*v)),
-        Instr::Read(v, _) => (OpKind::Read, Some(*v)),
-        Instr::WaitEq(v, _) => (OpKind::Read, Some(*v)),
-        Instr::Acquire(v) => (OpKind::Acquire, Some(*v)),
-        Instr::Release(v) => (OpKind::Release, Some(*v)),
-        Instr::Fence => (OpKind::Fence, None),
-        Instr::DmaPut(v, _) => (OpKind::Write, Some(*v)),
-        Instr::DmaGet(v, _) => (OpKind::Read, Some(*v)),
-        Instr::DmaWait => (OpKind::DmaComplete, None),
+        Instr::Write(v, _) => one(OpKind::Write, Some(*v)),
+        Instr::Read(v, _) => one(OpKind::Read, Some(*v)),
+        Instr::WaitEq(v, _) => one(OpKind::Read, Some(*v)),
+        Instr::Acquire(v) => one(OpKind::Acquire, Some(*v)),
+        Instr::Release(v) => one(OpKind::Release, Some(*v)),
+        Instr::Fence => one(OpKind::Fence, None),
+        Instr::DmaPut(v, _) => one(OpKind::Write, Some(*v)),
+        Instr::DmaGet(v, _) => one(OpKind::Read, Some(*v)),
+        Instr::DmaCopy(s, d) => ([(OpKind::Read, Some(*s)), (OpKind::Write, Some(*d))], 2),
+        Instr::DmaWait => one(OpKind::DmaComplete, None),
     }
 }
 
@@ -108,20 +115,32 @@ pub fn intra_thread_dep(a: &Instr, b: &Instr) -> bool {
     if matches!(a, Instr::DmaWait) {
         return b.is_dma_transfer() || matches!(b, Instr::Fence);
     }
-    let (ka, la) = instr_sig(a);
-    let (kb, lb) = instr_sig(b);
-    match table1::rule(ka, kb) {
-        None => false,
-        Some(rule) => match rule.scope {
-            // Same-process rows require the same location — except when
-            // the *new* op is a fence, which spans all locations.
-            table1::RuleScope::SameProcSameLoc => kb == OpKind::Fence || la == lb,
-            // release → acquire (≺S): same location.
-            table1::RuleScope::AnyProcSameLoc => la == lb,
-            // fence rows span all locations.
-            table1::RuleScope::SameProcAnyLoc => true,
-        },
+    // Any signature pair triggering a Table I rule orders the pair (a
+    // `DmaCopy` contributes a read of its source *and* a write of its
+    // destination).
+    let (sigs_a, na) = instr_sigs(a);
+    let (sigs_b, nb) = instr_sigs(b);
+    for &(ka, la) in &sigs_a[..na] {
+        for &(kb, lb) in &sigs_b[..nb] {
+            let dep = match table1::rule(ka, kb) {
+                None => false,
+                Some(rule) => match rule.scope {
+                    // Same-process rows require the same location — except
+                    // when the *new* op is a fence, which spans all
+                    // locations.
+                    table1::RuleScope::SameProcSameLoc => kb == OpKind::Fence || la == lb,
+                    // release → acquire (≺S): same location.
+                    table1::RuleScope::AnyProcSameLoc => la == lb,
+                    // fence rows span all locations.
+                    table1::RuleScope::SameProcAnyLoc => true,
+                },
+            };
+            if dep {
+                return true;
+            }
+        }
     }
+    false
 }
 
 /// The transfers a `DmaWait` at `idx` completes: every DMA transfer
@@ -258,6 +277,26 @@ impl<'p> Search<'p> {
                         next.performed[t][idx] = true;
                         self.dfs(next)?;
                     }
+                    Instr::DmaCopy(s, d) => {
+                        // Sample the source (branching over every
+                        // model-allowed value) and write the destination
+                        // at one floating point.
+                        let mut probe = node.clone();
+                        let cands = probe.model.read_candidates(p, *s);
+                        let mut values: Vec<Value> = cands.iter().map(|&(_, val)| val).collect();
+                        values.sort_unstable();
+                        values.dedup();
+                        for value in values {
+                            any_step = true;
+                            let mut next = node.clone();
+                            next.model
+                                .read_value(p, *s, value)
+                                .expect("candidate value must be readable");
+                            next.model.write(p, *d, value);
+                            next.performed[t][idx] = true;
+                            self.dfs(next)?;
+                        }
+                    }
                     Instr::DmaGet(v, reg) => {
                         // Like a plain read: branch over every
                         // model-allowed value at the sample point.
@@ -371,6 +410,16 @@ impl<'p> Search<'p> {
                         next.issued[t][idx] = true;
                         self.dfs(next)?;
                     }
+                    Instr::DmaCopy(s, d) => {
+                        // Issue markers on both endpoints; the combined
+                        // read/write floats as one perform step.
+                        any_step = true;
+                        let mut next = node.clone();
+                        next.model.dma_issue(p, *s);
+                        next.model.dma_issue(p, *d);
+                        next.issued[t][idx] = true;
+                        self.dfs(next)?;
+                    }
                     Instr::DmaWait => {
                         // Ready only once every outstanding transfer has
                         // performed (intra-thread dependency); mark the
@@ -379,7 +428,10 @@ impl<'p> Search<'p> {
                         let mut next = node.clone();
                         let mut locs: Vec<LocId> = open_transfers(thread, idx)
                             .into_iter()
-                            .map(|j| instr_sig(&thread[j]).1.expect("transfers have a location"))
+                            .flat_map(|j| {
+                                let (sigs, n) = instr_sigs(&thread[j]);
+                                sigs.into_iter().take(n).filter_map(|(_, l)| l)
+                            })
                             .collect();
                         locs.sort_unstable_by_key(|l| l.0);
                         locs.dedup();

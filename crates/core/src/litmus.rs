@@ -44,9 +44,16 @@ pub enum Instr {
     /// [`Instr::DmaWait`]. Runtime mapping: `ctx.dma_get(..)` + a read of
     /// the staged bytes after the wait.
     DmaGet(LocId, Reg),
+    /// Asynchronous local-to-local copy `DmaCopy(src, dst)`: read `src`
+    /// and write the sampled value to `dst`, both at one nondeterministic
+    /// point between issue and the thread's next [`Instr::DmaWait`] — the
+    /// tile-to-tile transfer that skips the memory-controller round trip.
+    /// Runtime mapping: `ctx.dma_copy_obj(src, dst)` /
+    /// `ctx.dma_copy_local(..)` under scopes on both endpoints.
+    DmaCopy(LocId, LocId),
     /// Block until every outstanding DMA transfer of this thread has
-    /// performed (the runtime's `dma_wait(ticket)` on the tile's newest
-    /// ticket — per-tile engines complete in issue order).
+    /// performed (the runtime's `dma_wait` on every unwaited ticket —
+    /// engine channels complete in issue order per channel).
     DmaWait,
 }
 
@@ -54,7 +61,7 @@ impl Instr {
     /// Whether this instruction issues an asynchronous (two-phase)
     /// transfer.
     pub fn is_dma_transfer(&self) -> bool {
-        matches!(self, Instr::DmaPut(..) | Instr::DmaGet(..))
+        matches!(self, Instr::DmaPut(..) | Instr::DmaGet(..) | Instr::DmaCopy(..))
     }
 }
 
@@ -302,6 +309,88 @@ pub mod catalogue {
             ])
     }
 
+    /// Tile-to-tile message passing: the producer computes X under its
+    /// lock, copies it *locally* into Y (the consumer's staging object)
+    /// with an asynchronous `DmaCopy`, waits the copy, and only then
+    /// releases and raises the flag. The synchronised reader must
+    /// observe the copied 42 — the copy-completes-before-release
+    /// guarantee of the tile-to-tile extension.
+    pub fn dma_t2t_mp() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .with_init(FLAG, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Write(X, 42),
+                Instr::Acquire(Y),
+                Instr::DmaCopy(X, Y),
+                Instr::DmaWait,
+                Instr::Fence,
+                Instr::Release(Y),
+                Instr::Release(X),
+                Instr::Acquire(FLAG),
+                Instr::Write(FLAG, 1),
+                Instr::Release(FLAG),
+            ])
+            .thread(vec![
+                Instr::WaitEq(FLAG, 1),
+                Instr::Fence,
+                Instr::Acquire(Y),
+                Instr::Read(Y, Reg(0)),
+                Instr::Release(Y),
+            ])
+    }
+
+    /// Scatter/gather shape: one wait completes a *list* of outstanding
+    /// gets on different locations (the engine's element lists). Each
+    /// get samples its location under the gathering thread's locks, so
+    /// only committed values are observable — but the two samples are
+    /// independent of the writer's two separately locked stores.
+    pub fn dma_sg_gather() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Write(X, 1),
+                Instr::Release(X),
+                Instr::Acquire(Y),
+                Instr::Write(Y, 2),
+                Instr::Release(Y),
+            ])
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Acquire(Y),
+                Instr::DmaGet(X, Reg(0)),
+                Instr::DmaGet(Y, Reg(1)),
+                Instr::DmaWait,
+                Instr::Release(Y),
+                Instr::Release(X),
+            ])
+    }
+
+    /// Channel overlap: two puts to different locations are both in
+    /// flight until the single wait — on a multi-channel engine they sit
+    /// on different channels and may perform in either order, so an
+    /// unsynchronised observer may see them in any combination (but the
+    /// issuing thread's wait still completes both before the release).
+    pub fn dma_chan_overlap() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Acquire(Y),
+                Instr::DmaPut(X, 1),
+                Instr::DmaPut(Y, 1),
+                Instr::DmaWait,
+                Instr::Release(Y),
+                Instr::Release(X),
+            ])
+            .thread(vec![Instr::Read(Y, Reg(0)), Instr::Fence, Instr::Read(X, Reg(1))])
+    }
+
     /// Same as [`drf_no_fence_cross_locks`] but with fences between the
     /// critical sections: recovers the SC-forbidden-outcome guarantee.
     pub fn drf_fenced_cross_locks() -> Program {
@@ -357,6 +446,9 @@ mod tests {
             catalogue::dma_mp_put(),
             catalogue::dma_put_after_write(),
             catalogue::dma_get_fresh(),
+            catalogue::dma_t2t_mp(),
+            catalogue::dma_sg_gather(),
+            catalogue::dma_chan_overlap(),
             catalogue::drf_no_fence_cross_locks(),
             catalogue::drf_fenced_cross_locks(),
         ] {

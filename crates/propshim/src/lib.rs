@@ -12,8 +12,9 @@
 //! Generation is a deterministic xorshift64* stream seeded from the test
 //! name, so failures are reproducible run-to-run. There is no shrinking:
 //! a failing case reports its index and the failed assertion. Case counts
-//! are bounded (and can be globally capped with `PMC_PROPTEST_CASES`) so
-//! the suite stays fast in CI.
+//! are bounded, and `PMC_PROPTEST_CASES` *overrides* every suite's
+//! configured count — downwards to stay fast on shared CI runners,
+//! upwards for deep sweeps (the nightly conformance job sets 256).
 //!
 //! [`proptest`]: https://crates.io/crates/proptest
 
@@ -36,10 +37,11 @@ impl ProptestConfig {
         ProptestConfig { cases }
     }
 
-    /// Case count after applying the global `PMC_PROPTEST_CASES` cap.
+    /// Case count after applying the global `PMC_PROPTEST_CASES`
+    /// override (exact — it can lower *or* raise the configured count).
     pub fn effective_cases(&self) -> u32 {
         match std::env::var("PMC_PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
-            Some(cap) => self.cases.min(cap.max(1)),
+            Some(n) => n.max(1),
             None => self.cases,
         }
     }

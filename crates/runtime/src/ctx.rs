@@ -17,9 +17,10 @@
 //! | `fence`    | compiler-only (in-order core) | compiler-only | compiler-only | compiler-only |
 //! | `flush`    | no-op | flush lines | broadcast replica + bump version | copy SPM→SDRAM |
 
-use pmc_soc_sim::{addr, Cpu, DmaDir, DmaXfer};
+use pmc_soc_sim::{addr, Cpu, DmaDescriptor, DmaDir, DmaKind, DmaSeg};
 
 use crate::pod::Pod;
+use crate::spm::StagingAlloc;
 use crate::system::{BackendKind, Obj, ObjMeta, PrivSlab, Shared, Slab, DMA_DONE_OFFSET};
 
 /// Trace-event kinds (recorded when the simulator's `trace` flag is on).
@@ -29,8 +30,10 @@ use crate::system::{BackendKind, Obj, ObjMeta, PrivSlab, Shared, Slab, DMA_DONE_
 /// staging; the application moves data explicitly with `dma_get` /
 /// `dma_put`). The DMA events encode their operands as
 /// `addr = object id`, `len = byte length`,
-/// `value = byte_offset << 32 | engine sequence number` (`DMA_WAIT`:
-/// `value = sequence number`).
+/// `value = byte_offset << 32 | channel << 28 | per-channel sequence
+/// number` (`DMA_WAIT`: `value = channel << 28 | sequence number`).
+/// Scatter/gather transfers emit one event per contiguous range, all
+/// carrying the same channel and sequence number.
 pub mod trace_kind {
     pub const ENTRY_X: u16 = 1;
     pub const EXIT_X: u16 = 2;
@@ -51,14 +54,33 @@ pub mod trace_kind {
     /// (`stage_in_words`): same operand encoding as `READ_BLOCK`;
     /// defines the range for the monitor's coverage tracking.
     pub const STAGE_IN: u16 = 13;
+    /// Source half of a local-to-local `dma_copy` (`addr` = source
+    /// object id; operands encoded like `DMA_GET`). The engine reads the
+    /// range lazily, so writes to it before the wait are hazards.
+    pub const DMA_COPY_SRC: u16 = 14;
+    /// Destination half of a local-to-local `dma_copy` (`addr` =
+    /// destination object id). The engine writes the range lazily, so
+    /// any access before the wait is a hazard; the completed copy
+    /// defines the range in a streaming destination scope.
+    pub const DMA_COPY_DST: u16 = 15;
 }
 
-/// Handle to an outstanding asynchronous bulk transfer. Per-tile DMA
-/// engines complete transfers in issue order, so waiting on a ticket
-/// also completes every earlier transfer issued by the same tile.
+/// Transfers' channel/sequence trace encoding: `chan << 28 | seq` in the
+/// low word. 16 channels and 2^28 transfers per channel per run.
+pub(crate) const TRACE_SEQ_BITS: u32 = 28;
+pub(crate) const TRACE_SEQ_MASK: u32 = (1 << TRACE_SEQ_BITS) - 1;
+/// Most channels the runtime protocol supports (the trace encoding's
+/// channel field is 4 bits); enforced where the count is configured.
+pub(crate) const MAX_DMA_CHANNELS: usize = 16;
+
+/// Handle to an outstanding asynchronous bulk transfer. Each engine
+/// *channel* completes its transfers in issue order, so waiting on a
+/// ticket also completes every earlier transfer issued by the same tile
+/// **on the same channel**; transfers on other channels stay in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaTicket {
     pub(crate) obj: u32,
+    pub(crate) chan: u32,
     pub(crate) seq: u32,
 }
 
@@ -85,10 +107,6 @@ struct OpenScope {
     /// Streaming scope: no eager staging; the application transfers data
     /// explicitly with `dma_get` / `dma_put`.
     streaming: bool,
-    /// Engine sequence number of the newest outstanding DMA transfer
-    /// issued under this scope (0 = none). `exit_x` / `exit_ro` wait for
-    /// it before giving up access.
-    dma_pending: u32,
     /// SPM staging offset (SPM back-end only).
     spm_off: u32,
     /// Committed version observed at entry (DSM back-end only).
@@ -102,17 +120,21 @@ pub struct PmcCtx<'a, 'b> {
     pub cpu: &'a mut Cpu<'b>,
     shared: &'a Shared,
     scopes: Vec<OpenScope>,
-    spm_top: u32,
-    /// Freed-but-buried SPM staging regions (scopes may close out of
-    /// stack order when streaming prefetch overlaps lifetimes); reclaimed
-    /// once everything above them is freed.
-    spm_dead: Vec<(u32, u32)>,
+    /// SPM staging arena (non-LIFO; see [`crate::spm::StagingAlloc`]).
+    spm: StagingAlloc,
+    /// Outstanding transfers per object: `(object id, ticket)`. A
+    /// `dma_copy` contributes one entry per endpoint object.
+    /// `exit_x` / `exit_ro` wait for the object's entries before giving
+    /// up access; `dma_wait` retires everything its ticket completes.
+    pending_dma: Vec<(u32, DmaTicket)>,
+    /// Round-robin cursor for channel assignment.
+    next_chan: u32,
 }
 
 impl<'a, 'b> PmcCtx<'a, 'b> {
     pub(crate) fn new(cpu: &'a mut Cpu<'b>, shared: &'a Shared) -> Self {
-        let spm_top = shared.spm_base;
-        PmcCtx { cpu, shared, scopes: Vec::new(), spm_top, spm_dead: Vec::new() }
+        let spm = StagingAlloc::new(shared.spm_base, shared.spm_end, shared.line);
+        PmcCtx { cpu, shared, scopes: Vec::new(), spm, pending_dma: Vec::new(), next_chan: 0 }
     }
 
     pub fn tile(&self) -> usize {
@@ -183,7 +205,6 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
             dirty: false,
             locked: true,
             streaming,
-            dma_pending: 0,
             spm_off: u32::MAX,
             version: 0,
         };
@@ -221,10 +242,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         assert_eq!(self.scopes[idx].kind, ScopeKind::X, "exit_x closes an entry_x scope");
         // `exit_x` implies completion of outstanding transfers: wait
         // before any write-back or unlock so the released state is whole.
-        let pending = self.scopes[idx].dma_pending;
-        if pending != 0 {
-            self.dma_wait(DmaTicket { obj: id, seq: pending });
-        }
+        self.wait_pending_for(id);
         self.cpu.trace_event(trace_kind::EXIT_X, id, 0, 0);
         let scope = self.scopes.remove(idx);
         let meta = self.meta(id);
@@ -282,7 +300,6 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
             dirty: false,
             locked: false,
             streaming,
-            dma_pending: 0,
             spm_off: u32::MAX,
             version: 0,
         };
@@ -343,10 +360,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         let idx = self.find_scope(id).expect("exit_ro without entry_ro");
         assert_eq!(self.scopes[idx].kind, ScopeKind::Ro, "exit_ro closes an entry_ro scope");
         // Quiesce outstanding gets before discarding the local view.
-        let pending = self.scopes[idx].dma_pending;
-        if pending != 0 {
-            self.dma_wait(DmaTicket { obj: id, seq: pending });
-        }
+        self.wait_pending_for(id);
         self.cpu.trace_event(trace_kind::EXIT_RO, id, 0, 0);
         let scope = self.scopes.remove(idx);
         let meta = self.meta(id);
@@ -440,6 +454,26 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     // range with an in-flight transfer.
     // ==================================================================
 
+    /// Number of independent DMA channels per tile
+    /// ([`pmc_soc_sim::SocConfig::dma_channels`]). Transfers issued by
+    /// this context rotate round-robin over the channels; channels
+    /// complete independently.
+    pub fn dma_channels(&self) -> u32 {
+        self.cpu.config().dma_channels as u32
+    }
+
+    /// Round-robin channel assignment for the next transfer.
+    fn pick_chan(&mut self) -> u32 {
+        let chan = self.next_chan % self.dma_channels();
+        self.next_chan = self.next_chan.wrapping_add(1);
+        chan
+    }
+
+    fn trace_seq(chan: u32, seq: u32) -> u64 {
+        assert!(chan < 16 && seq <= TRACE_SEQ_MASK, "trace encoding exhausted");
+        u64::from(chan << TRACE_SEQ_BITS | seq)
+    }
+
     /// Issue an asynchronous *get*: refresh `count` elements of the
     /// scope's local view of `slab`, starting at element `first`, from
     /// the object's home. Reads of the range are undefined until
@@ -450,7 +484,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     /// programming cost and keeps the same protocol).
     pub fn dma_get<T: Pod>(&mut self, slab: Slab<T>, first: u32, count: u32) -> DmaTicket {
         assert!(first + count <= slab.len, "dma_get range out of bounds");
-        self.dma_xfer_id(slab.id, first * T::SIZE, count * T::SIZE, DmaDir::Get)
+        self.dma_xfer_ranges(slab.id, &[(first * T::SIZE, count * T::SIZE)], DmaDir::Get)
     }
 
     /// Issue an asynchronous *put*: push `count` elements of the scope's
@@ -459,20 +493,66 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     /// ticket is waited; `exit_x` waits automatically.
     pub fn dma_put<T: Pod>(&mut self, slab: Slab<T>, first: u32, count: u32) -> DmaTicket {
         assert!(first + count <= slab.len, "dma_put range out of bounds");
-        self.dma_xfer_id(slab.id, first * T::SIZE, count * T::SIZE, DmaDir::Put)
+        self.dma_xfer_ranges(slab.id, &[(first * T::SIZE, count * T::SIZE)], DmaDir::Put)
+    }
+
+    /// Strided 2-D get: `rows` rows of `row_elems` elements each, row `r`
+    /// starting at element `first + r * stride_elems` — the
+    /// motion-estimation window / volume-slice shape. One engine
+    /// descriptor (a scatter/gather element list), one ticket.
+    pub fn dma_get_2d<T: Pod>(
+        &mut self,
+        slab: Slab<T>,
+        first: u32,
+        row_elems: u32,
+        rows: u32,
+        stride_elems: u32,
+    ) -> DmaTicket {
+        let ranges = Self::ranges_2d::<T>(slab, first, row_elems, rows, stride_elems);
+        self.dma_xfer_ranges(slab.id, &ranges, DmaDir::Get)
+    }
+
+    /// Strided 2-D put (see [`PmcCtx::dma_get_2d`]); requires exclusive
+    /// access.
+    pub fn dma_put_2d<T: Pod>(
+        &mut self,
+        slab: Slab<T>,
+        first: u32,
+        row_elems: u32,
+        rows: u32,
+        stride_elems: u32,
+    ) -> DmaTicket {
+        let ranges = Self::ranges_2d::<T>(slab, first, row_elems, rows, stride_elems);
+        self.dma_xfer_ranges(slab.id, &ranges, DmaDir::Put)
+    }
+
+    fn ranges_2d<T: Pod>(
+        slab: Slab<T>,
+        first: u32,
+        row_elems: u32,
+        rows: u32,
+        stride_elems: u32,
+    ) -> Vec<(u32, u32)> {
+        assert!(rows > 0 && row_elems > 0, "empty 2-D transfer");
+        assert!(stride_elems >= row_elems, "2-D rows must not overlap");
+        let last = first + (rows - 1) * stride_elems + row_elems;
+        assert!(last <= slab.len, "2-D transfer range out of bounds");
+        (0..rows).map(|r| ((first + r * stride_elems) * T::SIZE, row_elems * T::SIZE)).collect()
     }
 
     /// Whole-object get (single objects rather than slabs).
     pub fn dma_get_obj<T: Pod>(&mut self, obj: Obj<T>) -> DmaTicket {
-        self.dma_xfer_id(obj.id, 0, T::SIZE, DmaDir::Get)
+        self.dma_xfer_ranges(obj.id, &[(0, T::SIZE)], DmaDir::Get)
     }
 
     /// Whole-object put (single objects rather than slabs).
     pub fn dma_put_obj<T: Pod>(&mut self, obj: Obj<T>) -> DmaTicket {
-        self.dma_xfer_id(obj.id, 0, T::SIZE, DmaDir::Put)
+        self.dma_xfer_ranges(obj.id, &[(0, T::SIZE)], DmaDir::Put)
     }
 
-    fn dma_xfer_id(&mut self, id: u32, byte_off: u32, bytes: u32, dir: DmaDir) -> DmaTicket {
+    /// `ranges` are `(byte_offset, bytes)` pairs within the object — the
+    /// scatter/gather element list of one transfer.
+    fn dma_xfer_ranges(&mut self, id: u32, ranges: &[(u32, u32)], dir: DmaDir) -> DmaTicket {
         let idx = self
             .find_scope(id)
             .expect("DMA transfer of a shared object outside any entry/exit scope");
@@ -486,7 +566,9 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         let meta = self.meta(id);
         let (size, sdram_off, version_off, dsm_off) =
             (meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
-        assert!(byte_off + bytes <= size, "DMA range outside the object");
+        for &(byte_off, bytes) in ranges {
+            assert!(byte_off + bytes <= size, "DMA range outside the object");
+        }
         // A put is a targeted push towards global visibility: back-ends
         // without a physical bulk path reach the same state the way
         // their `flush` does, before the (null) engine transfer whose
@@ -495,8 +577,12 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
             match self.shared.backend {
                 BackendKind::Uncached => {} // writes are already home
                 BackendKind::Swcc => {
-                    self.cpu
-                        .flush_dcache_range(addr::SDRAM_CACHED_BASE + sdram_off + byte_off, bytes);
+                    for &(byte_off, bytes) in ranges {
+                        self.cpu.flush_dcache_range(
+                            addr::SDRAM_CACHED_BASE + sdram_off + byte_off,
+                            bytes,
+                        );
+                    }
                 }
                 BackendKind::Dsm => {
                     let v = self.scopes[idx].version + 1;
@@ -507,43 +593,178 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
                 BackendKind::Spm => {}
             }
         }
-        let (engine_bytes, local_offset) = match self.shared.backend {
-            BackendKind::Spm => (bytes, self.scopes[idx].spm_off + byte_off),
-            _ => (0, 0), // null transfer: completion word only
+        let segs: Vec<DmaSeg> = match self.shared.backend {
+            BackendKind::Spm => {
+                let spm_off = self.scopes[idx].spm_off;
+                ranges
+                    .iter()
+                    .map(|&(byte_off, bytes)| DmaSeg {
+                        far_offset: sdram_off + byte_off,
+                        local_offset: spm_off + byte_off,
+                        bytes,
+                    })
+                    .collect()
+            }
+            _ => Vec::new(), // null transfer: completion word only
         };
-        let seq = self.cpu.dma_issue(DmaXfer {
-            dir,
-            sdram_offset: sdram_off + byte_off,
-            local_offset,
-            bytes: engine_bytes,
-            burst: self.shared.dma_burst,
-            done_offset: DMA_DONE_OFFSET,
-        });
-        self.scopes[idx].dma_pending = seq;
+        let chan = self.pick_chan();
+        let seq = self.cpu.dma_issue(
+            chan as usize,
+            DmaDescriptor {
+                kind: DmaKind::Sdram(dir),
+                segs,
+                burst: self.shared.dma_burst,
+                done_offset: DMA_DONE_OFFSET + 4 * chan,
+            },
+        );
+        let ticket = DmaTicket { obj: id, chan, seq };
+        self.pending_dma.push((id, ticket));
         let kind = match dir {
             DmaDir::Get => trace_kind::DMA_GET,
             DmaDir::Put => trace_kind::DMA_PUT,
         };
-        self.cpu.trace_event(kind, id, bytes, u64::from(byte_off) << 32 | u64::from(seq));
-        DmaTicket { obj: id, seq }
+        for &(byte_off, bytes) in ranges {
+            self.cpu.trace_event(
+                kind,
+                id,
+                bytes,
+                u64::from(byte_off) << 32 | Self::trace_seq(chan, seq),
+            );
+        }
+        ticket
     }
 
-    /// Block until every transfer up to `ticket` has completed on this
-    /// tile's engine (per-tile engines are FIFO), by polling the engine's
-    /// completion word in local memory — the same local-polling idiom the
-    /// DSM back-end uses for versions.
+    /// Asynchronous local-to-local copy: move `count` elements from the
+    /// scope's local view of `src` (starting at `src_first`) into the
+    /// scope's local view of `dst` (starting at `dst_first`), without a
+    /// round trip through the objects' SDRAM homes. Requires an open
+    /// scope on `src` (any kind) and exclusive access to `dst`. On the
+    /// SPM back-end this is an engine transfer between the two staging
+    /// areas (local-to-local, no memory-controller traffic); elsewhere
+    /// the scope views are moved directly and a null transfer carries
+    /// the ticket. The destination range is undefined until the ticket
+    /// is waited; streaming destination scopes must still publish the
+    /// copied range with [`PmcCtx::dma_put`] before exiting.
+    pub fn dma_copy_local<T: Pod>(
+        &mut self,
+        src: Slab<T>,
+        src_first: u32,
+        dst: Slab<T>,
+        dst_first: u32,
+        count: u32,
+    ) -> DmaTicket {
+        assert!(src_first + count <= src.len, "dma_copy source range out of bounds");
+        assert!(dst_first + count <= dst.len, "dma_copy destination range out of bounds");
+        self.dma_copy_range(
+            src.id,
+            src_first * T::SIZE,
+            dst.id,
+            dst_first * T::SIZE,
+            count * T::SIZE,
+        )
+    }
+
+    /// Whole-object local-to-local copy (see [`PmcCtx::dma_copy_local`]).
+    pub fn dma_copy_obj<T: Pod>(&mut self, src: Obj<T>, dst: Obj<T>) -> DmaTicket {
+        self.dma_copy_range(src.id, 0, dst.id, 0, T::SIZE)
+    }
+
+    fn dma_copy_range(
+        &mut self,
+        src_id: u32,
+        src_off: u32,
+        dst_id: u32,
+        dst_off: u32,
+        bytes: u32,
+    ) -> DmaTicket {
+        assert_ne!(src_id, dst_id, "dma_copy endpoints must be distinct objects");
+        let sidx = self.find_scope(src_id).expect("dma_copy source outside any entry/exit scope");
+        let didx =
+            self.find_scope(dst_id).expect("dma_copy destination outside any entry/exit scope");
+        assert_eq!(
+            self.scopes[didx].kind,
+            ScopeKind::X,
+            "dma_copy destination requires exclusive access (entry_x)"
+        );
+        assert!(src_off + bytes <= self.meta(src_id).size, "dma_copy source outside the object");
+        assert!(
+            dst_off + bytes <= self.meta(dst_id).size,
+            "dma_copy destination outside the object"
+        );
+        self.scopes[didx].dirty = true;
+        let chan = self.pick_chan();
+        let desc = match self.shared.backend {
+            BackendKind::Spm => DmaDescriptor::contiguous(
+                // Both staging areas live in this tile's local memory:
+                // a zero-hop local-to-local engine transfer.
+                DmaKind::Copy { dst_tile: self.cpu.tile() },
+                self.scopes[didx].spm_off + dst_off,
+                self.scopes[sidx].spm_off + src_off,
+                bytes,
+                self.shared.dma_burst,
+                DMA_DONE_OFFSET + 4 * chan,
+            ),
+            _ => {
+                // No staging copies: move the bytes between the scope
+                // views synchronously (performing at issue is one of the
+                // placements the floating transfer window allows), then
+                // track completion with a null transfer.
+                let src_scope = self.scopes[sidx];
+                let dst_scope = self.scopes[didx];
+                let src_base = self.data_addr(src_id, &src_scope) + src_off;
+                let dst_base = self.data_addr(dst_id, &dst_scope) + dst_off;
+                let mut buf = vec![0u8; bytes as usize];
+                match self.shared.backend {
+                    BackendKind::Swcc => {
+                        chunked_read(self.cpu, self.shared.line, src_base, &mut buf);
+                        chunked_write(self.cpu, self.shared.line, dst_base, &buf);
+                    }
+                    _ => {
+                        self.cpu.read_block(src_base, &mut buf);
+                        self.cpu.write_block(dst_base, &buf);
+                    }
+                }
+                let mut d = DmaDescriptor::null(DMA_DONE_OFFSET + 4 * chan);
+                d.burst = self.shared.dma_burst;
+                d
+            }
+        };
+        let seq = self.cpu.dma_issue(chan as usize, desc);
+        let ticket_src = DmaTicket { obj: src_id, chan, seq };
+        let ticket_dst = DmaTicket { obj: dst_id, chan, seq };
+        self.pending_dma.push((src_id, ticket_src));
+        self.pending_dma.push((dst_id, ticket_dst));
+        let encoded = |off: u32| u64::from(off) << 32 | Self::trace_seq(chan, seq);
+        self.cpu.trace_event(trace_kind::DMA_COPY_SRC, src_id, bytes, encoded(src_off));
+        self.cpu.trace_event(trace_kind::DMA_COPY_DST, dst_id, bytes, encoded(dst_off));
+        ticket_dst
+    }
+
+    /// Block until every transfer up to `ticket` has completed on its
+    /// channel (channels are FIFO; other channels are unaffected), by
+    /// polling the channel's completion word in local memory — the same
+    /// local-polling idiom the DSM back-end uses for versions.
     pub fn dma_wait(&mut self, ticket: DmaTicket) {
-        self.cpu.trace_event(trace_kind::DMA_WAIT, ticket.obj, 0, u64::from(ticket.seq));
-        let done_addr = addr::local_base(self.cpu.tile()) + DMA_DONE_OFFSET;
+        self.cpu.trace_event(
+            trace_kind::DMA_WAIT,
+            ticket.obj,
+            0,
+            Self::trace_seq(ticket.chan, ticket.seq),
+        );
+        let done_addr = addr::local_base(self.cpu.tile()) + DMA_DONE_OFFSET + 4 * ticket.chan;
         let mut backoff = 8u64;
         while self.cpu.read_u32(done_addr) < ticket.seq {
             self.cpu.compute(backoff);
             backoff = (backoff * 2).min(256);
         }
-        for s in &mut self.scopes {
-            if s.dma_pending != 0 && s.dma_pending <= ticket.seq {
-                s.dma_pending = 0;
-            }
+        self.pending_dma.retain(|(_, t)| t.chan != ticket.chan || t.seq > ticket.seq);
+    }
+
+    /// Wait every outstanding transfer touching object `id` (the
+    /// exit-implies-completion rule).
+    fn wait_pending_for(&mut self, id: u32) {
+        while let Some(&(_, t)) = self.pending_dma.iter().find(|(o, _)| *o == id) {
+            self.dma_wait(t);
         }
     }
 
@@ -622,32 +843,17 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         self.cpu.write_u32(addr::SDRAM_UNCACHED_BASE + version_off, new_version);
     }
 
-    /// SPM: reserve a staging region (bump allocation, line-padded).
+    /// SPM: reserve a staging region (bump allocation, line-padded;
+    /// non-LIFO frees handled by [`StagingAlloc`]).
     fn spm_alloc(&mut self, size: u32) -> u32 {
-        let spm_off = self.spm_top;
-        let padded = size.div_ceil(self.shared.line) * self.shared.line;
-        assert!(
-            spm_off + padded <= self.shared.spm_end,
-            "tile {}: SPM arena exhausted",
-            self.cpu.tile()
-        );
-        self.spm_top += padded;
-        spm_off
+        self.spm.alloc(size)
     }
 
     /// SPM: release a staging region. Scopes may close out of stack
-    /// order (streaming prefetch overlaps lifetimes); buried regions park
-    /// on a dead list until everything above them is gone.
+    /// order (streaming prefetch overlaps lifetimes); the allocator
+    /// parks buried regions until everything above them is gone.
     fn spm_free(&mut self, spm_off: u32, size: u32) {
-        let padded = size.div_ceil(self.shared.line) * self.shared.line;
-        if spm_off + padded == self.spm_top {
-            self.spm_top = spm_off;
-            while let Some(pos) = self.spm_dead.iter().position(|&(o, s)| o + s == self.spm_top) {
-                self.spm_top = self.spm_dead.swap_remove(pos).0;
-            }
-        } else {
-            self.spm_dead.push((spm_off, padded));
-        }
+        self.spm.free(spm_off, size);
     }
 
     /// SPM: stage an object into the local scratch-pad; returns the SPM

@@ -42,6 +42,7 @@ pub mod lock;
 pub mod monitor;
 pub mod pod;
 pub mod queue;
+pub mod spm;
 pub mod system;
 
 pub use ctx::{read_ro, scope_ro, scope_x, write_x, DmaTicket, PmcCtx};

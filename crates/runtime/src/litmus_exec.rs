@@ -51,6 +51,10 @@ pub fn run_litmus(program: &Program, backend: BackendKind, lock_kind: LockKind) 
     let n_threads = program.threads.len().max(1);
     let mut cfg = SocConfig::small(n_threads);
     cfg.trace = true;
+    // Two engine channels: the executor's transfers rotate round-robin,
+    // so the sweep also validates the multi-channel completion protocol
+    // (independent per-channel waits) against the model.
+    cfg.dma_channels = 2;
     let mut sys = System::new(cfg, backend, lock_kind);
 
     let n_locs = conformance::loc_count(program).max(1);
@@ -74,10 +78,11 @@ pub fn run_litmus(program: &Program, backend: BackendKind, lock_kind: LockKind) 
                 Box::new(move |ctx| {
                     let mut regs = vec![0; n_regs];
                     let mut held: Vec<u32> = Vec::new();
-                    // Outstanding DMA state: the newest ticket (per-tile
-                    // engines complete in issue order) and the registers
-                    // awaiting get completions.
-                    let mut last_ticket: Option<crate::ctx::DmaTicket> = None;
+                    // Outstanding DMA state: every unwaited ticket
+                    // (transfers rotate over engine channels, each FIFO
+                    // per channel, so `DmaWait` waits them all) and the
+                    // registers awaiting get completions.
+                    let mut tickets: Vec<crate::ctx::DmaTicket> = Vec::new();
                     let mut pending_gets: Vec<(pmc_core::op::LocId, pmc_core::litmus::Reg)> =
                         Vec::new();
                     for i in &instrs {
@@ -125,18 +130,27 @@ pub fn run_litmus(program: &Program, backend: BackendKind, lock_kind: LockKind) 
                                     "DMA transfers require the owning scope"
                                 );
                                 ctx.write(obj(*l), *v);
-                                last_ticket = Some(ctx.dma_put_obj(obj(*l)));
+                                tickets.push(ctx.dma_put_obj(obj(*l)));
                             }
                             Instr::DmaGet(l, r) => {
                                 assert!(
                                     held.contains(&l.0),
                                     "DMA transfers require the owning scope"
                                 );
-                                last_ticket = Some(ctx.dma_get_obj(obj(*l)));
+                                tickets.push(ctx.dma_get_obj(obj(*l)));
                                 pending_gets.push((*l, *r));
                             }
+                            Instr::DmaCopy(s, d) => {
+                                // Local-to-local: both endpoints must be
+                                // held (the destination exclusively).
+                                assert!(
+                                    held.contains(&s.0) && held.contains(&d.0),
+                                    "DMA copies require both owning scopes"
+                                );
+                                tickets.push(ctx.dma_copy_obj(obj(*s), obj(*d)));
+                            }
                             Instr::DmaWait => {
-                                if let Some(t) = last_ticket.take() {
+                                for t in tickets.drain(..) {
                                     ctx.dma_wait(t);
                                 }
                                 // The staged bytes are defined now: land
@@ -148,7 +162,7 @@ pub fn run_litmus(program: &Program, backend: BackendKind, lock_kind: LockKind) 
                         }
                     }
                     assert!(
-                        last_ticket.is_none() && pending_gets.is_empty(),
+                        tickets.is_empty() && pending_gets.is_empty(),
                         "litmus DMA transfers must be waited before the thread ends"
                     );
                     *results_ref[t].lock().unwrap() = regs;

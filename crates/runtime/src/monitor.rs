@@ -5,8 +5,10 @@
 //! serialises commits). This checker replays the trace and verifies the
 //! guarantees the PMC model grants an annotated program:
 //!
-//! * **mutual exclusion** — `entry_x` scopes (and locked `entry_ro`
-//!   scopes) on one object never overlap;
+//! * **mutual exclusion** — an `entry_x` scope on an object never
+//!   overlaps any other scope on it; locked `entry_ro` scopes are
+//!   *shared* and may overlap each other (the model's read-only-
+//!   alongside-read-only relaxation) but never an exclusive scope;
 //! * **freshness under exclusive access** — a read inside an `entry_x`
 //!   (or locked `entry_ro`) scope returns exactly the bytes of the last
 //!   committed write (Definition 11/12: the acquire synchronises with
@@ -48,13 +50,17 @@ impl std::fmt::Display for Violation {
 
 #[derive(Default)]
 struct ObjState {
-    /// Who currently holds exclusive (or locked read-only) access.
-    holder: Option<(usize, bool)>, // (tile, exclusive)
-    /// Whether the holding scope is a streaming one (no eager staging).
-    streaming: bool,
-    /// Byte ranges of the holding streaming scope whose local view is
-    /// defined: own writes plus completed gets.
-    covered: Vec<(u32, u32)>, // (start, end)
+    /// Who currently holds exclusive access, if anyone.
+    x_holder: Option<usize>,
+    /// Whether the exclusive scope is a streaming one (no eager staging).
+    x_streaming: bool,
+    /// Locked read-only holders — shared access, so any number of tiles
+    /// may hold it concurrently (the PMC model's read-only-alongside-
+    /// read-only relaxation): tile → streaming flag.
+    ro_holders: HashMap<usize, bool>,
+    /// Per-tile byte ranges of a holding streaming scope whose local view
+    /// is defined: own writes plus completed gets/copies.
+    covered: HashMap<usize, Vec<(u32, u32)>>, // tile -> (start, end)
     /// Committed value history per chunk (offset, len) — index 0 is the
     /// initial value, seeded lazily from the first read.
     history: HashMap<(u32, u32), Vec<u64>>,
@@ -98,16 +104,72 @@ impl ObjState {
             }
         }
     }
+
+    /// Does `tile` hold any scope (exclusive or locked read-only)?
+    fn held_by(&self, tile: usize) -> bool {
+        self.x_holder == Some(tile) || self.ro_holders.contains_key(&tile)
+    }
+
+    /// Does `tile` hold a *streaming* scope?
+    fn streaming_for(&self, tile: usize) -> bool {
+        if self.x_holder == Some(tile) {
+            self.x_streaming
+        } else {
+            self.ro_holders.get(&tile).copied().unwrap_or(false)
+        }
+    }
+
+    /// Is anything held at all?
+    fn any_holder(&self) -> bool {
+        self.x_holder.is_some() || !self.ro_holders.is_empty()
+    }
+
+    fn covered_for(&self, tile: usize) -> &[(u32, u32)] {
+        self.covered.get(&tile).map_or(&[], |v| v.as_slice())
+    }
 }
 
-/// An in-flight DMA transfer.
+/// Which role an in-flight DMA range plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XferKind {
+    /// Get target: the engine writes the range lazily — reads *and*
+    /// writes before the wait are hazards.
+    Get,
+    /// Put source: the engine reads the range lazily — writes before the
+    /// wait are hazards; reads are fine.
+    Put,
+    /// `dma_copy` source: read lazily, like a put source.
+    CopySrc,
+    /// `dma_copy` destination: written lazily, like a get target. The
+    /// completed copy defines the range and carries the source's staged
+    /// values into the destination's pending set.
+    CopyDst,
+}
+
+impl XferKind {
+    /// Does a CPU read of an overlapping range race the engine?
+    fn hazards_reads(self) -> bool {
+        matches!(self, XferKind::Get | XferKind::CopyDst)
+    }
+}
+
+/// An in-flight DMA transfer range (scatter/gather transfers contribute
+/// one entry per contiguous range, sharing a channel/sequence pair).
 struct Outstanding {
     tile: usize,
     obj: u32,
     start: u32,
     end: u32,
+    chan: u32,
     seq: u32,
-    put: bool,
+    kind: XferKind,
+}
+
+/// Split a DMA trace `value` into `(byte_offset, chan, seq)` (see
+/// [`crate::ctx::trace_kind`] for the encoding).
+fn decode_dma(value: u64) -> (u32, u32, u32) {
+    let low = value as u32;
+    ((value >> 32) as u32, low >> crate::ctx::TRACE_SEQ_BITS, low & crate::ctx::TRACE_SEQ_MASK)
 }
 
 /// Insert `[start, end)` into a sorted, disjoint interval list, merging
@@ -157,27 +219,32 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
         match r.kind {
             k::ENTRY_X => {
                 let st = objs.entry(r.addr).or_default();
-                if let Some((t, _)) = st.holder {
+                if let Some(t) = st.x_holder {
                     violate(
                         r,
                         format!("entry_x(obj {}) while tile {t} holds it", r.addr),
                         &mut out,
                     );
+                } else if let Some((&t, _)) = st.ro_holders.iter().next() {
+                    violate(
+                        r,
+                        format!("entry_x(obj {}) while tile {t} holds it read-only", r.addr),
+                        &mut out,
+                    );
                 }
-                st.holder = Some((r.tile, true));
-                st.streaming = r.value & 2 != 0;
-                st.covered.clear();
+                st.x_holder = Some(r.tile);
+                st.x_streaming = r.value & 2 != 0;
+                st.covered.remove(&r.tile);
                 st.pending.clear();
             }
             k::EXIT_X => {
                 let st = objs.entry(r.addr).or_default();
-                match st.holder {
-                    Some((t, true)) if t == r.tile => {}
-                    other => violate(
+                if st.x_holder != Some(r.tile) {
+                    violate(
                         r,
-                        format!("exit_x(obj {}) by non-holder (holder {other:?})", r.addr),
+                        format!("exit_x(obj {}) by non-holder (holder {:?})", r.addr, st.x_holder),
                         &mut out,
-                    ),
+                    );
                 }
                 if outstanding.iter().any(|o| o.tile == r.tile && o.obj == r.addr) {
                     violate(
@@ -186,7 +253,7 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                         &mut out,
                     );
                 }
-                if st.streaming && !st.pending.is_empty() {
+                if st.x_streaming && !st.pending.is_empty() {
                     violate(
                         r,
                         format!(
@@ -198,24 +265,25 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                 }
                 // Commit the scope's writes to history.
                 st.commit_pending();
-                st.holder = None;
-                st.streaming = false;
-                st.covered.clear();
+                st.x_holder = None;
+                st.x_streaming = false;
+                st.covered.remove(&r.tile);
             }
             k::ENTRY_RO => {
                 let locked = r.value & 1 != 0;
                 if locked {
                     let st = objs.entry(r.addr).or_default();
-                    if let Some((t, _)) = st.holder {
+                    // Shared access: concurrent locked read-only scopes
+                    // are fine; only an exclusive holder conflicts.
+                    if let Some(t) = st.x_holder {
                         violate(
                             r,
                             format!("locked entry_ro(obj {}) while tile {t} holds it", r.addr),
                             &mut out,
                         );
                     }
-                    st.holder = Some((r.tile, false));
-                    st.streaming = r.value & 2 != 0;
-                    st.covered.clear();
+                    st.ro_holders.insert(r.tile, r.value & 2 != 0);
+                    st.covered.remove(&r.tile);
                 }
             }
             k::EXIT_RO => {
@@ -227,13 +295,8 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                         &mut out,
                     );
                 }
-                if let Some((t, false)) = st.holder {
-                    if t == r.tile {
-                        st.holder = None;
-                        st.streaming = false;
-                        st.covered.clear();
-                    }
-                }
+                st.ro_holders.remove(&r.tile);
+                st.covered.remove(&r.tile);
             }
             k::FLUSH => {
                 // Flush commits pending writes early (visibility push).
@@ -242,29 +305,28 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                 // SPM): the runtime refuses it, so a trace showing one
                 // is a broken back-end or a forged trace.
                 let st = objs.entry(r.addr).or_default();
-                if st.streaming && matches!(st.holder, Some((t, _)) if t == r.tile) {
+                if st.held_by(r.tile) && st.streaming_for(r.tile) {
                     violate(r, format!("flush(obj {}) inside a streaming scope", r.addr), &mut out);
                 }
                 st.commit_pending();
             }
             k::DMA_GET | k::DMA_PUT => {
                 let put = r.kind == k::DMA_PUT;
-                let start = (r.value >> 32) as u32;
+                let (start, chan, seq) = decode_dma(r.value);
                 let end = start + r.len;
-                let seq = r.value as u32;
                 let st = objs.entry(r.addr).or_default();
-                let held = matches!(st.holder, Some((t, _)) if t == r.tile);
-                let held_x = matches!(st.holder, Some((t, true)) if t == r.tile);
+                let held = st.held_by(r.tile);
+                let held_x = st.x_holder == Some(r.tile);
                 if put && !held_x {
                     violate(
                         r,
                         format!(
                             "dma_put(obj {}) without exclusive access ({:?})",
-                            r.addr, st.holder
+                            r.addr, st.x_holder
                         ),
                         &mut out,
                     );
-                } else if !put && !held && st.holder.is_some() {
+                } else if !put && !held && st.any_holder() {
                     violate(
                         r,
                         format!("dma_get(obj {}) while another tile holds it", r.addr),
@@ -278,27 +340,138 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                     // them as never published.
                     st.commit_pending_range(start, end);
                 }
-                outstanding.push(Outstanding { tile: r.tile, obj: r.addr, start, end, seq, put });
+                let kind = if put { XferKind::Put } else { XferKind::Get };
+                outstanding.push(Outstanding {
+                    tile: r.tile,
+                    obj: r.addr,
+                    start,
+                    end,
+                    chan,
+                    seq,
+                    kind,
+                });
+            }
+            k::DMA_COPY_SRC | k::DMA_COPY_DST => {
+                let dst = r.kind == k::DMA_COPY_DST;
+                let (start, chan, seq) = decode_dma(r.value);
+                let end = start + r.len;
+                let st = objs.entry(r.addr).or_default();
+                let held = st.held_by(r.tile);
+                let held_x = st.x_holder == Some(r.tile);
+                if dst && !held_x {
+                    violate(
+                        r,
+                        format!(
+                            "dma_copy destination (obj {}) without exclusive access ({:?})",
+                            r.addr, st.x_holder
+                        ),
+                        &mut out,
+                    );
+                } else if !dst && !held {
+                    violate(
+                        r,
+                        format!("dma_copy source (obj {}) outside an owning scope", r.addr),
+                        &mut out,
+                    );
+                }
+                // The engine samples the source lazily: a streaming
+                // source scope must have defined the range already.
+                if !dst
+                    && held
+                    && st.streaming_for(r.tile)
+                    && !covers(st.covered_for(r.tile), start, end)
+                {
+                    violate(
+                        r,
+                        format!(
+                            "dma_copy source range of obj {} never defined in this \
+                             streaming scope",
+                            r.addr
+                        ),
+                        &mut out,
+                    );
+                }
+                let kind = if dst { XferKind::CopyDst } else { XferKind::CopySrc };
+                outstanding.push(Outstanding {
+                    tile: r.tile,
+                    obj: r.addr,
+                    start,
+                    end,
+                    chan,
+                    seq,
+                    kind,
+                });
             }
             k::DMA_WAIT => {
-                let waited = r.value as u32;
-                // Per-tile engines complete in issue order: the wait
-                // retires every transfer of this tile up to the sequence
-                // number; completed gets define their target ranges.
+                let (_, chan, waited) = decode_dma(r.value);
+                // Engine channels complete in issue order: the wait
+                // retires every transfer of this tile *on this channel*
+                // up to the sequence number; completed gets and copies
+                // define their target ranges.
                 let mut kept = Vec::with_capacity(outstanding.len());
+                let mut retired = Vec::new();
                 for o in outstanding.drain(..) {
-                    if o.tile == r.tile && o.seq <= waited {
-                        if !o.put {
-                            let st = objs.entry(o.obj).or_default();
-                            if matches!(st.holder, Some((t, _)) if t == o.tile) {
-                                add_covered(&mut st.covered, o.start, o.end);
-                            }
-                        }
+                    if o.tile == r.tile && o.chan == chan && o.seq <= waited {
+                        retired.push(o);
                     } else {
                         kept.push(o);
                     }
                 }
                 outstanding = kept;
+                for o in &retired {
+                    match o.kind {
+                        XferKind::Get => {
+                            let st = objs.entry(o.obj).or_default();
+                            if st.held_by(o.tile) {
+                                add_covered(st.covered.entry(o.tile).or_default(), o.start, o.end);
+                            }
+                        }
+                        XferKind::CopyDst => {
+                            // The completed copy defines the destination
+                            // range and lands the *source's* staged
+                            // values in the destination as pending
+                            // writes (to be published / committed like
+                            // the tile's own writes). Chunk values are
+                            // carried over where the source has them —
+                            // word-traced accesses; bulk-staged source
+                            // bytes have no per-chunk history to carry.
+                            let src = retired.iter().find(|s| {
+                                s.kind == XferKind::CopySrc && s.seq == o.seq && s.chan == o.chan
+                            });
+                            let moved: Vec<((u32, u32), u64)> = match src {
+                                None => Vec::new(),
+                                Some(src) => {
+                                    let sst = objs.entry(src.obj).or_default();
+                                    let mut vals = Vec::new();
+                                    for (&(off, len), &v) in &sst.pending {
+                                        if off >= src.start && off + len <= src.end {
+                                            vals.push(((off - src.start, len), v));
+                                        }
+                                    }
+                                    for (&(off, len), hist) in &sst.history {
+                                        if off >= src.start
+                                            && off + len <= src.end
+                                            && !sst.pending.contains_key(&(off, len))
+                                        {
+                                            if let Some(&v) = hist.last() {
+                                                vals.push(((off - src.start, len), v));
+                                            }
+                                        }
+                                    }
+                                    vals
+                                }
+                            };
+                            let st = objs.entry(o.obj).or_default();
+                            if st.x_holder == Some(o.tile) {
+                                add_covered(st.covered.entry(o.tile).or_default(), o.start, o.end);
+                                for ((rel, len), v) in moved {
+                                    st.pending.insert((o.start + rel, len), v);
+                                }
+                            }
+                        }
+                        XferKind::Put | XferKind::CopySrc => {}
+                    }
+                }
             }
             k::STAGE_IN => {
                 // Synchronous word-copy fill: defines the range in the
@@ -306,8 +479,8 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                 let start = r.value as u32;
                 let end = start + r.len;
                 let st = objs.entry(r.addr).or_default();
-                if st.streaming && matches!(st.holder, Some((t, _)) if t == r.tile) {
-                    add_covered(&mut st.covered, start, end);
+                if st.held_by(r.tile) && st.streaming_for(r.tile) {
+                    add_covered(st.covered.entry(r.tile).or_default(), start, end);
                 }
             }
             k::READ_BLOCK => {
@@ -317,7 +490,11 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                 let end = start + r.len;
                 let st = objs.entry(r.addr).or_default();
                 if outstanding.iter().any(|o| {
-                    o.tile == r.tile && o.obj == r.addr && !o.put && start < o.end && end > o.start
+                    o.tile == r.tile
+                        && o.obj == r.addr
+                        && o.kind.hazards_reads()
+                        && start < o.end
+                        && end > o.start
                 }) {
                     violate(
                         r,
@@ -325,9 +502,9 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                         &mut out,
                     );
                 }
-                if st.streaming
-                    && matches!(st.holder, Some((t, _)) if t == r.tile)
-                    && !covers(&st.covered, start, end)
+                if st.held_by(r.tile)
+                    && st.streaming_for(r.tile)
+                    && !covers(st.covered_for(r.tile), start, end)
                 {
                     violate(
                         r,
@@ -343,13 +520,15 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
             k::WRITE => {
                 let chunk = (r.len >> 8, r.len & 0xff);
                 let st = objs.entry(r.addr).or_default();
-                match st.holder {
-                    Some((t, true)) if t == r.tile => {}
-                    other => violate(
+                if st.x_holder != Some(r.tile) {
+                    violate(
                         r,
-                        format!("write to obj {} without exclusive access ({other:?})", r.addr),
+                        format!(
+                            "write to obj {} without exclusive access ({:?})",
+                            r.addr, st.x_holder
+                        ),
                         &mut out,
-                    ),
+                    );
                 }
                 if outstanding.iter().any(|o| {
                     o.tile == r.tile
@@ -366,8 +545,8 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                         &mut out,
                     );
                 }
-                if st.streaming {
-                    add_covered(&mut st.covered, chunk.0, chunk.0 + chunk.1);
+                if st.x_streaming {
+                    add_covered(st.covered.entry(r.tile).or_default(), chunk.0, chunk.0 + chunk.1);
                 }
                 st.pending.insert(chunk, r.value);
             }
@@ -377,7 +556,7 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                 if outstanding.iter().any(|o| {
                     o.tile == r.tile
                         && o.obj == r.addr
-                        && !o.put
+                        && o.kind.hazards_reads()
                         && chunk.0 < o.end
                         && chunk.0 + chunk.1 > o.start
                 }) {
@@ -387,10 +566,10 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                         &mut out,
                     );
                 }
-                if st.streaming
-                    && matches!(st.holder, Some((t, _)) if t == r.tile)
+                if st.held_by(r.tile)
+                    && st.streaming_for(r.tile)
                     && !st.pending.contains_key(&chunk)
-                    && !covers(&st.covered, chunk.0, chunk.0 + chunk.1)
+                    && !covers(st.covered_for(r.tile), chunk.0, chunk.0 + chunk.1)
                 {
                     violate(
                         r,
@@ -402,12 +581,12 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
                         &mut out,
                     );
                 }
+                let held = st.held_by(r.tile);
                 let hist = st.history.entry(chunk).or_default();
                 if hist.is_empty() {
                     // Seed with the initial value on first observation.
                     hist.push(r.value);
                 }
-                let held = matches!(st.holder, Some((t, _)) if t == r.tile);
                 if held {
                     // Fresh view required: pending write of this scope, or
                     // the latest committed value.

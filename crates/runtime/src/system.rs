@@ -157,14 +157,17 @@ pub(crate) struct ObjMeta {
 
 /// Local-memory layout constants (offsets within every tile's local
 /// memory). Lock bytes and mailboxes come first, then the DMA engine's
-/// completion word, then the arena used for DSM replicas / SPM staging /
+/// completion words, then the arena used for DSM replicas / SPM staging /
 /// FIFO scratch.
 pub(crate) const LOCK_BYTES_BASE: u32 = 0;
 pub(crate) const MAILBOX_BASE: u32 = 2048; // 8 bytes per lock id
-/// The tile's DMA completion word (engine writes the sequence number of
-/// the newest completed transfer; `dma_wait` polls it locally).
+/// Base of the tile's DMA completion-word array: channel `c`'s word
+/// lives at `DMA_DONE_OFFSET + 4 * c` (each channel writes the sequence
+/// number of its newest completed transfer; `dma_wait` polls locally).
 pub(crate) const DMA_DONE_OFFSET: u32 = 12 << 10;
 pub(crate) const ARENA_BASE: u32 = 16 << 10;
+/// The completion-word array must fit between its base and the arena.
+const _: () = assert!(DMA_DONE_OFFSET + 4 * crate::ctx::MAX_DMA_CHANNELS as u32 <= ARENA_BASE);
 
 /// Shared runtime state, immutable during a run.
 pub struct Shared {
@@ -211,6 +214,11 @@ impl System {
         let n_tiles = cfg.n_tiles;
         let line = cfg.dcache.line_size;
         let local_size = cfg.local_mem_size;
+        assert!(
+            (1..=crate::ctx::MAX_DMA_CHANNELS).contains(&cfg.dma_channels),
+            "DMA channel count must be 1..={}",
+            crate::ctx::MAX_DMA_CHANNELS
+        );
         let soc = Soc::new(cfg);
         System {
             soc,
@@ -253,6 +261,20 @@ impl System {
     pub fn set_dma_burst(&mut self, bytes: u32) {
         assert!(bytes >= 4, "bursts are at least one word");
         self.shared.dma_burst = bytes;
+    }
+
+    /// Set the per-tile DMA channel count (default from the
+    /// [`SocConfig`]; must precede the first run). Contexts rotate
+    /// transfers round-robin over the channels, so double-buffered
+    /// kernels overlap consecutive transfers engine-side.
+    pub fn set_dma_channels(&mut self, n: usize) {
+        assert!(!self.finalized, "channel count must be set before the first run");
+        assert!(
+            n <= crate::ctx::MAX_DMA_CHANNELS,
+            "the runtime protocol supports at most {} DMA channels",
+            crate::ctx::MAX_DMA_CHANNELS
+        );
+        self.soc.set_dma_channels(n);
     }
 
     fn align_up(v: u32, a: u32) -> u32 {

@@ -105,6 +105,11 @@ pub struct SocConfig {
     /// traverse the links between the issuing tile and this tile, so
     /// distance (and shared links) shape bulk-transfer bandwidth.
     pub mem_tile: usize,
+    /// Independent DMA channels per tile engine. Transfers on one channel
+    /// serialise in issue order; transfers on different channels overlap
+    /// and contend only for the shared SDRAM port and NoC links.
+    /// Completion words and sequence numbers are per-channel.
+    pub dma_channels: usize,
 }
 
 impl Default for SocConfig {
@@ -120,6 +125,7 @@ impl Default for SocConfig {
             time_limit: 2_000_000_000,
             trace: false,
             mem_tile: 0,
+            dma_channels: 1,
         }
     }
 }

@@ -48,7 +48,7 @@ pub mod trace;
 pub use addr::Addr;
 pub use config::{CacheConfig, Latencies, SocConfig};
 pub use counters::{Counters, MemTag, RunReport};
-pub use dma::{DmaDir, DmaStats, DmaXfer};
+pub use dma::{DmaDescriptor, DmaDir, DmaKind, DmaSeg, DmaStats};
 pub use noc::LinkStat;
 pub use soc::{CoreProgram, Cpu, Soc};
 pub use trace::TraceRecord;

@@ -10,16 +10,18 @@
 //! *different* destinations may be observed out of order: the paper's
 //! Fig. 1 failure mode.
 //!
-//! ## Per-link bandwidth accounting (DMA bursts)
+//! ## Per-link bandwidth accounting
 //!
-//! Word-sized posted writes are latency-modelled only (the paper's
-//! connectionless NoC never saturates on single words). Bulk DMA bursts,
-//! in contrast, occupy every directed ring link on their route for their
-//! serialisation time: each link is a busy-until resource
-//! ([`Noc::reserve_path`]), so two tiles streaming across a shared link
-//! contend and the per-link counters ([`Noc::link_stats`]) expose where.
-//! Links are directed ring edges: link `i` carries `i → (i+1) % n`
-//! (clockwise), link `n + i` carries `(i+1) % n → i` (counterclockwise).
+//! All posted traffic occupies every directed ring link on its route for
+//! its serialisation time: each link is a busy-until resource
+//! ([`Noc::reserve_path`]), so streams crossing a shared link contend and
+//! the per-link counters ([`Noc::link_stats`]) expose where. This covers
+//! bulk DMA bursts *and* ordinary posted writes — remote local-memory
+//! stores, uncached SDRAM stores and cache-line write-backs en route to
+//! the memory controller — so the contention tables reflect total
+//! traffic, not just the engines'. Links are directed ring edges: link
+//! `i` carries `i → (i+1) % n` (clockwise), link `n + i` carries
+//! `(i+1) % n → i` (counterclockwise).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -45,17 +47,19 @@ pub enum PacketKind {
     /// Atomic fetch-and-add on a 32-bit word in the destination's local
     /// memory; the old value is posted back like `TestAndSet`.
     FetchAdd { offset: u32, delta: u32, reply_tile: usize, reply_offset: u32 },
-    /// One burst of an asynchronous DMA transfer between SDRAM and the
-    /// *destination* tile's local memory (the issuing tile). The copy is
-    /// performed lazily when the burst arrives — the engine reads memory
-    /// while the transfer is in flight, which is why the runtime monitor
-    /// flags accesses to a range with an outstanding transfer. `done`
-    /// writes the transfer's sequence number to the given local-memory
-    /// offset once the final burst lands (the completion word
+    /// One burst of an asynchronous DMA transfer. The packet's
+    /// destination is always the *issuing* tile; the far side is SDRAM
+    /// ([`crate::dma::DmaKind::Sdram`]) or another tile's local memory
+    /// ([`crate::dma::DmaKind::Copy`]). The copy is performed lazily when
+    /// the burst arrives — the engine reads memory while the transfer is
+    /// in flight, which is why the runtime monitor flags accesses to a
+    /// range with an outstanding transfer. `done` writes the transfer's
+    /// per-channel sequence number to the given local-memory offset of
+    /// the issuing tile once the final burst lands (the completion word
     /// `dma_wait` polls).
     DmaBurst {
-        dir: crate::dma::DmaDir,
-        sdram_offset: u32,
+        kind: crate::dma::DmaKind,
+        far_offset: u32,
         local_offset: u32,
         len: u32,
         done: Option<(u32, u32)>,
@@ -277,6 +281,34 @@ mod tests {
         let far = noc.reserve_path(&cfg, 0, 0, 4, 64);
         assert!(far > near);
         assert_eq!(far - near, 3 * cfg.lat.noc_per_hop, "one extra hop latency per link");
+    }
+
+    /// Regression guard for the link statistics on routes *sourced at*
+    /// the memory tile (the controller→tile direction every DMA get
+    /// takes): each link on the route is charged exactly once — the
+    /// final hop must not be double-counted — and a source-equals-
+    /// destination reservation charges no link at all.
+    #[test]
+    fn reserve_path_charges_each_link_exactly_once_from_mem_tile() {
+        let cfg = crate::config::SocConfig::small(8);
+        assert_eq!(cfg.mem_tile, 0);
+        let mut noc = Noc::with_ring(8);
+        let serialise = cfg.lat.noc_per_word * 16;
+        // mem_tile (0) → 2: clockwise links 0 and 1, once each.
+        noc.reserve_path(&cfg, 0, cfg.mem_tile, 2, 64);
+        for link in [0usize, 1] {
+            assert_eq!(noc.link_stats()[link].bursts, 1, "link {link}");
+            assert_eq!(noc.link_stats()[link].busy, serialise, "link {link}");
+        }
+        for (i, s) in noc.link_stats().iter().enumerate() {
+            if i != 0 && i != 1 {
+                assert_eq!(s.bursts, 0, "off-route link {i} must stay untouched");
+            }
+        }
+        // mem_tile → mem_tile reserves nothing (serialisation only).
+        let t = noc.reserve_path(&cfg, 100, cfg.mem_tile, cfg.mem_tile, 64);
+        assert_eq!(t, 100 + serialise);
+        assert_eq!(noc.link_stats()[0].bursts, 1, "self-route charges no link");
     }
 
     #[test]

@@ -43,7 +43,7 @@ use crate::addr::{self, Addr, Region};
 use crate::cache::Cache;
 use crate::config::SocConfig;
 use crate::counters::{Counters, MemTag, RunReport};
-use crate::dma::{DmaDir, DmaEngine, DmaStats, DmaXfer};
+use crate::dma::{DmaDescriptor, DmaDir, DmaEngine, DmaKind, DmaStats};
 use crate::icache::ICache;
 use crate::mem::ByteMem;
 use crate::noc::{LinkStat, Noc, Packet, PacketKind};
@@ -113,7 +113,7 @@ impl Global {
                 // scheme: mailbox word = 0x0100 | old (so "no reply yet"
                 // = 0 is distinguishable from old == 0).
                 let reply = 0x0100u32 | old as u32;
-                let arrive = p.arrive + cfg.noc_latency(p.dst, reply_tile, 4);
+                let arrive = self.noc.reserve_path(cfg, p.arrive, p.dst, reply_tile, 4);
                 self.noc.send(
                     arrive,
                     p.dst,
@@ -121,17 +121,23 @@ impl Global {
                     PacketKind::Write { offset: reply_offset, data: reply.to_le_bytes().to_vec() },
                 );
             }
-            PacketKind::DmaBurst { dir, sdram_offset, local_offset, len, done } => {
+            PacketKind::DmaBurst { kind, far_offset, local_offset, len, done } => {
                 if len > 0 {
                     let mut buf = vec![0u8; len as usize];
-                    match dir {
-                        DmaDir::Get => {
-                            self.sdram.read(sdram_offset, &mut buf);
+                    match kind {
+                        DmaKind::Sdram(DmaDir::Get) => {
+                            self.sdram.read(far_offset, &mut buf);
                             self.locals[p.dst].write(local_offset, &buf);
                         }
-                        DmaDir::Put => {
+                        DmaKind::Sdram(DmaDir::Put) => {
                             self.locals[p.dst].read(local_offset, &mut buf);
-                            self.sdram.write(sdram_offset, &buf);
+                            self.sdram.write(far_offset, &buf);
+                        }
+                        DmaKind::Copy { dst_tile } => {
+                            // Tile-to-tile: the issuing tile's scratchpad
+                            // drains into the destination tile's.
+                            self.locals[p.dst].read(local_offset, &mut buf);
+                            self.locals[dst_tile].write(far_offset, &buf);
                         }
                     }
                 }
@@ -142,7 +148,7 @@ impl Global {
             PacketKind::FetchAdd { offset, delta, reply_tile, reply_offset } => {
                 let old = self.locals[p.dst].read_u32(offset);
                 self.locals[p.dst].write_u32(offset, old.wrapping_add(delta));
-                let arrive = p.arrive + cfg.noc_latency(p.dst, reply_tile, 8);
+                let arrive = self.noc.reserve_path(cfg, p.arrive, p.dst, reply_tile, 8);
                 let mut payload = Vec::with_capacity(8);
                 payload.extend_from_slice(&old.to_le_bytes());
                 payload.extend_from_slice(&1u32.to_le_bytes()); // reply-valid flag
@@ -192,7 +198,7 @@ impl Soc {
             sdram: ByteMem::new(cfg.sdram_size),
             locals: (0..cfg.n_tiles).map(|_| ByteMem::new(cfg.local_mem_size)).collect(),
             noc: Noc::with_ring(cfg.n_tiles),
-            dma: vec![DmaEngine::default(); cfg.n_tiles],
+            dma: vec![DmaEngine::new(cfg.dma_channels); cfg.n_tiles],
             clocks: vec![0; cfg.n_tiles],
             waiting: vec![false; cfg.n_tiles],
             sdram_free: 0,
@@ -213,6 +219,17 @@ impl Soc {
 
     pub fn config(&self) -> &SocConfig {
         &self.cfg
+    }
+
+    /// Reconfigure the per-tile DMA channel count (call before running;
+    /// resets every engine's channels and sequence numbers).
+    pub fn set_dma_channels(&mut self, n: usize) {
+        assert!(n >= 1, "at least one DMA channel");
+        self.cfg.dma_channels = n;
+        let mut g = lock_ignore_poison(&self.global);
+        for e in g.dma.iter_mut() {
+            *e = DmaEngine::new(n);
+        }
     }
 
     /// Mark the run aborted (a tile panicked): retire the tile's clock
@@ -588,10 +605,13 @@ impl<'a> Cpu<'a> {
             }
             Region::SdramUncached { offset } => {
                 let bytes = data.len() as u32;
-                self.turn(|g, cfg, now, _| {
+                self.turn(|g, cfg, now, me| {
                     // Posted: the store buffer absorbs the latency; the
-                    // transaction still occupies the SDRAM port.
-                    let start = now.max(g.sdram_free);
+                    // payload crosses the ring links to the memory
+                    // controller (contending with DMA bursts) and the
+                    // transaction then occupies the SDRAM port.
+                    let at_ctrl = g.noc.reserve_path(cfg, now, me, cfg.mem_tile, bytes);
+                    let start = at_ctrl.max(g.sdram_free);
                     g.sdram_free = start + cfg.sdram_service(bytes);
                     g.sdram.write(offset, data);
                 });
@@ -621,6 +641,7 @@ impl<'a> Cpu<'a> {
         let line = self.dcache.line_of(offset);
         let line_size = self.soc.cfg.dcache.line_size;
         let tile = self.tile;
+        let mem_tile = self.soc.cfg.mem_tile;
         let clock = self.clock;
         let mut g = lock_ignore_poison(&self.soc.global);
         g.clocks[tile] = clock;
@@ -647,7 +668,10 @@ impl<'a> Cpu<'a> {
         g.sdram.read(line, &mut line_buf);
         if let Some(wb) = self.dcache.fill(line, &line_buf) {
             g.sdram.write(wb.offset, &wb.data);
-            done += self.soc.cfg.sdram_service(line_size);
+            // The victim line is a posted write-back: it crosses the
+            // ring to the controller before occupying the port.
+            let at_ctrl = g.noc.reserve_path(&self.soc.cfg, done, tile, mem_tile, line_size);
+            done = at_ctrl + self.soc.cfg.sdram_service(line_size);
         }
         g.sdram_free = done;
         let tag = g.tag_of(offset);
@@ -740,8 +764,9 @@ impl<'a> Cpu<'a> {
             }
             Region::SdramUncached { offset } => {
                 let bytes = data.len() as u32;
-                self.turn(|g, cfg, now, _| {
-                    let start = now.max(g.sdram_free);
+                self.turn(|g, cfg, now, me| {
+                    let at_ctrl = g.noc.reserve_path(cfg, now, me, cfg.mem_tile, bytes);
+                    let start = at_ctrl.max(g.sdram_free);
                     g.sdram_free = start + cfg.sdram_service(bytes);
                     g.sdram.write(offset, data);
                 });
@@ -778,8 +803,11 @@ impl<'a> Cpu<'a> {
             self.charge_stall(StallCat::Flush, cache_op);
             if let Some(wb) = self.dcache.flush_line(line) {
                 let line_size = self.soc.cfg.dcache.line_size;
-                self.turn(move |g, cfg, now, _| {
-                    let start = now.max(g.sdram_free);
+                self.turn(move |g, cfg, now, me| {
+                    // Posted write-back: the line crosses the ring to the
+                    // controller, then takes the port.
+                    let at_ctrl = g.noc.reserve_path(cfg, now, me, cfg.mem_tile, line_size);
+                    let start = at_ctrl.max(g.sdram_free);
                     g.sdram_free = start + cfg.sdram_service(line_size);
                     g.sdram.write(wb.offset, &wb.data);
                 });
@@ -809,13 +837,17 @@ impl<'a> Cpu<'a> {
     // NoC operations.
     // ------------------------------------------------------------------
 
-    /// Posted write into another tile's local memory.
+    /// Posted write into another tile's local memory. The payload
+    /// reserves every directed ring link on its route
+    /// ([`crate::noc::Noc::reserve_path`]), so CPU stores and DMA bursts
+    /// contend for the same links.
     pub fn noc_write(&mut self, dst: usize, offset: u32, data: &[u8]) {
         assert_ne!(dst, self.tile, "use local writes for the own tile");
         self.charge_instr(1);
-        let arrive = self.clock + self.soc.cfg.noc_latency(self.tile, dst, data.len() as u32);
         let payload = data.to_vec();
-        self.turn(move |g, _, _, me| {
+        self.turn(move |g, cfg, now, me| {
+            let bytes = payload.len() as u32;
+            let arrive = g.noc.reserve_path(cfg, now, me, dst, bytes);
             g.noc.send(arrive, me, dst, PacketKind::Write { offset, data: payload });
         });
         let stall = self.soc.cfg.lat.posted_write;
@@ -828,9 +860,10 @@ impl<'a> Cpu<'a> {
     pub fn noc_write_versioned(&mut self, dst: usize, offset: u32, version: u32, data: &[u8]) {
         assert_ne!(dst, self.tile, "use local writes for the own tile");
         self.charge_instr(1);
-        let arrive = self.clock + self.soc.cfg.noc_latency(self.tile, dst, 4 + data.len() as u32);
         let payload = data.to_vec();
-        self.turn(move |g, _, _, me| {
+        self.turn(move |g, cfg, now, me| {
+            let bytes = 4 + payload.len() as u32;
+            let arrive = g.noc.reserve_path(cfg, now, me, dst, bytes);
             g.noc.send(
                 arrive,
                 me,
@@ -849,8 +882,8 @@ impl<'a> Cpu<'a> {
     pub fn noc_test_and_set(&mut self, dst: usize, offset: u32, mailbox_offset: u32) {
         assert_ne!(dst, self.tile, "use local_test_and_set for the own tile");
         self.charge_instr(1);
-        let arrive = self.clock + self.soc.cfg.noc_latency(self.tile, dst, 4);
-        self.turn(move |g, _, _, me| {
+        self.turn(move |g, cfg, now, me| {
+            let arrive = g.noc.reserve_path(cfg, now, me, dst, 4);
             g.noc.send(
                 arrive,
                 me,
@@ -868,8 +901,8 @@ impl<'a> Cpu<'a> {
     pub fn noc_fetch_add(&mut self, dst: usize, offset: u32, delta: u32, mailbox_offset: u32) {
         assert_ne!(dst, self.tile, "use local_fetch_add for the own tile");
         self.charge_instr(1);
-        let arrive = self.clock + self.soc.cfg.noc_latency(self.tile, dst, 4);
-        self.turn(move |g, _, _, me| {
+        self.turn(move |g, cfg, now, me| {
+            let arrive = g.noc.reserve_path(cfg, now, me, dst, 4);
             g.noc.send(
                 arrive,
                 me,
@@ -886,22 +919,26 @@ impl<'a> Cpu<'a> {
         self.charge_stall(StallCat::Noc, stall);
     }
 
-    /// Program an asynchronous bulk transfer on this tile's DMA engine
-    /// and return its per-tile sequence number. The transfer proceeds in
-    /// the background (engine, SDRAM port and NoC links are busy-until
-    /// resources; effects apply as packets at their arrival times); the
-    /// engine writes `seq` to the completion word at
-    /// `xfer.done_offset` in this tile's local memory when the final
-    /// burst lands — poll it with [`Cpu::read_u32`] (`done >= seq`).
-    pub fn dma_issue(&mut self, xfer: DmaXfer) -> u32 {
-        // Descriptor writes plus the doorbell on the real engine.
-        self.charge_instr(6);
+    /// Program an asynchronous bulk transfer on channel `chan` of this
+    /// tile's DMA engine and return its per-channel sequence number. The
+    /// transfer proceeds in the background (channel, SDRAM port and NoC
+    /// links are busy-until resources; effects apply as packets at their
+    /// arrival times); the engine writes `seq` to the completion word at
+    /// `desc.done_offset` in this tile's local memory when the final
+    /// burst lands — poll it with [`Cpu::read_u32`] (`done >= seq`;
+    /// channels complete independently, so each channel needs its own
+    /// completion word).
+    pub fn dma_issue(&mut self, chan: usize, desc: DmaDescriptor) -> u32 {
+        // Descriptor writes plus the doorbell on the real engine: two
+        // words per scatter/gather element, four for the header.
+        self.charge_instr(4 + 2 * desc.segs.len().max(1) as u64);
+        let bytes = desc.total_bytes();
         let seq = self.turn(move |g, cfg, now, me| {
             let Global { dma, noc, sdram_free, .. } = g;
-            dma[me].issue(cfg, noc, sdram_free, now, me, xfer)
+            dma[me].issue(cfg, noc, sdram_free, now, me, chan, &desc)
         });
         self.ctr.dma_transfers += 1;
-        self.ctr.dma_bytes += u64::from(xfer.bytes);
+        self.ctr.dma_bytes += u64::from(bytes);
         let stall = self.soc.cfg.lat.posted_write;
         self.charge_stall(StallCat::Noc, stall);
         seq
@@ -1281,14 +1318,17 @@ mod tests {
             Box::new(|_c: &mut Cpu| {}),
             Box::new(|cpu: &mut Cpu| {
                 let done = 0u32;
-                let seq = cpu.dma_issue(DmaXfer {
-                    dir: DmaDir::Get,
-                    sdram_offset: 1024,
-                    local_offset: 256,
-                    bytes: 256,
-                    burst: 64,
-                    done_offset: done,
-                });
+                let seq = cpu.dma_issue(
+                    0,
+                    DmaDescriptor::contiguous(
+                        DmaKind::Sdram(DmaDir::Get),
+                        1024,
+                        256,
+                        256,
+                        64,
+                        done,
+                    ),
+                );
                 assert_eq!(seq, 1);
                 // The engine runs in the background: poll the completion
                 // word, then the data is guaranteed in local memory.
@@ -1321,14 +1361,10 @@ mod tests {
                 for i in 0..32u32 {
                     cpu.write_u32(base + 512 + i * 4, 0xC0DE + i);
                 }
-                let seq = cpu.dma_issue(DmaXfer {
-                    dir: DmaDir::Put,
-                    sdram_offset: 4096,
-                    local_offset: 512,
-                    bytes: 128,
-                    burst: 32,
-                    done_offset: 0,
-                });
+                let seq = cpu.dma_issue(
+                    0,
+                    DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Put), 4096, 512, 128, 32, 0),
+                );
                 while cpu.read_u32(base) < seq {
                     cpu.compute(20);
                 }
@@ -1351,14 +1387,17 @@ mod tests {
                     .map(|t| -> CoreProgram<'static> {
                         Box::new(move |cpu: &mut Cpu| {
                             let base = local_base(t);
-                            let seq = cpu.dma_issue(DmaXfer {
-                                dir: DmaDir::Get,
-                                sdram_offset: 8192 + t as u32 * 1024,
-                                local_offset: 1024,
-                                bytes: 1024,
-                                burst: 128,
-                                done_offset: 0,
-                            });
+                            let seq = cpu.dma_issue(
+                                0,
+                                DmaDescriptor::contiguous(
+                                    DmaKind::Sdram(DmaDir::Get),
+                                    8192 + t as u32 * 1024,
+                                    1024,
+                                    1024,
+                                    128,
+                                    0,
+                                ),
+                            );
                             cpu.compute(50 * (t as u64 + 1));
                             while cpu.read_u32(base) < seq {
                                 cpu.compute(10);
@@ -1370,6 +1409,87 @@ mod tests {
             (r.makespan, format!("{:?}{:?}", r.per_core, s.link_stats()))
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    /// Tile-to-tile DMA: tile 1 pushes a buffer from its scratchpad
+    /// straight into tile 3's, the completion word lands at the issuer,
+    /// and neither the SDRAM port nor the controller-adjacent links are
+    /// involved.
+    #[test]
+    fn dma_tile_to_tile_copy_lands_remotely() {
+        let s = soc(8);
+        for i in 0..64u32 {
+            s.write_local(1, 256 + i * 4, &(0xAA00 + i).to_le_bytes());
+        }
+        s.run(vec![
+            Box::new(|_c: &mut Cpu| {}),
+            Box::new(|cpu: &mut Cpu| {
+                let seq = cpu.dma_issue(
+                    0,
+                    DmaDescriptor::contiguous(DmaKind::Copy { dst_tile: 3 }, 512, 256, 256, 64, 0),
+                );
+                let base = local_base(1);
+                let mut spins = 0;
+                while cpu.read_u32(base) < seq {
+                    cpu.compute(20);
+                    spins += 1;
+                    assert!(spins < 100_000, "completion word never arrived");
+                }
+            }),
+            Box::new(|_c: &mut Cpu| {}),
+            Box::new(|cpu: &mut Cpu| {
+                // Destination tile: poll the last copied word locally.
+                let base = local_base(3);
+                let mut spins = 0;
+                while cpu.read_u32(base + 512 + 63 * 4) != 0xAA00 + 63 {
+                    cpu.compute(20);
+                    spins += 1;
+                    assert!(spins < 100_000, "copy never arrived");
+                }
+            }),
+        ]);
+        let mut out = [0u8; 4];
+        s.read_local(3, 512, &mut out);
+        assert_eq!(u32::from_le_bytes(out), 0xAA00);
+        // Route 1 → 3 uses clockwise links 1 and 2; the links adjacent to
+        // the memory controller (0 and the counterclockwise set) are
+        // clean of bulk traffic.
+        let stats = s.link_stats();
+        assert!(stats[1].bursts >= 4 && stats[2].bursts >= 4, "{stats:?}");
+        assert_eq!(stats[0].bursts, 0, "no controller round trip: {stats:?}");
+    }
+
+    /// Multi-channel: the per-channel completion words are independent —
+    /// a transfer on channel 1 can complete while channel 0's is still in
+    /// flight, and each channel's sequence numbering starts at 1.
+    #[test]
+    fn dma_channels_complete_independently() {
+        let mut cfg = SocConfig::small(4);
+        cfg.dma_channels = 2;
+        let s = Soc::new(cfg);
+        s.run(vec![Box::new(|cpu: &mut Cpu| {
+            let big = cpu.dma_issue(
+                0,
+                DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Get), 0, 1024, 8192, 256, 0),
+            );
+            // A small tile-to-tile copy on channel 1: no SDRAM port, so
+            // it overtakes the big get queued on channel 0.
+            let small = cpu.dma_issue(
+                1,
+                DmaDescriptor::contiguous(DmaKind::Copy { dst_tile: 1 }, 0, 10240, 64, 64, 4),
+            );
+            assert_eq!((big, small), (1, 1), "channels number independently");
+            let base = local_base(0);
+            while cpu.read_u32(base + 4) < small {
+                cpu.compute(10);
+            }
+            // The big channel-0 transfer (queued first but 128× larger)
+            // is still outstanding when the small one completes.
+            assert_eq!(cpu.read_u32(base), 0, "channel 0 must still be in flight");
+            while cpu.read_u32(base) < big {
+                cpu.compute(20);
+            }
+        })]);
     }
 
     #[test]

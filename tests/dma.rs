@@ -1,6 +1,7 @@
 //! Workspace-level acceptance tests for the DMA subsystem: the
-//! `fig_dma` headline (bursts beat the word-copy loop, per-link
-//! contention is reported), portability of the streaming kernels, and
+//! `fig_dma` headlines (bursts beat the word-copy loop, tile-to-tile
+//! transfers beat the SDRAM round trip, 2+ channels beat 1 on the
+//! double-buffered stream), portability of the streaming kernels, and
 //! the monitor's DMA-protocol rejection — the checks the conformance
 //! sweep (`tests/conformance.rs`, which also runs the DMA litmus cases)
 //! does not cover.
@@ -8,15 +9,25 @@
 use pmc::apps::stream::{StreamCopy, StreamCopyParams, StreamMode};
 use pmc::runtime::monitor::validate;
 use pmc::runtime::{BackendKind, LockKind, System};
-use pmc::sim::SocConfig;
+use pmc::sim::{CoreProgram, Cpu, DmaDescriptor, DmaDir, DmaKind, Soc, SocConfig};
 
-fn run_stream(mode: StreamMode, burst: u32) -> (u64, u64, Vec<u64>) {
-    let tiles = 4usize;
-    let mut cfg = SocConfig::small(tiles);
+fn run_stream(mode: StreamMode, burst: u32, channels: usize, tiles: usize) -> (u64, u64, Vec<u64>) {
+    run_stream_compute(mode, burst, channels, tiles, 2)
+}
+
+fn run_stream_compute(
+    mode: StreamMode,
+    burst: u32,
+    channels: usize,
+    tiles: usize,
+    compute_per_word: u64,
+) -> (u64, u64, Vec<u64>) {
+    let mut cfg = SocConfig::small(tiles.max(2));
     cfg.local_mem_size = 128 << 10;
     let mut sys = System::new(cfg, BackendKind::Spm, LockKind::Sdram);
     sys.set_dma_burst(burst);
-    let params = StreamCopyParams { n_tasks: 16, task_bytes: 4096, compute_per_word: 2 };
+    sys.set_dma_channels(channels);
+    let params = StreamCopyParams { n_tasks: 16, task_bytes: 4096, compute_per_word };
     let app = StreamCopy::build(&mut sys, params);
     let app_ref = &app;
     let report = sys.run(
@@ -33,14 +44,13 @@ fn run_stream(mode: StreamMode, burst: u32) -> (u64, u64, Vec<u64>) {
 
 /// The fig_dma acceptance: DMA burst streaming beats the word-at-a-time
 /// SPM copy at large burst sizes, larger bursts amortise better, and
-/// the per-link NoC contention counters report the traffic.
+/// the per-link NoC contention counters report the bulk traffic.
 #[test]
 fn dma_bursts_beat_word_copy_and_links_report_contention() {
-    let (word_sum, word, no_links) = run_stream(StreamMode::WordCopy, 256);
-    assert!(no_links.iter().all(|&b| b == 0), "word copy moves nothing over the bulk path");
-    let (small_sum, small, _) = run_stream(StreamMode::Dma, 16);
-    let (large_sum, large, links) = run_stream(StreamMode::Dma, 1024);
-    let (double_sum, double, _) = run_stream(StreamMode::DmaDouble, 1024);
+    let (word_sum, word, word_links) = run_stream(StreamMode::WordCopy, 256, 1, 4);
+    let (small_sum, small, _) = run_stream(StreamMode::Dma, 16, 1, 4);
+    let (large_sum, large, links) = run_stream(StreamMode::Dma, 1024, 1, 4);
+    let (double_sum, double, _) = run_stream(StreamMode::DmaDouble, 1024, 1, 4);
     assert_eq!(word_sum, small_sum);
     assert_eq!(word_sum, large_sum);
     assert_eq!(word_sum, double_sum);
@@ -51,11 +61,131 @@ fn dma_bursts_beat_word_copy_and_links_report_contention() {
     // allow 2% slack.
     assert!(double * 100 <= large * 102, "double buffering must not lose: {double} vs {large}");
     // Every tile's bursts route to the controller at ring position 0:
-    // the links adjacent to it carry traffic.
+    // the links adjacent to it carry traffic. The word-copy run's links
+    // carry only its posted result writes (the link model accounts CPU
+    // stores too since they share the ring), so the DMA run's total link
+    // occupancy must dominate it.
     assert!(links.iter().any(|&b| b > 0), "link counters must report contention: {links:?}");
-    let sum: u64 = links.iter().sum();
     assert!(links[0] > 0 && links[0] * 2 >= links.iter().copied().max().unwrap(), "{links:?}");
-    assert!(sum > 0);
+    let word_total: u64 = word_links.iter().sum();
+    let dma_total: u64 = links.iter().sum();
+    assert!(
+        dma_total > 2 * word_total,
+        "bulk traffic must dominate the link counters: {dma_total} vs {word_total}"
+    );
+}
+
+/// Channel scaling: on the double-buffered stream kernel, 2 channels
+/// beat 1 (the second transfer's port/link legs overlap the first
+/// channel's in-flight delivery tail instead of queueing behind it),
+/// and more channels never lose. Pinned at one and two tiles — beyond
+/// that the shared SDRAM port saturates and channels cannot add
+/// bandwidth, which the equality at 4 tiles in `fig_dma`'s table shows.
+#[test]
+fn two_channels_beat_one_on_double_buffered_stream() {
+    // Transfer-bound configuration (no extra per-word compute): the
+    // single channel's serialisation on each transfer's delivery tail is
+    // what the second channel hides.
+    for tiles in [1usize, 2] {
+        let (s1, c1, _) = run_stream_compute(StreamMode::DmaDouble, 4096, 1, tiles, 0);
+        let (s2, c2, _) = run_stream_compute(StreamMode::DmaDouble, 4096, 2, tiles, 0);
+        let (s4, c4, _) = run_stream_compute(StreamMode::DmaDouble, 4096, 4, tiles, 0);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, s4);
+        assert!(c2 < c1, "{tiles} tiles: 2 channels must beat 1: {c2} vs {c1}");
+        assert!(c4 <= c2, "{tiles} tiles: 4 channels must not lose to 2: {c4} vs {c2}");
+    }
+}
+
+/// Tile-to-tile transfers sustain higher bandwidth than the equivalent
+/// put+get through SDRAM: the copy reserves only the ring links between
+/// the two scratchpads — no memory-controller port, no double traversal.
+#[test]
+fn tile_to_tile_beats_sdram_roundtrip() {
+    const BYTES: u32 = 16 << 10;
+    let (src, dst) = (2usize, 5usize);
+    let init = |soc: &Soc| {
+        for i in 0..BYTES / 4 {
+            soc.write_local(src, 4096 + i * 4, &(0xD0D0 + i).to_le_bytes());
+        }
+    };
+    let check = |soc: &Soc| {
+        let mut out = [0u8; 4];
+        soc.read_local(dst, 4096 + (BYTES - 4), &mut out);
+        assert_eq!(u32::from_le_bytes(out), 0xD0D0 + BYTES / 4 - 1);
+    };
+
+    // Direct tile-to-tile copy.
+    let t2t = {
+        let soc = Soc::new(SocConfig::small(8));
+        init(&soc);
+        let mut programs: Vec<CoreProgram<'_>> =
+            (0..8).map(|_| -> CoreProgram<'_> { Box::new(|_c: &mut Cpu| {}) }).collect();
+        programs[src] = Box::new(move |cpu: &mut Cpu| {
+            let seq = cpu.dma_issue(
+                0,
+                DmaDescriptor::contiguous(
+                    DmaKind::Copy { dst_tile: dst },
+                    4096,
+                    4096,
+                    BYTES,
+                    1024,
+                    0,
+                ),
+            );
+            let base = pmc::sim::addr::local_base(src);
+            while cpu.read_u32(base) < seq {
+                cpu.compute(20);
+            }
+        });
+        let report = soc.run(programs);
+        check(&soc);
+        // No SDRAM-port or controller-link involvement at all.
+        assert_eq!(soc.link_stats()[0].bursts, 0, "no controller round trip");
+        report.makespan
+    };
+
+    // The same payload staged out to SDRAM by the producer and fetched
+    // back by the consumer (flag handshake in between).
+    let via_sdram = {
+        let soc = Soc::new(SocConfig::small(8));
+        init(&soc);
+        let mut programs: Vec<CoreProgram<'_>> =
+            (0..8).map(|_| -> CoreProgram<'_> { Box::new(|_c: &mut Cpu| {}) }).collect();
+        programs[src] = Box::new(move |cpu: &mut Cpu| {
+            let seq = cpu.dma_issue(
+                0,
+                DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Put), 65536, 4096, BYTES, 1024, 0),
+            );
+            let base = pmc::sim::addr::local_base(src);
+            while cpu.read_u32(base) < seq {
+                cpu.compute(20);
+            }
+            cpu.noc_write(dst, 64, &1u32.to_le_bytes()); // data-ready flag
+        });
+        programs[dst] = Box::new(move |cpu: &mut Cpu| {
+            let base = pmc::sim::addr::local_base(dst);
+            while cpu.read_u32(base + 64) != 1 {
+                cpu.compute(20);
+            }
+            let seq = cpu.dma_issue(
+                0,
+                DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Get), 65536, 4096, BYTES, 1024, 0),
+            );
+            while cpu.read_u32(base) < seq {
+                cpu.compute(20);
+            }
+        });
+        let report = soc.run(programs);
+        check(&soc);
+        report.makespan
+    };
+
+    assert!(
+        t2t * 2 < via_sdram,
+        "tile-to-tile must sustain at least 2x the SDRAM round trip's bandwidth: \
+         {t2t} vs {via_sdram} cycles for {BYTES} bytes"
+    );
 }
 
 /// Monitor rejection at the workspace level: a read of DMA-target
@@ -88,6 +218,162 @@ fn monitor_rejects_read_before_dma_wait_everywhere() {
             assert_eq!(v.len(), 2, "{backend:?}/{lock:?}: only the racy read: {v:#?}");
             assert_eq!(v[0].time, v[1].time, "{backend:?}/{lock:?}: {v:#?}");
         }
+    }
+}
+
+/// Scatter/gather range tracking: the monitor knows each element of a
+/// strided 2-D get — gathered rows become defined, the gaps between
+/// them stay undefined, and reading a row while the gather is in flight
+/// is flagged.
+#[test]
+fn monitor_tracks_strided_element_lists() {
+    for backend in BackendKind::ALL {
+        let mut cfg = SocConfig::small(1);
+        cfg.trace = true;
+        cfg.dma_channels = 2;
+        let mut sys = System::new(cfg, backend, LockKind::Sdram);
+        let s = sys.alloc_slab::<u32>("grid", 64); // 8 x 8
+        sys.run(vec![Box::new(move |ctx| {
+            ctx.entry_ro_stream(s.obj());
+            // Gather a 4-wide, 3-row tile starting at element 8 (row 1),
+            // stride 8 (one grid row).
+            let t = ctx.dma_get_2d(s, 8, 4, 3, 8);
+            let _racy: u32 = ctx.read_at(s, 16); // row 2: in flight
+            ctx.dma_wait(t);
+            let _ok0: u32 = ctx.read_at(s, 8); // row 1: gathered
+            let _ok1: u32 = ctx.read_at(s, 24); // row 3: gathered
+            let _gap: u32 = ctx.read_at(s, 12); // row 1 gap: never defined
+            let _below: u32 = ctx.read_at(s, 0); // row 0: never defined
+            ctx.exit_ro(s.obj());
+        })]);
+        let v = validate(&sys.soc().take_trace());
+        let racy = v.iter().filter(|v| v.message.contains("before dma_wait")).count();
+        let undefined = v.iter().filter(|v| v.message.contains("never defined")).count();
+        assert_eq!(racy, 1, "{backend:?}: {v:#?}");
+        // The racy read also counts as undefined (not yet covered).
+        assert_eq!(undefined, 3, "{backend:?}: {v:#?}");
+        assert_eq!(v.len(), 4, "{backend:?}: {v:#?}");
+    }
+}
+
+/// Strided 2-D puts publish exactly their element lists: a streaming
+/// writer fills a 2-D tile of a grid and publishes it with one
+/// `dma_put_2d`; the home holds the tile, the gaps stay untouched, and
+/// the trace is clean on every back-end.
+#[test]
+fn dma_put_2d_publishes_exactly_its_rows() {
+    for backend in BackendKind::ALL {
+        let mut cfg = SocConfig::small(1);
+        cfg.trace = true;
+        cfg.dma_channels = 2;
+        let mut sys = System::new(cfg, backend, LockKind::Sdram);
+        let s = sys.alloc_slab::<u32>("grid", 64); // 8 x 8
+        for i in 0..64 {
+            sys.init_at(s, i, 1000 + i);
+        }
+        sys.run(vec![Box::new(move |ctx| {
+            ctx.entry_x_stream(s.obj());
+            // Write a 4-wide, 3-row tile at element 8 (row 1), stride 8.
+            for r in 0..3 {
+                for c in 0..4 {
+                    ctx.write_at(s, 8 + r * 8 + c, 7000 + r * 10 + c);
+                }
+            }
+            let t = ctx.dma_put_2d(s, 8, 4, 3, 8);
+            ctx.dma_wait(t);
+            ctx.exit_x(s.obj());
+        })]);
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(
+                    sys.read_back_at(s, 8 + r * 8 + c),
+                    7000 + r * 10 + c,
+                    "{backend:?}: tile element"
+                );
+            }
+        }
+        for i in [0u32, 7, 12, 15, 20, 32, 63] {
+            assert_eq!(sys.read_back_at(s, i), 1000 + i, "{backend:?}: gap element {i}");
+        }
+        let v = validate(&sys.soc().take_trace());
+        assert!(v.is_empty(), "{backend:?}: {v:#?}");
+    }
+}
+
+/// Local-to-local copies round-trip on every back-end × lock kind, with
+/// clean traces: source staged by a get, copied into an exclusively held
+/// destination, published, and read back.
+#[test]
+fn dma_copy_roundtrips_on_all_backends() {
+    for backend in BackendKind::ALL {
+        for lock in [LockKind::Sdram, LockKind::Distributed] {
+            let mut cfg = SocConfig::small(2);
+            cfg.trace = true;
+            cfg.dma_channels = 2;
+            let mut sys = System::new(cfg, backend, lock);
+            let src = sys.alloc_slab::<u32>("src", 16);
+            let dst = sys.alloc_slab::<u32>("dst", 16);
+            for i in 0..16 {
+                sys.init_at(src, i, 100 + i * 3);
+            }
+            sys.run(vec![
+                Box::new(move |ctx| {
+                    ctx.entry_ro_stream(src.obj());
+                    let t = ctx.dma_get(src, 0, 16);
+                    ctx.dma_wait(t);
+                    ctx.entry_x_stream(dst.obj());
+                    let t = ctx.dma_copy_local(src, 4, dst, 0, 8);
+                    ctx.dma_wait(t);
+                    let t = ctx.dma_put(dst, 0, 8);
+                    ctx.dma_wait(t);
+                    ctx.exit_x(dst.obj());
+                    ctx.exit_ro(src.obj());
+                }),
+                Box::new(|_ctx| {}),
+            ]);
+            for i in 0..8 {
+                assert_eq!(
+                    sys.read_back_at(dst, i),
+                    100 + (i + 4) * 3,
+                    "{backend:?}/{lock:?} elem {i}"
+                );
+            }
+            let v = validate(&sys.soc().take_trace());
+            assert!(v.is_empty(), "{backend:?}/{lock:?}: {v:#?}");
+        }
+    }
+}
+
+/// Copy-protocol rejection: reading the copy destination before the
+/// wait is flagged on every back-end (the engine writes it lazily), and
+/// the eager-exclusive destination path needs no explicit put.
+#[test]
+fn monitor_rejects_read_of_copy_destination_before_wait() {
+    for backend in BackendKind::ALL {
+        let mut cfg = SocConfig::small(1);
+        cfg.trace = true;
+        let mut sys = System::new(cfg, backend, LockKind::Sdram);
+        let src = sys.alloc::<u32>("src");
+        let dst = sys.alloc::<u32>("dst");
+        sys.init(src, 7);
+        sys.run(vec![Box::new(move |ctx| {
+            ctx.entry_x(src);
+            ctx.write(src, 9);
+            ctx.entry_x(dst);
+            let t = ctx.dma_copy_obj(src, dst);
+            let _racy = ctx.read(dst); // before the wait!
+            ctx.dma_wait(t);
+            let fresh = ctx.read(dst); // defined now
+            assert_eq!(fresh, 9, "{backend:?}");
+            ctx.exit_x(dst);
+            ctx.exit_x(src);
+        })]);
+        let v = validate(&sys.soc().take_trace());
+        assert!(
+            v.iter().any(|v| v.message.contains("before dma_wait")),
+            "{backend:?}: racy destination read must be flagged: {v:#?}"
+        );
+        assert_eq!(v.len(), 1, "{backend:?}: only the racy read: {v:#?}");
     }
 }
 
