@@ -2,7 +2,7 @@
 //! transfers vs the word-at-a-time software copy loop, channel scaling,
 //! tile-to-tile transfers vs the SDRAM round trip, and per-link NoC
 //! contention (which, since posted writes route through the same link
-//! model, reflects *total* ring traffic).
+//! model, reflects *total* interconnect traffic).
 //!
 //! Experiments on the SPM back-end (the architecture whose scopes
 //! physically stage data, i.e. where the paper's Fig. 10 case study
@@ -16,25 +16,49 @@
 //!    delivery tail until the shared SDRAM port saturates;
 //! 3. tile-to-tile bandwidth: a scratchpad-to-scratchpad copy vs the
 //!    same payload staged out to SDRAM and fetched back;
-//! 4. per-directed-ring-link busy cycles for the most contended links —
-//!    bulk traffic funnels towards the SDRAM controller at ring
-//!    position 0;
-//! 5. motion estimation (Fig. 10) with the plain staging worker vs the
+//! 4. per-directed-link busy cycles for the most contended links — bulk
+//!    traffic funnels towards the SDRAM controller at tile 0;
+//! 5. a **ring-vs-mesh contention table**: the same stream on both
+//!    topologies, same checksum, different link profile — and a
+//!    posted-only (word-copy) row proving ordinary posted writes are
+//!    NoC-accounted on both;
+//! 6. motion estimation (Fig. 10) with the plain staging worker vs the
 //!    double-buffered DMA worker vs the strided 2-D gather worker.
 //!
-//! Usage: `fig_dma [--tiles N] [--tasks K] [--kbytes S] [--smoke]`
+//! Usage: `fig_dma [--tiles N] [--tasks K] [--kbytes S]
+//! [--topology ring|mesh] [--smoke]`
+//!
+//! `--topology` selects the interconnect for every experiment
+//! (mesh = most nearly square factorisation of the tile count); the
+//! ring-vs-mesh table always runs both.
 
 use pmc_apps::motion_est::{MotionEst, MotionEstParams};
 use pmc_apps::stream::{StreamCopy, StreamCopyParams, StreamMode};
-use pmc_bench::{arg_flag, arg_u32};
+use pmc_bench::{arg_flag, arg_topology, arg_u32, mesh_dims, top_links};
 use pmc_runtime::{BackendKind, LockKind, System};
-use pmc_soc_sim::{addr, CoreProgram, Cpu, DmaDescriptor, DmaDir, DmaKind, Soc, SocConfig};
+use pmc_soc_sim::{
+    addr, CoreProgram, Cpu, DmaDescriptor, DmaDir, DmaKind, LinkReport, Soc, SocConfig, Topology,
+};
 
 struct Run {
     makespan: u64,
     checksum: u64,
     dma_bytes: u64,
-    link_busy: Vec<u64>,
+    burst: u32,
+    links: Vec<LinkReport>,
+}
+
+/// Re-shape `kind` for a system of `n` tiles (the channel-scaling table
+/// runs systems smaller than `--tiles`, and a mesh must cover exactly
+/// the tile count).
+fn topo_for(kind: Topology, n: usize) -> Topology {
+    match kind {
+        Topology::Ring => Topology::Ring,
+        Topology::Mesh { .. } => {
+            let (cols, rows) = mesh_dims(n);
+            Topology::Mesh { cols, rows }
+        }
+    }
 }
 
 fn run_stream(
@@ -43,8 +67,11 @@ fn run_stream(
     mode: StreamMode,
     burst: u32,
     channels: usize,
+    topology: Topology,
 ) -> Run {
-    let mut cfg = SocConfig { n_tiles: tiles.max(2), ..SocConfig::default() };
+    let n_tiles = tiles.max(2);
+    let topology = topo_for(topology, n_tiles);
+    let mut cfg = SocConfig { n_tiles, topology, ..SocConfig::default() };
     cfg.icache_mpki = 1;
     let mut sys = System::new(cfg, BackendKind::Spm, LockKind::Sdram);
     sys.set_dma_burst(burst);
@@ -58,22 +85,24 @@ fn run_stream(
     );
     let checksum = app.checksum(&sys);
     let dma_bytes = report.aggregate().dma_bytes;
-    let link_busy = sys.soc().link_stats().iter().map(|l| l.busy).collect();
-    Run { makespan: report.makespan, checksum, dma_bytes, link_busy }
+    let links = sys.soc().link_report();
+    Run { makespan: report.makespan, checksum, dma_bytes, burst, links }
 }
 
 /// Tile-to-tile copy vs SDRAM round trip for one payload; returns
 /// `(t2t_makespan, via_sdram_makespan)`. The payload buffers live at
 /// local offset 4096 so they cannot overlap the completion word
 /// (offset 0) or the ready flag (offset 64).
-fn t2t_vs_sdram(bytes: u32) -> (u64, u64) {
+fn t2t_vs_sdram(bytes: u32, topology: Topology) -> (u64, u64) {
     const BUF: u32 = 4096;
     let (src, dst) = (2usize, 5usize);
+    let topology = topo_for(topology, 8);
+    let cfg = move || SocConfig { topology, ..SocConfig::small(8) };
     let idle = |n: usize| -> Vec<CoreProgram<'_>> {
         (0..n).map(|_| -> CoreProgram<'_> { Box::new(|_c: &mut Cpu| {}) }).collect()
     };
     let t2t = {
-        let soc = Soc::new(SocConfig::small(8));
+        let soc = Soc::new(cfg());
         let mut programs = idle(8);
         programs[src] = Box::new(move |cpu: &mut Cpu| {
             let seq = cpu.dma_issue(
@@ -94,7 +123,7 @@ fn t2t_vs_sdram(bytes: u32) -> (u64, u64) {
         soc.run(programs).makespan
     };
     let via_sdram = {
-        let soc = Soc::new(SocConfig::small(8));
+        let soc = Soc::new(cfg());
         let mut programs = idle(8);
         programs[src] = Box::new(move |cpu: &mut Cpu| {
             let seq = cpu.dma_issue(
@@ -124,23 +153,35 @@ fn t2t_vs_sdram(bytes: u32) -> (u64, u64) {
     (t2t, via_sdram)
 }
 
+/// Print the `n` busiest links of a report, with endpoints.
+fn print_top_links(links: &[LinkReport], n: usize) {
+    for l in top_links(links, n) {
+        println!(
+            "  link {:>3}  tile {:>2} -> tile {:>2}  {:>10} busy cycles  {:>7} bursts",
+            l.link, l.from, l.to, l.busy, l.bursts
+        );
+    }
+}
+
 fn main() {
     let smoke = arg_flag("--smoke");
-    let tiles = arg_u32("--tiles", if smoke { 4 } else { 8 }) as usize;
+    let tiles = (arg_u32("--tiles", if smoke { 4 } else { 8 }) as usize).max(2);
+    let topology = arg_topology(tiles);
     let tasks = arg_u32("--tasks", if smoke { 8 } else { 64 });
     let kbytes = arg_u32("--kbytes", if smoke { 1 } else { 4 });
     let params =
         StreamCopyParams { n_tasks: tasks, task_bytes: kbytes * 1024, compute_per_word: 2 };
     println!(
         "fig_dma — bulk scratchpad transfers on the SPM back-end \
-         ({tasks} tasks x {kbytes} KiB, {tiles} tiles, controller at ring position 0)\n"
+         ({tasks} tasks x {kbytes} KiB, {tiles} tiles, {} NoC, controller at tile 0)\n",
+        topology.name()
     );
 
     println!(
         "{:<12} {:>6} {:>12} {:>9} {:>12}",
         "mode", "burst", "makespan", "vs word", "dma-bytes"
     );
-    let word = run_stream(tiles, params, StreamMode::WordCopy, 256, 1);
+    let word = run_stream(tiles, params, StreamMode::WordCopy, 256, 1, topology);
     println!(
         "{:<12} {:>6} {:>12} {:>8.2}x {:>12}",
         StreamMode::WordCopy.name(),
@@ -153,7 +194,7 @@ fn main() {
     let mut best: Option<Run> = None;
     for &burst in bursts {
         for mode in [StreamMode::Dma, StreamMode::DmaDouble] {
-            let r = run_stream(tiles, params, mode, burst, 1);
+            let r = run_stream(tiles, params, mode, burst, 1, topology);
             assert_eq!(r.checksum, word.checksum, "modes must agree");
             println!(
                 "{:<12} {:>6} {:>12} {:>8.2}x {:>12}",
@@ -170,6 +211,7 @@ fn main() {
     }
     let best = best.expect("at least one DMA run");
     assert!(best.makespan < word.makespan, "DMA burst streaming must beat the word-at-a-time copy");
+    let best_burst = best.burst;
 
     println!(
         "\nChannel scaling — double-buffered stream, single 4 KiB bursts, \
@@ -186,9 +228,9 @@ fn main() {
     };
     let chan_tiles: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
     for &t in chan_tiles {
-        let c1 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 1).makespan;
-        let c2 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 2).makespan;
-        let c4 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 4).makespan;
+        let c1 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 1, topology).makespan;
+        let c2 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 2, topology).makespan;
+        let c4 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 4, topology).makespan;
         println!("{t:<8} {c1:>12} {c2:>12} {c4:>12} {:>9.2}x", c1 as f64 / c2 as f64);
         if t == 1 {
             assert!(c2 < c1, "2 channels must beat 1 at one tile: {c2} vs {c1}");
@@ -196,14 +238,14 @@ fn main() {
     }
     println!("  (beyond ~2 streaming tiles the shared SDRAM port saturates: channels tie)");
 
-    println!("\nTile-to-tile vs SDRAM round trip (tile 2 -> tile 5):");
+    println!("\nTile-to-tile vs SDRAM round trip (tile 2 -> tile 5, {} NoC):", topology.name());
     println!(
         "{:<10} {:>12} {:>14} {:>12} {:>14} {:>8}",
         "payload", "t2t cycles", "bytes/kcycle", "via SDRAM", "bytes/kcycle", "gain"
     );
     let payloads: &[u32] = if smoke { &[4 << 10] } else { &[4 << 10, 16 << 10, 64 << 10] };
     for &bytes in payloads {
-        let (t2t, sdram) = t2t_vs_sdram(bytes);
+        let (t2t, sdram) = t2t_vs_sdram(bytes, topology);
         assert!(t2t < sdram, "tile-to-tile must sustain higher bandwidth");
         println!(
             "{:<10} {:>12} {:>14.0} {:>12} {:>14.0} {:>7.2}x",
@@ -217,15 +259,54 @@ fn main() {
     }
 
     println!("\nPer-link NoC busy cycles (best DMA run; links sorted by occupancy —");
-    println!("posted writes share the link model, so this is total ring traffic):");
-    let n = tiles.max(2);
-    let mut links: Vec<(usize, u64)> =
-        best.link_busy.iter().copied().enumerate().filter(|&(_, b)| b > 0).collect();
-    links.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
-    for (id, busy) in links.iter().take(8) {
-        let (from, to) = if *id < n { (*id, (*id + 1) % n) } else { ((*id - n + 1) % n, *id - n) };
-        println!("  link {id:>3}  tile {from:>2} -> tile {to:>2}  {busy:>10} busy cycles");
+    println!("posted writes share the link model, so this is total interconnect traffic):");
+    print_top_links(&best.links, 8);
+
+    // The differential contention table: identical workload and output
+    // on the ring and on the mesh, different per-link traffic shape.
+    let (cols, rows) = mesh_dims(tiles);
+    println!(
+        "\nRing vs mesh — double-buffered stream (burst {best_burst}), {tiles} tiles \
+         (mesh {cols}x{rows}):"
+    );
+    println!(
+        "{:<6} {:>12} {:>14} {:>14} {:>12} {:>14}",
+        "topo", "makespan", "total busy", "max link busy", "posted-only", "posted busy"
+    );
+    for topo in [Topology::Ring, Topology::Mesh { cols, rows }] {
+        let r = run_stream(tiles, params, StreamMode::DmaDouble, best_burst, 1, topo);
+        assert_eq!(
+            r.checksum, word.checksum,
+            "the stream's output must be identical on every topology"
+        );
+        // Posted-only traffic (no DMA at all): the word-copy loop's
+        // result write-outs still cross the NoC, so the link counters
+        // must account for them on both topologies. On the topology the
+        // baseline already ran on, reuse it instead of re-simulating.
+        let rerun;
+        let posted = if topo_for(topo, tiles) == topo_for(topology, tiles) {
+            &word
+        } else {
+            rerun = run_stream(tiles, params, StreamMode::WordCopy, 256, 1, topo);
+            &rerun
+        };
+        let posted_busy: u64 = posted.links.iter().map(|l| l.busy).sum();
+        assert!(posted_busy > 0, "posted writes must be NoC-accounted on the {}", topo.name());
+        assert_eq!(posted.dma_bytes, 0, "the word copy moves no DMA bytes");
+        let total: u64 = r.links.iter().map(|l| l.busy).sum();
+        let max = r.links.iter().map(|l| l.busy).max().unwrap_or(0);
+        println!(
+            "{:<6} {:>12} {:>14} {:>14} {:>12} {:>14}",
+            topo.name(),
+            r.makespan,
+            total,
+            max,
+            posted.makespan,
+            posted_busy
+        );
+        print_top_links(&r.links, 4);
     }
+    println!("  (XY routing spreads controller-bound bursts over both mesh dimensions)");
 
     println!("\nFig. 10 revisited — motion estimation staging strategies (SPM):");
     let me_params = if smoke {
@@ -235,7 +316,7 @@ fn main() {
     };
     let mut makespans = Vec::new();
     for variant in 0..3usize {
-        let mut cfg = SocConfig { n_tiles: tiles.max(2), ..SocConfig::default() };
+        let mut cfg = SocConfig { n_tiles: tiles, topology, ..SocConfig::default() };
         cfg.icache_mpki = 1;
         cfg.dma_channels = 2;
         let mut sys = System::new(cfg, BackendKind::Spm, LockKind::Sdram);

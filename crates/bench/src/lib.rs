@@ -52,3 +52,47 @@ pub fn arg_u32(name: &str, default: u32) -> u32 {
 pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
+
+/// String-valued `--flag value` argument (e.g. `--topology mesh`).
+pub fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Parse a `--topology` argument (`ring` | `mesh`) into a topology for
+/// `n_tiles` tiles. Meshes use the most nearly square factorisation of
+/// the tile count (8 → 2×4, 16 → 4×4; primes degenerate to a 1×n
+/// line).
+pub fn arg_topology(n_tiles: usize) -> pmc_soc_sim::Topology {
+    match arg_str("--topology", "ring").as_str() {
+        "ring" => pmc_soc_sim::Topology::Ring,
+        "mesh" => {
+            let (cols, rows) = mesh_dims(n_tiles);
+            pmc_soc_sim::Topology::Mesh { cols, rows }
+        }
+        other => panic!("--topology must be `ring` or `mesh`, got `{other}`"),
+    }
+}
+
+/// The most nearly square `cols × rows` factorisation of `n`.
+pub fn mesh_dims(n: usize) -> (usize, usize) {
+    let mut cols = (n as f64).sqrt() as usize;
+    while cols > 1 && !n.is_multiple_of(cols) {
+        cols -= 1;
+    }
+    let cols = cols.max(1);
+    (cols, n / cols)
+}
+
+/// The `n` busiest links of a report (non-idle only, descending busy) —
+/// the shared selection behind every contention table.
+pub fn top_links(links: &[pmc_soc_sim::LinkReport], n: usize) -> Vec<&pmc_soc_sim::LinkReport> {
+    let mut busiest: Vec<_> = links.iter().filter(|l| l.busy > 0).collect();
+    busiest.sort_by_key(|l| std::cmp::Reverse(l.busy));
+    busiest.truncate(n);
+    busiest
+}

@@ -25,7 +25,7 @@ use std::sync::Mutex;
 use pmc_core::interleave::Outcome;
 use pmc_core::litmus::{Instr, Program};
 use pmc_core::{conformance, op::Value};
-use pmc_soc_sim::{RunReport, SocConfig, TraceRecord};
+use pmc_soc_sim::{RunReport, SocConfig, Topology, TraceRecord};
 
 use crate::ctx::{read_ro, write_x};
 use crate::system::{BackendKind, LockKind, Obj, System};
@@ -41,15 +41,41 @@ pub struct LitmusRun {
     pub report: RunReport,
 }
 
-/// Run `program` on `backend`/`lock_kind` with `n_threads` tiles and
-/// return the observed outcome plus the trace.
+/// Run `program` on `backend`/`lock_kind` over the ring with
+/// `n_threads` tiles and return the observed outcome plus the trace.
 ///
 /// Panics if the program deadlocks on the simulator (the SoC watchdog
 /// fires) or holds a lock across a `WaitEq` (which could never
 /// terminate: the awaited location cannot change while held).
 pub fn run_litmus(program: &Program, backend: BackendKind, lock_kind: LockKind) -> LitmusRun {
+    run_litmus_on(program, backend, lock_kind, Topology::Ring)
+}
+
+/// [`run_litmus`] on an explicit interconnect [`Topology`] — the
+/// topology axis of the differential conformance sweep. A mesh must
+/// cover at least one tile per thread; surplus mesh tiles idle (their
+/// local memories still serve distributed-lock homes and DSM replicas),
+/// so the same program runs unchanged while every posted write, flush
+/// write-back, remote atomic and DMA burst routes over the new links.
+pub fn run_litmus_on(
+    program: &Program,
+    backend: BackendKind,
+    lock_kind: LockKind,
+    topology: Topology,
+) -> LitmusRun {
     let n_threads = program.threads.len().max(1);
-    let mut cfg = SocConfig::small(n_threads);
+    let n_tiles = match topology {
+        Topology::Ring => n_threads,
+        Topology::Mesh { cols, rows } => {
+            assert!(
+                cols * rows >= n_threads,
+                "mesh {cols}x{rows} too small for {n_threads} litmus threads"
+            );
+            cols * rows
+        }
+    };
+    let mut cfg = SocConfig::small(n_tiles);
+    cfg.topology = topology;
     cfg.trace = true;
     // Two engine channels: the executor's transfers rotate round-robin,
     // so the sweep also validates the multi-channel completion protocol
@@ -190,6 +216,20 @@ mod tests {
         assert_eq!(run.outcome, vec![vec![], vec![42]]);
         assert!(validate(&run.trace).is_empty());
         assert!(run.report.makespan > 0);
+    }
+
+    /// The same program on a 2×2 mesh (surplus tile idle) produces the
+    /// annotated result with a clean trace — including under the
+    /// distributed lock, whose mailbox round trips cross mesh links.
+    #[test]
+    fn executor_runs_annotated_mp_on_a_mesh() {
+        let topo = Topology::Mesh { cols: 2, rows: 2 };
+        for backend in [BackendKind::Dsm, BackendKind::Spm] {
+            let run =
+                run_litmus_on(&catalogue::mp_annotated(), backend, LockKind::Distributed, topo);
+            assert_eq!(run.outcome, vec![vec![], vec![42]], "{backend:?}");
+            assert!(validate(&run.trace).is_empty(), "{backend:?}");
+        }
     }
 
     /// Register-free threads produce empty outcome rows.

@@ -7,6 +7,167 @@
 //! not calibrated against the FPGA — the reproduction targets the *shape*
 //! of the paper's results, and every knob here is sweepable.
 
+/// Interconnect topology: how tiles are wired and how packets route.
+///
+/// Links are *directed* and identified by a dense `usize` id so the NoC
+/// can keep busy-until / occupancy state per link
+/// ([`crate::noc::Noc::reserve_path`], [`crate::noc::Noc::link_stats`]).
+/// The numbering is topology-specific:
+///
+/// * **Ring** (`2 * n_tiles` ids): link `i` carries `i → (i+1) % n`
+///   (clockwise), link `n + i` carries `(i+1) % n → i`
+///   (counterclockwise). Routes take the shortest arc, clockwise on
+///   ties.
+/// * **Mesh** (`4 * n_tiles` ids, boundary ids unused): tile
+///   `t = y * cols + x` owns up to four outgoing links — east `t → t+1`
+///   at id `t`, west `t → t-1` at id `n + t`, south `t → t+cols` at id
+///   `2n + t`, north `t → t-cols` at id `3n + t`. Routes are
+///   deterministic dimension-ordered **XY**: the full X leg first, then
+///   the Y leg — cycle-free and exactly Manhattan-distance long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Bidirectional ring (the original stand-in for the paper's
+    /// connectionless NoC [16]).
+    #[default]
+    Ring,
+    /// 2-D mesh of `cols × rows` tiles with XY (dimension-ordered)
+    /// routing. `cols * rows` must equal `SocConfig::n_tiles`
+    /// ([`SocConfig::validate`]).
+    Mesh { cols: usize, rows: usize },
+}
+
+impl Topology {
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Ring => "ring",
+            Topology::Mesh { .. } => "mesh",
+        }
+    }
+
+    /// Number of directed-link id slots (some mesh slots are boundary
+    /// ids that no route ever uses; see [`Topology::is_valid_link`]).
+    pub fn link_count(self, n_tiles: usize) -> usize {
+        match self {
+            Topology::Ring => 2 * n_tiles,
+            Topology::Mesh { .. } => 4 * n_tiles,
+        }
+    }
+
+    /// Whether `link` names a physical link of the topology (mesh
+    /// boundary slots — e.g. the east link of a rightmost tile — do
+    /// not exist).
+    pub fn is_valid_link(self, n_tiles: usize, link: usize) -> bool {
+        match self {
+            Topology::Ring => link < 2 * n_tiles,
+            Topology::Mesh { cols, rows } => {
+                let n = cols * rows;
+                if link >= 4 * n {
+                    return false;
+                }
+                let (dir, t) = (link / n, link % n);
+                let (x, y) = (t % cols, t / cols);
+                match dir {
+                    0 => x + 1 < cols, // east
+                    1 => x > 0,        // west
+                    2 => y + 1 < rows, // south
+                    _ => y > 0,        // north
+                }
+            }
+        }
+    }
+
+    /// The `(from, to)` tiles of a directed link (must be valid for the
+    /// topology).
+    pub fn link_endpoints(self, n_tiles: usize, link: usize) -> (usize, usize) {
+        assert!(self.is_valid_link(n_tiles, link), "link {link} is not part of the {self:?}");
+        match self {
+            Topology::Ring => {
+                let n = n_tiles;
+                if link < n {
+                    (link, (link + 1) % n)
+                } else {
+                    ((link - n + 1) % n, link - n)
+                }
+            }
+            Topology::Mesh { cols, rows } => {
+                let n = cols * rows;
+                let (dir, t) = (link / n, link % n);
+                match dir {
+                    0 => (t, t + 1),
+                    1 => (t, t - 1),
+                    2 => (t, t + cols),
+                    _ => (t, t - cols),
+                }
+            }
+        }
+    }
+
+    /// Directed link ids along the route `from → to`. Deterministic,
+    /// cycle-free, and minimal: the shortest arc on the ring (clockwise
+    /// on ties), the XY path (X leg then Y leg) on the mesh.
+    pub fn route(self, n_tiles: usize, from: usize, to: usize) -> Vec<usize> {
+        assert!(from < n_tiles && to < n_tiles, "route endpoints out of range");
+        if from == to {
+            return Vec::new();
+        }
+        match self {
+            Topology::Ring => {
+                let n = n_tiles;
+                let cw = (to + n - from) % n;
+                let ccw = n - cw;
+                if cw <= ccw {
+                    (0..cw).map(|k| (from + k) % n).collect()
+                } else {
+                    (0..ccw).map(|k| n + (from + n - 1 - k) % n).collect()
+                }
+            }
+            Topology::Mesh { cols, rows } => {
+                let n = cols * rows;
+                let (mut x, y0) = (from % cols, from / cols);
+                let (tx, ty) = (to % cols, to / cols);
+                let mut links = Vec::new();
+                while x < tx {
+                    links.push(y0 * cols + x); // east of (x, y0)
+                    x += 1;
+                }
+                while x > tx {
+                    links.push(n + y0 * cols + x); // west of (x, y0)
+                    x -= 1;
+                }
+                let mut y = y0;
+                while y < ty {
+                    links.push(2 * n + y * cols + x); // south of (x, y)
+                    y += 1;
+                }
+                while y > ty {
+                    links.push(3 * n + y * cols + x); // north of (x, y)
+                    y -= 1;
+                }
+                links
+            }
+        }
+    }
+
+    /// Hop count of the route `from → to` (shortest arc on the ring,
+    /// Manhattan distance on the mesh).
+    pub fn hops(self, n_tiles: usize, from: usize, to: usize) -> u64 {
+        match self {
+            Topology::Ring => {
+                if from == to {
+                    return 0;
+                }
+                let d = from.abs_diff(to);
+                d.min(n_tiles - d) as u64
+            }
+            Topology::Mesh { cols, .. } => {
+                let dx = (from % cols).abs_diff(to % cols);
+                let dy = (from / cols).abs_diff(to / cols);
+                (dx + dy) as u64
+            }
+        }
+    }
+}
+
 /// Data-cache geometry (per core).
 #[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
@@ -101,10 +262,17 @@ pub struct SocConfig {
     pub time_limit: u64,
     /// Record an annotation-level event trace (for model validation).
     pub trace: bool,
-    /// The ring position the SDRAM controller is attached to: DMA bursts
-    /// traverse the links between the issuing tile and this tile, so
-    /// distance (and shared links) shape bulk-transfer bandwidth.
+    /// The tile the SDRAM controller is attached to: DMA bursts and
+    /// posted writes traverse the links between the issuing tile and
+    /// this tile, so distance (and shared links) shape bulk-transfer
+    /// bandwidth.
     pub mem_tile: usize,
+    /// Interconnect topology ([`Topology::Ring`] by default). Everything
+    /// that reserves link bandwidth routes through
+    /// [`Topology::route`], so the consistency machinery above is
+    /// topology-agnostic — the conformance sweep re-proves it per
+    /// topology.
+    pub topology: Topology,
     /// Independent DMA channels per tile engine. Transfers on one channel
     /// serialise in issue order; transfers on different channels overlap
     /// and contend only for the shared SDRAM port and NoC links.
@@ -125,6 +293,7 @@ impl Default for SocConfig {
             time_limit: 2_000_000_000,
             trace: false,
             mem_tile: 0,
+            topology: Topology::Ring,
             dma_channels: 1,
         }
     }
@@ -142,15 +311,41 @@ impl SocConfig {
         }
     }
 
-    /// NoC hop count between two tiles (bidirectional ring, as a stand-in
-    /// for the paper's connectionless NoC [16]: nearby tiles are cheaper
-    /// than far ones).
-    pub fn hops(&self, from: usize, to: usize) -> u64 {
-        if from == to {
-            return 0;
+    /// A small mesh configuration for unit tests (`cols × rows` tiles).
+    pub fn small_mesh(cols: usize, rows: usize) -> Self {
+        SocConfig { topology: Topology::Mesh { cols, rows }, ..Self::small(cols * rows) }
+    }
+
+    /// Check the configuration for inconsistencies that would otherwise
+    /// surface as index panics deep inside a run: a mesh whose shape
+    /// does not cover `n_tiles`, or a memory controller placed on a
+    /// tile that does not exist.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_tiles == 0 {
+            return Err("n_tiles must be at least 1".to_string());
         }
-        let d = from.abs_diff(to);
-        d.min(self.n_tiles - d) as u64
+        if self.mem_tile >= self.n_tiles {
+            return Err(format!(
+                "mem_tile {} out of range: the platform has {} tiles",
+                self.mem_tile, self.n_tiles
+            ));
+        }
+        if let Topology::Mesh { cols, rows } = self.topology {
+            if cols == 0 || rows == 0 || cols * rows != self.n_tiles {
+                return Err(format!(
+                    "mesh topology {cols}x{rows} does not cover n_tiles {}: \
+                     cols * rows must equal the tile count",
+                    self.n_tiles
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// NoC hop count between two tiles on the configured topology
+    /// (nearby tiles are cheaper than far ones).
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        self.topology.hops(self.n_tiles, from, to)
     }
 
     /// End-to-end NoC latency for a payload of `bytes` bytes.
@@ -193,5 +388,100 @@ mod tests {
         assert!(c.noc_latency(0, 1, 4) < c.noc_latency(0, 4, 4));
         assert!(c.noc_latency(0, 1, 4) < c.noc_latency(0, 1, 64));
         assert!(c.sdram_service(4) < c.sdram_service(32));
+    }
+
+    #[test]
+    fn ring_route_picks_shortest_direction() {
+        let t = Topology::Ring;
+        // 8-tile ring: 0 → 2 clockwise over links 0, 1.
+        assert_eq!(t.route(8, 0, 2), vec![0, 1]);
+        // 0 → 7 counterclockwise over link 8 + 7.
+        assert_eq!(t.route(8, 0, 7), vec![15]);
+        // 2 → 0 counterclockwise over links 8+1, 8+0.
+        assert_eq!(t.route(8, 2, 0), vec![9, 8]);
+        assert_eq!(t.route(8, 3, 3), Vec::<usize>::new());
+        // Antipodal ties go clockwise.
+        assert_eq!(t.route(4, 0, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn mesh_xy_route_goes_x_then_y() {
+        // 4×4 mesh, tile t = y*4 + x, n = 16.
+        let t = Topology::Mesh { cols: 4, rows: 4 };
+        // 0 (0,0) → 10 (2,2): east links of tiles 0, 1 then south links
+        // of tiles 2, 6.
+        assert_eq!(t.route(16, 0, 10), vec![0, 1, 2 * 16 + 2, 2 * 16 + 6]);
+        // The reverse path mirrors it: west of 10, 9 then north of 8, 4.
+        assert_eq!(t.route(16, 10, 0), vec![16 + 10, 16 + 9, 3 * 16 + 8, 3 * 16 + 4]);
+        // Same row: pure X leg.
+        assert_eq!(t.route(16, 4, 7), vec![4, 5, 6]);
+        // Same column: pure Y leg.
+        assert_eq!(t.route(16, 1, 13), vec![2 * 16 + 1, 2 * 16 + 5, 2 * 16 + 9]);
+        assert_eq!(t.route(16, 9, 9), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn mesh_hops_is_manhattan_distance_and_links_chain() {
+        let t = Topology::Mesh { cols: 4, rows: 2 };
+        assert_eq!(t.hops(8, 0, 7), 4); // (0,0) → (3,1)
+        assert_eq!(t.hops(8, 5, 6), 1);
+        assert_eq!(t.hops(8, 2, 2), 0);
+        let route = t.route(8, 7, 0);
+        assert_eq!(route.len() as u64, t.hops(8, 7, 0));
+        let mut at = 7;
+        for &l in &route {
+            assert!(t.is_valid_link(8, l));
+            let (from, to) = t.link_endpoints(8, l);
+            assert_eq!(from, at);
+            at = to;
+        }
+        assert_eq!(at, 0);
+    }
+
+    #[test]
+    fn mesh_boundary_link_slots_are_invalid() {
+        let t = Topology::Mesh { cols: 3, rows: 2 };
+        // Tile 2 = (2, 0): no east (boundary), no north (top row).
+        assert!(!t.is_valid_link(6, 2));
+        assert!(!t.is_valid_link(6, 3 * 6 + 2));
+        // But it has west and south links.
+        assert!(t.is_valid_link(6, 6 + 2));
+        assert!(t.is_valid_link(6, 2 * 6 + 2));
+        // Out-of-range slots are invalid on both topologies.
+        assert!(!t.is_valid_link(6, 4 * 6));
+        assert!(!Topology::Ring.is_valid_link(6, 12));
+    }
+
+    #[test]
+    fn validate_rejects_mesh_shape_mismatch() {
+        let mut cfg = SocConfig::small(8);
+        cfg.topology = Topology::Mesh { cols: 3, rows: 2 };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("3x2") && err.contains("8"), "{err}");
+        cfg.topology = Topology::Mesh { cols: 4, rows: 2 };
+        assert!(cfg.validate().is_ok());
+        cfg.topology = Topology::Mesh { cols: 0, rows: 0 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_mem_tile_out_of_range() {
+        let mut cfg = SocConfig::small(4);
+        cfg.mem_tile = 4;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("mem_tile 4"), "{err}");
+        cfg.mem_tile = 3;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn small_mesh_builds_a_valid_config() {
+        let cfg = SocConfig::small_mesh(4, 4);
+        assert_eq!(cfg.n_tiles, 16);
+        assert_eq!(cfg.topology, Topology::Mesh { cols: 4, rows: 4 });
+        assert!(cfg.validate().is_ok());
+        // hops follows the topology: 0 → 15 is 6 mesh hops, not 1 ring
+        // wrap.
+        assert_eq!(cfg.hops(0, 15), 6);
     }
 }

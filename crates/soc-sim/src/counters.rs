@@ -82,6 +82,27 @@ impl Counters {
     }
 }
 
+/// One directed NoC link's occupancy with its endpoints resolved
+/// against the configured topology (built by
+/// [`crate::soc::Soc::link_report`]; raw per-id stats live in
+/// [`crate::noc::LinkStat`]). Only physical links appear — mesh
+/// boundary id slots are filtered out — so iterating a report walks the
+/// real interconnect regardless of topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Directed link id (topology-specific numbering, see
+    /// [`crate::config::Topology`]).
+    pub link: usize,
+    /// Source tile of the directed link.
+    pub from: usize,
+    /// Destination tile of the directed link.
+    pub to: usize,
+    /// Cycles the link spent serialising payloads.
+    pub busy: u64,
+    /// Bursts routed over the link.
+    pub bursts: u64,
+}
+
 /// Aggregate counters over all cores plus the run's makespan.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {

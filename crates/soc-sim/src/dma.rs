@@ -16,9 +16,11 @@
 //!    misses use) — concurrent channels' bursts are granted the port in
 //!    issue order, which under the turnstile's global time order acts as
 //!    the round-robin arbitration of a real multi-channel engine;
-//! 3. every directed NoC ring link on the transfer's route
-//!    ([`crate::noc::Noc::reserve_path`]). SDRAM transfers route between
-//!    the tile and the controller ([`crate::config::SocConfig::mem_tile`]);
+//! 3. every directed NoC link on the transfer's route
+//!    ([`crate::noc::Noc::reserve_path`]; the route follows the
+//!    configured [`crate::config::Topology`] — shortest arc on the ring,
+//!    XY on the mesh). SDRAM transfers route between the tile and the
+//!    controller ([`crate::config::SocConfig::mem_tile`]);
 //!    **tile-to-tile transfers** ([`DmaKind::Copy`]) route directly
 //!    between the two scratchpads and never touch the memory controller —
 //!    the local-to-local path that makes producer/consumer staging cheap.
@@ -53,12 +55,13 @@ pub enum DmaDir {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaKind {
     /// Bulk transfer between SDRAM and the issuing tile's local memory.
-    /// Bursts contend for the SDRAM port and the ring links between the
+    /// Bursts contend for the SDRAM port and the NoC links between the
     /// tile and the memory controller.
     Sdram(DmaDir),
     /// Tile-to-tile transfer: the issuing tile's local memory →
-    /// `dst_tile`'s local memory. Reserves only the directed ring links
-    /// between the two tiles — no SDRAM port, no controller round trip.
+    /// `dst_tile`'s local memory. Reserves only the directed links on
+    /// the route between the two tiles — no SDRAM port, no controller
+    /// round trip.
     /// `dst_tile` may equal the issuing tile (a pure local-to-local copy
     /// at link serialisation rate, e.g. between two staging areas).
     Copy { dst_tile: usize },
@@ -413,6 +416,30 @@ mod tests {
         assert_eq!(d.segs.len(), 4);
         assert_eq!(d.total_bytes(), 128);
         assert_eq!(d.segs[2], DmaSeg { far_offset: 1256, local_offset: 64, bytes: 32 });
+    }
+
+    /// On a mesh the engine's bursts reserve exactly the XY route of the
+    /// transfer — an SDRAM get charges the controller→tile path, nothing
+    /// else.
+    #[test]
+    fn mesh_get_reserves_exactly_the_controller_route() {
+        let cfg = SocConfig::small_mesh(4, 4);
+        let mut e = DmaEngine::new(1);
+        let mut noc = Noc::with_topology(cfg.topology, cfg.n_tiles);
+        let mut sdram_free = 0u64;
+        // Tile 10 gets 256 B in 64 B bursts: 4 bursts over route 0 → 10.
+        e.issue(&cfg, &mut noc, &mut sdram_free, 0, 10, 0, &get_desc(256, 64));
+        let route = cfg.topology.route(cfg.n_tiles, cfg.mem_tile, 10);
+        assert_eq!(route, vec![0, 1, 34, 38]);
+        for (i, s) in noc.link_stats().iter().enumerate() {
+            if route.contains(&i) {
+                assert_eq!(s.bursts, 4, "route link {i}");
+                assert_eq!(s.busy, 4 * cfg.lat.noc_per_word * 16, "route link {i}");
+            } else {
+                assert_eq!(s.bursts, 0, "off-route link {i}");
+            }
+        }
+        assert!(sdram_free > 0, "SDRAM gets occupy the port on every topology");
     }
 
     /// A tile-to-tile copy never touches the SDRAM port and reserves only

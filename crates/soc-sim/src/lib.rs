@@ -46,8 +46,8 @@ pub mod soc;
 pub mod trace;
 
 pub use addr::Addr;
-pub use config::{CacheConfig, Latencies, SocConfig};
-pub use counters::{Counters, MemTag, RunReport};
+pub use config::{CacheConfig, Latencies, SocConfig, Topology};
+pub use counters::{Counters, LinkReport, MemTag, RunReport};
 pub use dma::{DmaDescriptor, DmaDir, DmaKind, DmaSeg, DmaStats};
 pub use noc::LinkStat;
 pub use soc::{CoreProgram, Cpu, Soc};

@@ -12,21 +12,24 @@
 //!
 //! ## Per-link bandwidth accounting
 //!
-//! All posted traffic occupies every directed ring link on its route for
-//! its serialisation time: each link is a busy-until resource
+//! All posted traffic occupies every directed link on its route for its
+//! serialisation time: each link is a busy-until resource
 //! ([`Noc::reserve_path`]), so streams crossing a shared link contend and
 //! the per-link counters ([`Noc::link_stats`]) expose where. This covers
 //! bulk DMA bursts *and* ordinary posted writes — remote local-memory
 //! stores, uncached SDRAM stores and cache-line write-backs en route to
 //! the memory controller — so the contention tables reflect total
-//! traffic, not just the engines'. Links are directed ring edges: link
-//! `i` carries `i → (i+1) % n` (clockwise), link `n + i` carries
-//! `(i+1) % n → i` (counterclockwise).
+//! traffic, not just the engines'.
+//!
+//! The NoC is **topology-generic**: routes and directed-link ids come
+//! from [`Topology::route`] (shortest-arc on the ring, dimension-ordered
+//! XY on the mesh; see [`Topology`] for the link numbering), so the same
+//! reservation and accounting model serves every interconnect shape.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::config::SocConfig;
+use crate::config::{SocConfig, Topology};
 
 /// The effect a packet applies when it arrives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +94,7 @@ impl PartialOrd for Packet {
     }
 }
 
-/// Occupancy statistics of one directed ring link.
+/// Occupancy statistics of one directed link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStat {
     /// Cycles the link spent serialising burst payloads.
@@ -106,8 +109,9 @@ pub struct LinkStat {
 pub struct Noc {
     heap: BinaryHeap<Packet>,
     next_seq: u64,
-    /// Busy-until time per directed ring link (`2 * n_tiles` entries;
-    /// empty when constructed without a topology, e.g. in unit tests).
+    /// Busy-until time per directed link ([`Topology::link_count`]
+    /// entries; empty when constructed without a topology, e.g. in unit
+    /// tests).
     link_free: Vec<u64>,
     link_stats: Vec<LinkStat>,
 }
@@ -117,33 +121,25 @@ impl Noc {
         Self::default()
     }
 
-    /// A NoC with per-link state for a ring of `n_tiles` tiles.
-    pub fn with_ring(n_tiles: usize) -> Self {
+    /// A NoC with per-link state for `topology` over `n_tiles` tiles.
+    pub fn with_topology(topology: Topology, n_tiles: usize) -> Self {
+        let links = topology.link_count(n_tiles);
         Noc {
-            link_free: vec![0; 2 * n_tiles],
-            link_stats: vec![LinkStat::default(); 2 * n_tiles],
+            link_free: vec![0; links],
+            link_stats: vec![LinkStat::default(); links],
             ..Self::default()
         }
     }
 
-    /// Per-link occupancy counters (index: link id as documented above).
-    pub fn link_stats(&self) -> &[LinkStat] {
-        &self.link_stats
+    /// A NoC with per-link state for a ring of `n_tiles` tiles.
+    pub fn with_ring(n_tiles: usize) -> Self {
+        Self::with_topology(Topology::Ring, n_tiles)
     }
 
-    /// Directed link ids along the shortest ring route `from → to`
-    /// (clockwise on ties, matching [`SocConfig::hops`]).
-    fn ring_route(n: usize, from: usize, to: usize) -> Vec<usize> {
-        if from == to {
-            return Vec::new();
-        }
-        let cw = (to + n - from) % n;
-        let ccw = n - cw;
-        if cw <= ccw {
-            (0..cw).map(|k| (from + k) % n).collect()
-        } else {
-            (0..ccw).map(|k| n + (from + n - 1 - k) % n).collect()
-        }
+    /// Per-link occupancy counters (index: link id as documented in
+    /// [`Topology`]).
+    pub fn link_stats(&self) -> &[LinkStat] {
+        &self.link_stats
     }
 
     /// Reserve every link on the route `from → to` for a burst of
@@ -152,7 +148,9 @@ impl Noc {
     /// the burst's serialisation time (`noc_per_word * words`), modelling
     /// bandwidth; the header adds `noc_per_hop` pipeline latency per hop
     /// and `noc_fixed` once. Contention appears as waiting for a link's
-    /// earlier reservation to drain.
+    /// earlier reservation to drain. The route comes from
+    /// [`Topology::route`], so the same accounting serves every
+    /// topology.
     pub fn reserve_path(
         &mut self,
         cfg: &SocConfig,
@@ -166,11 +164,11 @@ impl Noc {
             return ready + serialise;
         }
         assert!(
-            self.link_free.len() >= 2 * cfg.n_tiles,
-            "Noc::with_ring was not used but bulk traffic needs link state"
+            self.link_free.len() >= cfg.topology.link_count(cfg.n_tiles),
+            "Noc::with_topology was not used but bulk traffic needs link state"
         );
         let mut t = ready + cfg.lat.noc_fixed;
-        for link in Self::ring_route(cfg.n_tiles, from, to) {
+        for link in cfg.topology.route(cfg.n_tiles, from, to) {
             let start = t.max(self.link_free[link]);
             self.link_free[link] = start + serialise;
             self.link_stats[link].busy += serialise;
@@ -241,19 +239,6 @@ mod tests {
     }
 
     #[test]
-    fn ring_route_picks_shortest_direction() {
-        // 8-tile ring: 0 → 2 clockwise over links 0, 1.
-        assert_eq!(Noc::ring_route(8, 0, 2), vec![0, 1]);
-        // 0 → 7 counterclockwise over link 8 + 7.
-        assert_eq!(Noc::ring_route(8, 0, 7), vec![15]);
-        // 2 → 0 counterclockwise over links 8+1, 8+0.
-        assert_eq!(Noc::ring_route(8, 2, 0), vec![9, 8]);
-        assert_eq!(Noc::ring_route(8, 3, 3), Vec::<usize>::new());
-        // Antipodal ties go clockwise.
-        assert_eq!(Noc::ring_route(4, 0, 2), vec![0, 1]);
-    }
-
-    #[test]
     fn reserve_path_accounts_contention_per_link() {
         let cfg = crate::config::SocConfig::small(8);
         let mut noc = Noc::with_ring(8);
@@ -309,6 +294,50 @@ mod tests {
         let t = noc.reserve_path(&cfg, 100, cfg.mem_tile, cfg.mem_tile, 64);
         assert_eq!(t, 100 + serialise);
         assert_eq!(noc.link_stats()[0].bursts, 1, "self-route charges no link");
+    }
+
+    /// The mesh twin of the ring charge pin: a reservation from the
+    /// memory tile on a 4×4 mesh charges exactly the XY-route links
+    /// (east, east, south, south for 0 → 10), once each, and nothing
+    /// else — routing changes cannot silently shift traffic.
+    #[test]
+    fn reserve_path_charges_exactly_the_xy_route_on_a_mesh() {
+        let cfg = crate::config::SocConfig::small_mesh(4, 4);
+        assert_eq!(cfg.mem_tile, 0);
+        let mut noc = Noc::with_topology(cfg.topology, cfg.n_tiles);
+        let serialise = cfg.lat.noc_per_word * 16;
+        // mem_tile (0,0) → tile 10 (2,2): east links of tiles 0 and 1,
+        // then south links of tiles 2 and 6 (ids 2n+2, 2n+6 with n=16).
+        noc.reserve_path(&cfg, 0, cfg.mem_tile, 10, 64);
+        let expected = [0usize, 1, 34, 38];
+        assert_eq!(cfg.topology.route(16, 0, 10), expected.to_vec());
+        for link in expected {
+            assert_eq!(noc.link_stats()[link].bursts, 1, "link {link}");
+            assert_eq!(noc.link_stats()[link].busy, serialise, "link {link}");
+        }
+        for (i, s) in noc.link_stats().iter().enumerate() {
+            if !expected.contains(&i) {
+                assert_eq!(s.bursts, 0, "off-route link {i} must stay untouched");
+            }
+        }
+    }
+
+    /// Contention on the mesh behaves like on the ring: two bursts over
+    /// a shared first link queue, while a route using disjoint links is
+    /// unaffected.
+    #[test]
+    fn mesh_reservations_contend_per_link() {
+        let cfg = crate::config::SocConfig::small_mesh(4, 2);
+        let mut noc = Noc::with_topology(cfg.topology, cfg.n_tiles);
+        let a = noc.reserve_path(&cfg, 0, 0, 3, 256); // east row 0
+        let b = noc.reserve_path(&cfg, 0, 0, 1, 256); // shares link 0
+        let serialise = cfg.lat.noc_per_word * 64;
+        assert!(b > a, "the shared-link burst must queue: {a} vs {b}");
+        assert_eq!(noc.link_stats()[0].bursts, 2);
+        assert_eq!(noc.link_stats()[0].busy, 2 * serialise);
+        // 7 → 4 runs west along row 1: fully disjoint, no queueing.
+        let c = noc.reserve_path(&cfg, 0, 7, 4, 256);
+        assert_eq!(c, a, "disjoint mesh links must not contend");
     }
 
     #[test]

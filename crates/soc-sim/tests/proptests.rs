@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use pmc_soc_sim::cache::Cache;
-use pmc_soc_sim::{addr, CacheConfig, Cpu, Soc, SocConfig};
-use std::collections::HashMap;
+use pmc_soc_sim::{addr, CacheConfig, Cpu, Soc, SocConfig, Topology};
+use std::collections::{HashMap, HashSet};
 
 /// Reference model: a flat backing store plus a perfect record of which
 /// bytes the cache *should* return.
@@ -98,6 +98,62 @@ proptest! {
                 prop_assert_eq!(model.backing[&line], model.cached[&line]);
             }
         }
+    }
+
+    /// Mesh XY routes are deterministic, cycle-free, exactly Manhattan-
+    /// distance long, and made of valid links that chain from source to
+    /// destination (the satellite properties of the topology refactor).
+    #[test]
+    fn mesh_xy_routes_are_minimal_acyclic_and_valid(
+        (cols, rows, a, b) in (1u8..6, 1u8..6, 0u16..4096, 0u16..4096)
+    ) {
+        let (cols, rows) = (cols as usize, rows as usize);
+        let n = cols * rows;
+        let topo = Topology::Mesh { cols, rows };
+        let (from, to) = (a as usize % n, b as usize % n);
+        let route = topo.route(n, from, to);
+        // Deterministic: routing twice yields the identical link list.
+        prop_assert_eq!(&route, &topo.route(n, from, to));
+        // Minimal: length equals the Manhattan distance (and `hops`).
+        let manhattan = (from % cols).abs_diff(to % cols) + (from / cols).abs_diff(to / cols);
+        prop_assert_eq!(route.len(), manhattan);
+        prop_assert_eq!(route.len() as u64, topo.hops(n, from, to));
+        // Valid and cycle-free: every link exists on the mesh, links
+        // chain tile-to-tile from `from` to `to`, no tile is visited
+        // twice.
+        let mut visited = HashSet::new();
+        let mut at = from;
+        visited.insert(at);
+        for &link in &route {
+            prop_assert!(topo.is_valid_link(n, link), "invalid link {}", link);
+            prop_assert!(link < topo.link_count(n));
+            let (lf, lt) = topo.link_endpoints(n, link);
+            prop_assert_eq!(lf, at, "links must chain");
+            prop_assert!(visited.insert(lt), "cycle through tile {}", lt);
+            at = lt;
+        }
+        prop_assert_eq!(at, to);
+    }
+
+    /// Ring routes never exceed `n_tiles / 2` links (the shortest arc),
+    /// are made of valid link ids, chain from source to destination,
+    /// and match `hops`.
+    #[test]
+    fn ring_routes_take_the_shortest_arc((n, a, b) in (1u8..33, 0u16..4096, 0u16..4096)) {
+        let n = n as usize;
+        let topo = Topology::Ring;
+        let (from, to) = (a as usize % n, b as usize % n);
+        let route = topo.route(n, from, to);
+        prop_assert!(route.len() <= n / 2, "route of {} links on a {}-ring", route.len(), n);
+        prop_assert_eq!(route.len() as u64, topo.hops(n, from, to));
+        let mut at = from;
+        for &link in &route {
+            prop_assert!(topo.is_valid_link(n, link), "invalid link {}", link);
+            let (lf, lt) = topo.link_endpoints(n, link);
+            prop_assert_eq!(lf, at, "links must chain");
+            at = lt;
+        }
+        prop_assert_eq!(at, to);
     }
 
     /// Uncached SDRAM is a plain memory regardless of access interleaving

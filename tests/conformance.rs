@@ -1,6 +1,6 @@
 //! Differential conformance harness: the entire litmus catalogue swept
-//! over every simulated back-end and both lock kinds, validated two ways
-//! against the PMC model:
+//! over every simulated back-end, both lock kinds and both interconnect
+//! topologies, validated two ways against the PMC model:
 //!
 //! 1. **outcome membership** — each traced simulation's final registers
 //!    must fall inside the model enumerator's allowed-outcome set for the
@@ -11,6 +11,13 @@
 //!    [`monitor::validate`] (mutual exclusion, freshness under lock,
 //!    slow-read monotonicity) with zero violations.
 //!
+//! The **topology axis** is the portability gate for the interconnect:
+//! the model's outcome sets know nothing about rings or meshes, so a
+//! mesh run escaping the set (or dirtying a trace) would mean the
+//! consistency machinery silently depends on ring routing. Set
+//! `PMC_TOPOLOGY=ring` or `PMC_TOPOLOGY=mesh` to restrict the sweep to
+//! one topology (the CI matrix does); by default both are swept.
+//!
 //! Golden snapshots of the model-level outcome sets (the paper's
 //! Figs. 1–6 ground truth) are pinned in [`conformance::cases`] and
 //! re-verified here, so any model drift fails the same suite that checks
@@ -20,15 +27,32 @@ use std::collections::BTreeSet;
 
 use pmc::model::conformance::{self, render_outcomes, sweep_limits, verify_golden};
 use pmc::model::interleave::{outcomes_with, Outcome};
-use pmc::runtime::litmus_exec::run_litmus;
+use pmc::runtime::litmus_exec::run_litmus_on;
 use pmc::runtime::monitor::validate;
 use pmc::runtime::{BackendKind, LockKind, System};
-use pmc::sim::SocConfig;
+use pmc::sim::{SocConfig, Topology};
 
 const LOCK_KINDS: [LockKind; 2] = [LockKind::Sdram, LockKind::Distributed];
 
-/// The tentpole sweep: catalogue × 4 back-ends × 2 lock kinds. Every
-/// simulator outcome inside the model set, every trace clean.
+/// Mesh shape for a litmus run: two columns, at least two rows, so every
+/// XY route can exercise both dimensions and surplus tiles idle.
+fn mesh_for(threads: usize) -> Topology {
+    Topology::Mesh { cols: 2, rows: threads.div_ceil(2).max(2) }
+}
+
+/// The topologies to sweep, honouring the `PMC_TOPOLOGY` filter
+/// (`ring` / `mesh`; unset or anything else sweeps both).
+fn topologies_for(threads: usize) -> Vec<(&'static str, Topology)> {
+    let filter = std::env::var("PMC_TOPOLOGY").unwrap_or_default();
+    [("ring", Topology::Ring), ("mesh", mesh_for(threads))]
+        .into_iter()
+        .filter(|(name, _)| !matches!(filter.as_str(), "ring" | "mesh") || filter == *name)
+        .collect()
+}
+
+/// The tentpole sweep: catalogue × 4 back-ends × 2 lock kinds × 2
+/// topologies. Every simulator outcome inside the model set, every
+/// trace clean — on the mesh exactly as on the ring.
 #[test]
 fn catalogue_sweep_outcomes_within_model_and_traces_clean() {
     for case in conformance::cases() {
@@ -36,25 +60,28 @@ fn catalogue_sweep_outcomes_within_model_and_traces_clean() {
         let allowed: BTreeSet<Outcome> = outcomes_with(&lowered, sweep_limits())
             .unwrap_or_else(|e| panic!("{}: {e}", case.name));
         assert!(!allowed.is_empty(), "{}: empty model outcome set", case.name);
+        let topologies = topologies_for(case.program.threads.len().max(1));
         for backend in BackendKind::ALL {
             for lock in LOCK_KINDS {
-                let run = run_litmus(&case.program, backend, lock);
-                assert!(
-                    allowed.contains(&run.outcome),
-                    "{}/{}/{lock:?}: simulator outcome {:?} outside the model's \
-                     allowed set:\n{}",
-                    case.name,
-                    backend.name(),
-                    run.outcome,
-                    render_outcomes(&allowed),
-                );
-                let violations = validate(&run.trace);
-                assert!(
-                    violations.is_empty(),
-                    "{}/{}/{lock:?}: monitor violations: {violations:#?}",
-                    case.name,
-                    backend.name(),
-                );
+                for &(topo_name, topo) in &topologies {
+                    let run = run_litmus_on(&case.program, backend, lock, topo);
+                    assert!(
+                        allowed.contains(&run.outcome),
+                        "{}/{}/{lock:?}/{topo_name}: simulator outcome {:?} outside the \
+                         model's allowed set:\n{}",
+                        case.name,
+                        backend.name(),
+                        run.outcome,
+                        render_outcomes(&allowed),
+                    );
+                    let violations = validate(&run.trace);
+                    assert!(
+                        violations.is_empty(),
+                        "{}/{}/{lock:?}/{topo_name}: monitor violations: {violations:#?}",
+                        case.name,
+                        backend.name(),
+                    );
+                }
             }
         }
     }
@@ -72,18 +99,22 @@ fn golden_outcome_sets_are_pinned() {
 }
 
 /// Repeated sweeps of a racy case accumulate only model-allowed outcomes:
-/// perturbing the poll cadence via different lock kinds and back-ends
-/// exercises different interleavings, and none may escape the set.
+/// perturbing the poll cadence via different lock kinds, back-ends and
+/// topologies exercises different interleavings, and none may escape
+/// the set.
 #[test]
 fn unfenced_mp_never_escapes_model_set() {
     let case = conformance::cases().into_iter().find(|c| c.name == "mp_unfenced").unwrap();
     let allowed = outcomes_with(&conformance::lower(&case.program), sweep_limits()).unwrap();
+    let threads = case.program.threads.len().max(1);
     let mut observed: BTreeSet<Outcome> = BTreeSet::new();
     for backend in BackendKind::ALL {
         for lock in LOCK_KINDS {
-            let run = run_litmus(&case.program, backend, lock);
-            assert!(allowed.contains(&run.outcome), "{}/{lock:?}", backend.name());
-            observed.insert(run.outcome);
+            for (topo_name, topo) in topologies_for(threads) {
+                let run = run_litmus_on(&case.program, backend, lock, topo);
+                assert!(allowed.contains(&run.outcome), "{}/{lock:?}/{topo_name}", backend.name());
+                observed.insert(run.outcome);
+            }
         }
     }
     // Every observation is one of the two model outcomes (42 always; 0
