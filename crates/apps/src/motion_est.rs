@@ -12,7 +12,7 @@
 //! a read-only scope on the window, a read-only scope on the block, and
 //! an exclusive scope on the output vector.
 
-use pmc_runtime::{DmaTicket, ObjVec, PmcCtx, Slab, System, Vec2};
+use pmc_runtime::{DmaTicket, ObjVec, PmcCtx, RoScope, Slab, System, Vec2};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -123,24 +123,23 @@ impl MotionEst {
     /// window slabs, strided frame coordinates for the 2-D gather).
     fn search_rows(
         &self,
-        ctx: &mut PmcCtx<'_, '_>,
-        task: u32,
-        window: Slab<u8>,
+        ctx: &PmcCtx<'_, '_>,
+        window: &RoScope<'_, '_, '_, u8>,
+        block: &RoScope<'_, '_, '_, u8>,
         row_off: impl Fn(u32) -> u32,
     ) -> Vec2 {
         let p = self.params;
         let we = Self::window_edge(&p);
-        let block = self.blocks[task as usize];
         // Read the block once into host scratch (the ScopeRO "local
         // copy" reference of Fig. 10).
         let mut blk = vec![0u8; (p.block * p.block) as usize];
-        ctx.read_bytes_at(block, 0, &mut blk);
+        block.read_bytes_at(0, &mut blk);
         let mut best = (u32::MAX, Vec2::default());
         let mut wrow = vec![0u8; we as usize];
         for dy in 0..=2 * p.range {
             for row in 0..p.block {
                 // One window row serves all dx candidates of this (dy, row).
-                ctx.read_bytes_at(window, row_off(dy + row), &mut wrow);
+                window.read_bytes_at(row_off(dy + row), &mut wrow);
                 for dx in 0..=2 * p.range {
                     let mut sad = 0u32;
                     for xx in 0..p.block {
@@ -152,19 +151,23 @@ impl MotionEst {
                     // accumulate across rows via host scratch and fold
                     // into `best` after the last row.
                     ctx.compute(p.block as u64);
-                    self.fold(&mut best, row, dx, dy, sad, p, ctx);
+                    self.fold(&mut best, row, dx, dy, sad, p);
                 }
             }
         }
         best.1
     }
 
-    /// Search against the per-task window slab (row `r` at offset
+    /// Search against a per-task window scope (row `r` at offset
     /// `r * window_edge`).
-    fn search(&self, ctx: &mut PmcCtx<'_, '_>, task: u32) -> Vec2 {
+    fn search(
+        &self,
+        ctx: &PmcCtx<'_, '_>,
+        window: &RoScope<'_, '_, '_, u8>,
+        block: &RoScope<'_, '_, '_, u8>,
+    ) -> Vec2 {
         let we = Self::window_edge(&self.params);
-        let window = self.windows[task as usize];
-        self.search_rows(ctx, task, window, |r| r * we)
+        self.search_rows(ctx, window, block, |r| r * we)
     }
 
     /// Window origin of a task in extended-frame coordinates.
@@ -175,7 +178,6 @@ impl MotionEst {
 
     /// Per-candidate accumulation: kept in a host-side table indexed by
     /// dx (reset at row 0, folded into `best` at the last row).
-    #[allow(clippy::too_many_arguments)]
     fn fold(
         &self,
         best: &mut (u32, Vec2),
@@ -184,7 +186,6 @@ impl MotionEst {
         dy: u32,
         sad: u32,
         p: MotionEstParams,
-        _ctx: &mut PmcCtx<'_, '_>,
     ) {
         // A tiny trick to keep the accumulation simple and allocation-free
         // per call: thread-local scratch.
@@ -212,32 +213,41 @@ impl MotionEst {
     }
 
     pub fn worker(&self, ctx: &mut PmcCtx<'_, '_>) {
-        while let Some(task) = self.tickets.take(ctx.cpu, self.n_tasks) {
-            let window = self.windows[task as usize];
-            let block = self.blocks[task as usize];
-            let vector = self.vectors.at(task);
+        let ctx = &*ctx;
+        while let Some(task) = self.tickets.take(ctx, self.n_tasks) {
             // Fig. 10: ScopeRO(window), ScopeRO(mblock), ScopeX(vector).
-            ctx.entry_ro(window.obj());
-            ctx.entry_ro(block.obj());
-            ctx.entry_x(vector);
-            let v = self.search(ctx, task);
-            ctx.write(vector, v);
-            ctx.exit_x(vector);
-            ctx.exit_ro(block.obj());
-            ctx.exit_ro(window.obj());
+            let window = ctx.scope_ro(self.windows[task as usize]);
+            let block = ctx.scope_ro(self.blocks[task as usize]);
+            let vector = ctx.scope_x(self.vectors.at(task));
+            let v = self.search(ctx, &window, &block);
+            vector.write(v);
+            vector.close();
+            block.close();
+            window.close();
         }
     }
 
     /// Open streaming scopes for a task's window and block and start
-    /// their bulk transfers; returns the newest ticket (waiting it
-    /// completes both — per-tile engines are FIFO).
-    fn prefetch(&self, ctx: &mut PmcCtx<'_, '_>, task: u32) -> DmaTicket {
-        let window = self.windows[task as usize];
-        let block = self.blocks[task as usize];
-        ctx.entry_ro_stream(window.obj());
-        ctx.dma_get(window, 0, window.len());
-        ctx.entry_ro_stream(block.obj());
-        ctx.dma_get(block, 0, block.len())
+    /// their bulk transfers; returns both guards and both tickets (the
+    /// transfers rotate over engine channels, so each must be waited —
+    /// relying on same-channel FIFO order would silently break on
+    /// multi-channel configurations).
+    #[allow(clippy::type_complexity)]
+    fn prefetch<'s, 'a, 'b>(
+        &self,
+        ctx: &'s PmcCtx<'a, 'b>,
+        task: u32,
+    ) -> (
+        RoScope<'s, 'a, 'b, u8>,
+        RoScope<'s, 'a, 'b, u8>,
+        DmaTicket<'s, 'a, 'b>,
+        DmaTicket<'s, 'a, 'b>,
+    ) {
+        let window = ctx.scope_ro_stream(self.windows[task as usize]);
+        let tw = window.dma_get_all();
+        let block = ctx.scope_ro_stream(self.blocks[task as usize]);
+        let tb = block.dma_get_all();
+        (window, block, tw, tb)
     }
 
     /// Double-buffered DMA streaming variant of [`MotionEst::worker`]:
@@ -247,36 +257,44 @@ impl MotionEst {
     /// current task's scopes close before the prefetched ones (non-LIFO;
     /// the runtime's staging allocator handles the buried regions).
     pub fn worker_dma(&self, ctx: &mut PmcCtx<'_, '_>) {
-        let Some(mut task) = self.tickets.take(ctx.cpu, self.n_tasks) else {
+        let ctx = &*ctx;
+        let Some(mut task) = self.tickets.take(ctx, self.n_tasks) else {
             return;
         };
-        let mut ticket = self.prefetch(ctx, task);
+        let (mut window, mut block, mut tw, mut tb) = self.prefetch(ctx, task);
         loop {
-            let next = self.tickets.take(ctx.cpu, self.n_tasks);
-            let next_ticket = next.map(|n| self.prefetch(ctx, n));
-            ctx.dma_wait(ticket);
-            let vector = self.vectors.at(task);
-            ctx.entry_x(vector);
-            let v = self.search(ctx, task);
-            ctx.write(vector, v);
-            ctx.exit_x(vector);
-            ctx.exit_ro(self.blocks[task as usize].obj());
-            ctx.exit_ro(self.windows[task as usize].obj());
-            match (next, next_ticket) {
-                (Some(n), Some(t)) => {
-                    task = n;
-                    ticket = t;
+            let next = self.tickets.take(ctx, self.n_tasks);
+            let mut staged = next.map(|n| self.prefetch(ctx, n));
+            tw.wait();
+            tb.wait();
+            let vector = ctx.scope_x(self.vectors.at(task));
+            let v = self.search(ctx, &window, &block);
+            vector.write(v);
+            vector.close();
+            block.close();
+            window.close();
+            match staged.take() {
+                Some((w, b, t1, t2)) => {
+                    task = next.expect("staged prefetch implies a next task");
+                    window = w;
+                    block = b;
+                    tw = t1;
+                    tb = t2;
                 }
-                _ => break,
+                None => break,
             }
         }
     }
 
     /// Open a streaming scope on a task's block and start its transfer.
-    fn prefetch_block(&self, ctx: &mut PmcCtx<'_, '_>, task: u32) -> DmaTicket {
-        let block = self.blocks[task as usize];
-        ctx.entry_ro_stream(block.obj());
-        ctx.dma_get(block, 0, block.len())
+    fn prefetch_block<'s, 'a, 'b>(
+        &self,
+        ctx: &'s PmcCtx<'a, 'b>,
+        task: u32,
+    ) -> (RoScope<'s, 'a, 'b, u8>, DmaTicket<'s, 'a, 'b>) {
+        let block = ctx.scope_ro_stream(self.blocks[task as usize]);
+        let tb = block.dma_get_all();
+        (block, tb)
     }
 
     /// 2-D streaming variant of [`MotionEst::worker_dma`]: one long-lived
@@ -290,35 +308,35 @@ impl MotionEst {
     /// rows the current search still reads would be a range hazard (the
     /// monitor flags exactly that).
     pub fn worker_dma2d(&self, ctx: &mut PmcCtx<'_, '_>) {
-        let Some(mut task) = self.tickets.take(ctx.cpu, self.n_tasks) else {
+        let ctx = &*ctx;
+        let Some(mut task) = self.tickets.take(ctx, self.n_tasks) else {
             return;
         };
-        ctx.entry_ro_stream(self.frame.obj());
+        let frame = ctx.scope_ro_stream(self.frame);
         let we = Self::window_edge(&self.params);
         let ext = self.ext;
-        let mut tb = self.prefetch_block(ctx, task);
+        let (mut block, mut tb) = self.prefetch_block(ctx, task);
         loop {
             let (wx0, wy0) = self.window_origin(task);
-            let tw = ctx.dma_get_2d(self.frame, wy0 * ext + wx0, we, we, ext);
-            ctx.dma_wait(tw);
-            ctx.dma_wait(tb);
-            let next = self.tickets.take(ctx.cpu, self.n_tasks);
-            let next_tb = next.map(|n| self.prefetch_block(ctx, n));
-            let vector = self.vectors.at(task);
-            ctx.entry_x(vector);
-            let v = self.search_rows(ctx, task, self.frame, |r| (wy0 + r) * ext + wx0);
-            ctx.write(vector, v);
-            ctx.exit_x(vector);
-            ctx.exit_ro(self.blocks[task as usize].obj());
-            match (next, next_tb) {
-                (Some(n), Some(t)) => {
-                    task = n;
+            frame.dma_get_2d(wy0 * ext + wx0, we, we, ext).wait();
+            tb.wait();
+            let next = self.tickets.take(ctx, self.n_tasks);
+            let mut staged = next.map(|n| self.prefetch_block(ctx, n));
+            let vector = ctx.scope_x(self.vectors.at(task));
+            let v = self.search_rows(ctx, &frame, &block, |r| (wy0 + r) * ext + wx0);
+            vector.write(v);
+            vector.close();
+            block.close();
+            match staged.take() {
+                Some((b, t)) => {
+                    task = next.expect("staged prefetch implies a next task");
+                    block = b;
                     tb = t;
                 }
-                _ => break,
+                None => break,
             }
         }
-        ctx.exit_ro(self.frame.obj());
+        frame.close();
     }
 
     /// The expected (ground-truth) vector for a task.

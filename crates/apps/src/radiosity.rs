@@ -88,41 +88,42 @@ impl Radiosity {
     /// between iterations.
     pub fn worker(&self, ctx: &mut PmcCtx<'_, '_>, is_leader: bool) {
         let p = self.params;
+        let ctx = &*ctx;
         for _iter in 0..p.iters {
-            while let Some(t) = self.tickets.take(ctx.cpu, p.n_patches) {
+            while let Some(t) = self.tickets.take(ctx, p.n_patches) {
                 let patch: Obj<Patch> = self.patches.at(t);
                 // Absorb half the residual, shoot the other half. The
                 // whole record is read (energy + geometry for the form
                 // factor), then updated.
-                ctx.entry_x(patch);
-                let mut rec = ctx.read(patch);
-                let residual = rec[0];
-                rec[0] = 0.0;
-                rec[1] += residual * 0.5;
-                ctx.write(patch, rec);
-                ctx.exit_x(patch);
+                let residual = {
+                    let s = ctx.scope_x(patch);
+                    let mut rec = s.read();
+                    let residual = rec[0];
+                    rec[0] = 0.0;
+                    rec[1] += residual * 0.5;
+                    s.write(rec);
+                    residual
+                };
                 let share = residual * 0.5 / p.fanout as f32;
                 if residual > 1e-6 {
                     for &j in &self.edges[t as usize] {
                         // Form-factor evaluation (visibility, geometry).
                         ctx.compute(p.work_per_interaction);
-                        let nb = self.patches.at(j);
-                        ctx.entry_x(nb);
-                        let mut nrec = ctx.read(nb);
+                        let s = ctx.scope_x(self.patches.at(j));
+                        let mut nrec = s.read();
                         nrec[0] += share * nrec[6]; // reflected share
                         nrec[1] += share * (1.0 - nrec[6]); // absorbed
-                        ctx.write(nb, nrec);
-                        ctx.exit_x(nb);
+                        s.write(nrec);
                     }
                 } else {
                     ctx.compute(p.work_per_interaction / 4);
                 }
             }
-            self.barrier.wait(ctx.cpu);
+            self.barrier.wait(ctx);
             if is_leader {
-                self.tickets.reset(ctx.cpu);
+                self.tickets.reset(ctx);
             }
-            self.barrier.wait(ctx.cpu);
+            self.barrier.wait(ctx);
         }
     }
 

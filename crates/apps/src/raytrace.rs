@@ -9,7 +9,7 @@
 //! contrast is exactly the RAYTRACE bar of the paper's Fig. 8 (shared
 //! read stalls almost vanish under SWCC).
 
-use pmc_runtime::{PmcCtx, PrivSlab, Slab, System};
+use pmc_runtime::{PmcCtx, PrivSlab, RoScope, Slab, System};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -76,21 +76,27 @@ impl Raytrace {
         Raytrace { params, scene, fb, lut, tickets, n_tasks }
     }
 
-    fn sphere(&self, ctx: &mut PmcCtx<'_, '_>, i: u32, field: u32) -> f32 {
-        ctx.read_at(self.scene, i * SPHERE_STRIDE + field)
+    fn sphere(&self, scene: &RoScope<'_, '_, '_, f32>, i: u32, field: u32) -> f32 {
+        scene.read_at(i * SPHERE_STRIDE + field)
     }
 
     /// Nearest intersection of the ray with the scene; returns
     /// `(t, sphere_index)` where index == n_spheres means the ground
     /// plane (y = -1) and `t == f32::INFINITY` means a miss.
-    fn intersect(&self, ctx: &mut PmcCtx<'_, '_>, o: [f32; 3], d: [f32; 3]) -> (f32, u32) {
+    fn intersect(
+        &self,
+        ctx: &PmcCtx<'_, '_>,
+        scene: &RoScope<'_, '_, '_, f32>,
+        o: [f32; 3],
+        d: [f32; 3],
+    ) -> (f32, u32) {
         let mut best = (f32::INFINITY, u32::MAX);
         for i in 0..self.params.n_spheres {
             // Each sphere test reads 4 shared floats and does ~25 FLOPs.
-            let cx = self.sphere(ctx, i, 0);
-            let cy = self.sphere(ctx, i, 1);
-            let cz = self.sphere(ctx, i, 2);
-            let r = self.sphere(ctx, i, 3);
+            let cx = self.sphere(scene, i, 0);
+            let cy = self.sphere(scene, i, 1);
+            let cz = self.sphere(scene, i, 2);
+            let r = self.sphere(scene, i, 3);
             ctx.compute(110); // soft-FPU dot products + sqrt
             let oc = [o[0] - cx, o[1] - cy, o[2] - cz];
             let b = oc[0] * d[0] + oc[1] * d[1] + oc[2] * d[2];
@@ -115,8 +121,15 @@ impl Raytrace {
     }
 
     /// Shade a ray, with at most `depth` reflection bounces.
-    fn trace(&self, ctx: &mut PmcCtx<'_, '_>, o: [f32; 3], d: [f32; 3], depth: u32) -> [f32; 3] {
-        let (t, idx) = self.intersect(ctx, o, d);
+    fn trace(
+        &self,
+        ctx: &PmcCtx<'_, '_>,
+        scene: &RoScope<'_, '_, '_, f32>,
+        o: [f32; 3],
+        d: [f32; 3],
+        depth: u32,
+    ) -> [f32; 3] {
+        let (t, idx) = self.intersect(ctx, scene, o, d);
         if t == f32::INFINITY {
             let sky = 0.15 + 0.25 * d[1].max(0.0);
             return [sky, sky, 0.3 + 0.3 * d[1].max(0.0)];
@@ -126,13 +139,16 @@ impl Raytrace {
             let check = ((hit[0].floor() as i64 + hit[2].floor() as i64) & 1) as f32;
             ([0.0, 1.0, 0.0], [0.3 + 0.5 * check; 3], 0.0)
         } else {
-            let cx = self.sphere(ctx, idx, 0);
-            let cy = self.sphere(ctx, idx, 1);
-            let cz = self.sphere(ctx, idx, 2);
-            let r = self.sphere(ctx, idx, 3);
-            let col =
-                [self.sphere(ctx, idx, 4), self.sphere(ctx, idx, 5), self.sphere(ctx, idx, 6)];
-            let refl = self.sphere(ctx, idx, 7);
+            let cx = self.sphere(scene, idx, 0);
+            let cy = self.sphere(scene, idx, 1);
+            let cz = self.sphere(scene, idx, 2);
+            let r = self.sphere(scene, idx, 3);
+            let col = [
+                self.sphere(scene, idx, 4),
+                self.sphere(scene, idx, 5),
+                self.sphere(scene, idx, 6),
+            ];
+            let refl = self.sphere(scene, idx, 7);
             ([(hit[0] - cx) / r, (hit[1] - cy) / r, (hit[2] - cz) / r], col, refl)
         };
         ctx.compute(220); // shading arithmetic (soft-FPU)
@@ -141,7 +157,7 @@ impl Raytrace {
         let llen = (lv[0] * lv[0] + lv[1] * lv[1] + lv[2] * lv[2]).sqrt();
         let ld = [lv[0] / llen, lv[1] / llen, lv[2] / llen];
         // Hard shadow: one occlusion ray.
-        let (ts, _) = self.intersect(ctx, hit, ld);
+        let (ts, _) = self.intersect(ctx, scene, hit, ld);
         let lit = if ts < llen { 0.0 } else { 1.0 };
         let ndl = (n[0] * ld[0] + n[1] * ld[1] + n[2] * ld[2]).max(0.0);
         let diff = 0.1 + 0.9 * ndl * lit;
@@ -149,7 +165,7 @@ impl Raytrace {
         if refl > 0.0 && depth > 0 {
             let ddn = d[0] * n[0] + d[1] * n[1] + d[2] * n[2];
             let rd = [d[0] - 2.0 * ddn * n[0], d[1] - 2.0 * ddn * n[1], d[2] - 2.0 * ddn * n[2]];
-            let rc = self.trace(ctx, hit, rd, depth - 1);
+            let rc = self.trace(ctx, scene, hit, rd, depth - 1);
             for k in 0..3 {
                 color[k] = color[k] * (1.0 - refl) + rc[k] * refl;
             }
@@ -159,12 +175,12 @@ impl Raytrace {
 
     pub fn worker(&self, ctx: &mut PmcCtx<'_, '_>) {
         let p = self.params;
-        while let Some(task) = self.tickets.take(ctx.cpu, self.n_tasks) {
-            let fb = self.fb[task as usize];
+        let ctx = &*ctx;
+        while let Some(task) = self.tickets.take(ctx, self.n_tasks) {
             // The scene is read many times per block: one read-only scope
             // per task (high in-scope reuse).
-            ctx.entry_ro(self.scene.obj());
-            ctx.entry_x(fb.obj());
+            let scene = ctx.scope_ro(self.scene);
+            let fb = ctx.scope_x(self.fb[task as usize]);
             for row in 0..p.rows_per_task {
                 let y = task * p.rows_per_task + row;
                 for x in 0..p.width {
@@ -174,7 +190,7 @@ impl Raytrace {
                     let d = [u * aspect, v, 1.5];
                     let len = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
                     let d = [d[0] / len, d[1] / len, d[2] / len];
-                    let c = self.trace(ctx, [0.0, 1.0, -3.0], d, 1);
+                    let c = self.trace(ctx, &scene, [0.0, 1.0, -3.0], d, 1);
                     // Tone-map through the private LUT (private reads).
                     let mut px = 0u32;
                     for (k, &ch) in c.iter().enumerate() {
@@ -183,11 +199,11 @@ impl Raytrace {
                         px |= (((mapped * 255.0) as u32) & 0xff) << (8 * k);
                     }
                     ctx.compute(45);
-                    ctx.write_at(fb, row * p.width + x, px);
+                    fb.write_at(row * p.width + x, px);
                 }
             }
-            ctx.exit_x(fb.obj());
-            ctx.exit_ro(self.scene.obj());
+            fb.close();
+            scene.close();
         }
     }
 

@@ -17,7 +17,7 @@
 //!   transfer behind compute (scopes overlap, closing out of stack
 //!   order).
 
-use pmc_runtime::{DmaTicket, ObjVec, PmcCtx, Slab, System};
+use pmc_runtime::{DmaTicket, ObjVec, PmcCtx, RoScope, Slab, System};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamMode {
@@ -93,66 +93,73 @@ impl StreamCopy {
     }
 
     /// Open the streaming scope for `task` and start its fill; returns
-    /// the ticket to wait on (`None` for the synchronous word copy).
-    fn fetch(&self, ctx: &mut PmcCtx<'_, '_>, task: u32, mode: StreamMode) -> Option<DmaTicket> {
-        let input = self.inputs[task as usize];
-        ctx.entry_ro_stream(input.obj());
-        match mode {
+    /// the guard plus the ticket to wait on (`None` for the synchronous
+    /// word copy).
+    #[allow(clippy::type_complexity)]
+    fn fetch<'s, 'a, 'b>(
+        &self,
+        ctx: &'s PmcCtx<'a, 'b>,
+        task: u32,
+        mode: StreamMode,
+    ) -> (RoScope<'s, 'a, 'b, u32>, Option<DmaTicket<'s, 'a, 'b>>) {
+        let input = ctx.scope_ro_stream(self.inputs[task as usize]);
+        let ticket = match mode {
             StreamMode::WordCopy => {
-                ctx.stage_in_words(input, 0, input.len());
+                input.stage_in_words(0, input.len());
                 None
             }
-            StreamMode::Dma | StreamMode::DmaDouble => Some(ctx.dma_get(input, 0, input.len())),
-        }
+            StreamMode::Dma | StreamMode::DmaDouble => Some(input.dma_get_all()),
+        };
+        (input, ticket)
     }
 
-    /// Reduce the staged words and publish the task's result.
-    fn process(&self, ctx: &mut PmcCtx<'_, '_>, task: u32) {
+    /// Reduce the staged words and publish the task's result; consumes
+    /// (closes) the input scope.
+    fn process(&self, ctx: &PmcCtx<'_, '_>, input: RoScope<'_, '_, '_, u32>, task: u32) {
         let p = self.params;
-        let input = self.inputs[task as usize];
         let words = p.task_bytes / 4;
         let mut buf = vec![0u8; p.task_bytes as usize];
-        ctx.read_bytes_at(input, 0, &mut buf);
+        input.read_bytes_at(0, &mut buf);
         let mut acc = 0u32;
         for w in buf.chunks_exact(4) {
             acc = acc.wrapping_add(u32::from_le_bytes(w.try_into().unwrap()));
         }
         ctx.compute(p.compute_per_word * u64::from(words));
-        ctx.exit_ro(input.obj());
-        let out = self.results.at(task);
-        ctx.entry_x(out);
-        ctx.write(out, acc);
-        ctx.exit_x(out);
+        input.close();
+        ctx.scope_x(self.results.at(task)).write(acc);
     }
 
     /// Ticket-dispatched worker in the given fill mode.
     pub fn worker(&self, ctx: &mut PmcCtx<'_, '_>, mode: StreamMode) {
+        let ctx = &*ctx;
         if mode != StreamMode::DmaDouble {
-            while let Some(task) = self.tickets.take(ctx.cpu, self.params.n_tasks) {
-                if let Some(t) = self.fetch(ctx, task, mode) {
-                    ctx.dma_wait(t);
+            while let Some(task) = self.tickets.take(ctx, self.params.n_tasks) {
+                let (input, ticket) = self.fetch(ctx, task, mode);
+                if let Some(t) = ticket {
+                    t.wait();
                 }
-                self.process(ctx, task);
+                self.process(ctx, input, task);
             }
             return;
         }
         // Double buffering: overlap task k+1's transfer with task k's
         // compute.
-        let Some(mut cur) = self.tickets.take(ctx.cpu, self.params.n_tasks) else {
+        let Some(mut cur) = self.tickets.take(ctx, self.params.n_tasks) else {
             return;
         };
-        let mut ticket = self.fetch(ctx, cur, mode);
+        let (mut input, mut ticket) = self.fetch(ctx, cur, mode);
         loop {
-            let next = self.tickets.take(ctx.cpu, self.params.n_tasks);
-            let next_ticket = next.map(|n| self.fetch(ctx, n, mode));
-            if let Some(t) = ticket {
-                ctx.dma_wait(t);
+            let next = self.tickets.take(ctx, self.params.n_tasks);
+            let mut staged = next.map(|n| self.fetch(ctx, n, mode));
+            if let Some(t) = ticket.take() {
+                t.wait();
             }
-            self.process(ctx, cur);
-            match next {
-                Some(n) => {
-                    cur = n;
-                    ticket = next_ticket.flatten();
+            self.process(ctx, input, cur);
+            match staged.take() {
+                Some((i, t)) => {
+                    cur = next.expect("staged fetch implies a next task");
+                    input = i;
+                    ticket = t;
                 }
                 None => break,
             }

@@ -8,7 +8,7 @@
 //! (the Fig. 8 pattern where SWCC eliminates nearly all shared-read
 //! stalls).
 
-use pmc_runtime::{PmcCtx, Slab, System};
+use pmc_runtime::{PmcCtx, RoScope, Slab, System};
 
 #[derive(Debug, Clone, Copy)]
 pub struct VolrendParams {
@@ -107,13 +107,20 @@ impl Volrend {
         Volrend { params, volume, pyramid, fb, tickets, n_tasks }
     }
 
-    fn voxel(&self, ctx: &mut PmcCtx<'_, '_>, x: u32, y: u32, z: u32) -> u8 {
+    fn voxel(&self, volume: &RoScope<'_, '_, '_, u8>, x: u32, y: u32, z: u32) -> u8 {
         let p = self.params;
-        ctx.read_at(self.volume, (z * p.dim + y) * p.dim + x)
+        volume.read_at((z * p.dim + y) * p.dim + x)
     }
 
     /// Cast one ray along +z; front-to-back compositing.
-    fn cast(&self, ctx: &mut PmcCtx<'_, '_>, x: u32, y: u32) -> u32 {
+    fn cast(
+        &self,
+        ctx: &PmcCtx<'_, '_>,
+        volume: &RoScope<'_, '_, '_, u8>,
+        pyramid: &RoScope<'_, '_, '_, u8>,
+        x: u32,
+        y: u32,
+    ) -> u32 {
         let p = self.params;
         let pd = p.dim.div_ceil(CELL);
         let mut transmittance = 1.0f32;
@@ -121,14 +128,14 @@ impl Volrend {
         let mut z = 0u32;
         while z < p.dim {
             if p.use_pyramid && z.is_multiple_of(CELL) {
-                let cell = ctx.read_at(self.pyramid, (z / CELL * pd + y / CELL) * pd + x / CELL);
+                let cell = pyramid.read_at((z / CELL * pd + y / CELL) * pd + x / CELL);
                 ctx.compute(18);
                 if cell < 8 {
                     z += CELL; // empty span: skip
                     continue;
                 }
             }
-            let d = self.voxel(ctx, x, y, z);
+            let d = self.voxel(volume, x, y, z);
             ctx.compute(60); // transfer function + compositing (soft-FPU)
             if d >= 8 {
                 // Transfer function: opacity and emission grow with
@@ -155,47 +162,43 @@ impl Volrend {
 
     pub fn worker(&self, ctx: &mut PmcCtx<'_, '_>) {
         let p = self.params;
-        while let Some(task) = self.tickets.take(ctx.cpu, self.n_tasks) {
-            let fb = self.fb[task as usize];
-            if p.use_gather {
+        let ctx = &*ctx;
+        while let Some(task) = self.tickets.take(ctx, self.n_tasks) {
+            let volume = if p.use_gather {
                 // Strided rows: one scatter/gather element per z-plane,
                 // covering exactly the y-rows this task's rays step
                 // through — the rest of the volume never moves.
-                ctx.entry_ro_stream(self.volume.obj());
+                let volume = ctx.scope_ro_stream(self.volume);
                 let (lo, hi) = self.vrow_span(task);
-                let t = ctx.dma_get_2d(
-                    self.volume,
-                    lo * p.dim,
-                    (hi - lo + 1) * p.dim,
-                    p.dim,
-                    p.dim * p.dim,
-                );
-                ctx.dma_wait(t);
+                volume.dma_get_2d(lo * p.dim, (hi - lo + 1) * p.dim, p.dim, p.dim * p.dim).wait();
+                volume
             } else {
-                ctx.entry_ro(self.volume.obj());
-            }
-            ctx.entry_ro(self.pyramid.obj());
-            if p.use_dma {
-                ctx.entry_x_stream(fb.obj());
+                ctx.scope_ro(self.volume)
+            };
+            let pyramid = ctx.scope_ro(self.pyramid);
+            let fb = if p.use_dma {
+                ctx.scope_x_stream(self.fb[task as usize])
             } else {
-                ctx.entry_x(fb.obj());
-            }
+                ctx.scope_x(self.fb[task as usize])
+            };
             for row in 0..p.rows_per_task {
                 let y = task * p.rows_per_task + row;
                 for x in 0..p.img {
                     // Map image coords to volume coords (1:1 here).
-                    let px = self.cast(ctx, x * p.dim / p.img, y * p.dim / p.img);
-                    ctx.write_at(fb, row * p.img + x, px);
+                    let px =
+                        self.cast(ctx, &volume, &pyramid, x * p.dim / p.img, y * p.dim / p.img);
+                    fb.write_at(row * p.img + x, px);
                 }
                 if p.use_dma {
                     // Stream the finished row towards SDRAM while the
-                    // next row casts; exit_x completes the final put.
-                    ctx.dma_put(fb, row * p.img, p.img);
+                    // next row casts; the scope's close completes the
+                    // final put, so the ticket is deliberately released.
+                    let _streamed = fb.dma_put(row * p.img, p.img);
                 }
             }
-            ctx.exit_x(fb.obj());
-            ctx.exit_ro(self.pyramid.obj());
-            ctx.exit_ro(self.volume.obj());
+            fb.close();
+            pyramid.close();
+            volume.close();
         }
     }
 

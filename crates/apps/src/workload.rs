@@ -181,6 +181,10 @@ pub fn run_workload_on(
 }
 
 /// Fig. 8 row: the stall breakdown of a run as fractions of total time.
+/// The categories partition [`pmc_soc_sim::Counters::total`], so the
+/// fractions sum to 1 — including `dma_wait`, the time cores sleep in
+/// event-based DMA completion waits (before those waits were events,
+/// that time was busy polling inside `busy`).
 #[derive(Debug, Clone, Copy)]
 pub struct Breakdown {
     pub busy: f64,
@@ -189,6 +193,7 @@ pub struct Breakdown {
     pub write: f64,
     pub icache: f64,
     pub noc: f64,
+    pub dma_wait: f64,
     pub utilization: f64,
     pub flush_overhead: f64,
     pub makespan: u64,
@@ -205,6 +210,7 @@ impl AppReport {
             write: agg.stall_write as f64 / t,
             icache: agg.stall_icache as f64 / t,
             noc: agg.stall_noc as f64 / t,
+            dma_wait: agg.stall_dma_wait as f64 / t,
             utilization: agg.utilization(),
             flush_overhead: self.report.flush_overhead(),
             makespan: self.report.makespan,

@@ -1,4 +1,4 @@
-//! Extension experiment (the paper's reference [15]): the asymmetric
+//! Extension experiment (the paper's reference \[15\]): the asymmetric
 //! distributed lock vs the SDRAM test-and-set lock, under varying
 //! contention and varying distance between requester and the lock's home
 //! tile. The distributed lock's claims: (a) the home tile acquires in a

@@ -15,7 +15,7 @@
 
 use pmc_core::interleave::outcomes;
 use pmc_core::litmus::catalogue;
-use pmc_runtime::{read_ro, BackendKind, LockKind, System};
+use pmc_runtime::{BackendKind, LockKind, System};
 use pmc_soc_sim::{addr, Cpu, Soc, SocConfig};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -69,23 +69,21 @@ fn main() {
         let seen_ref = &seen;
         sys.run(vec![
             Box::new(move |ctx| {
-                ctx.entry_x(x);
-                ctx.write(x, 42);
-                ctx.fence();
-                ctx.exit_x(x);
-                ctx.entry_x(f);
-                ctx.write(f, 1);
-                ctx.flush(f);
-                ctx.exit_x(f);
+                {
+                    let xs = ctx.scope_x(x);
+                    xs.write(42);
+                    ctx.fence();
+                }
+                let fs = ctx.scope_x(f);
+                fs.write(1);
+                fs.flush();
             }),
             Box::new(move |ctx| {
-                while read_ro(ctx, f) != 1 {
+                while ctx.scope_ro(f).read() != 1 {
                     ctx.compute(16);
                 }
                 ctx.fence();
-                ctx.entry_x(x);
-                seen_ref.store(ctx.read(x), Ordering::SeqCst);
-                ctx.exit_x(x);
+                seen_ref.store(ctx.scope_x(x).read(), Ordering::SeqCst);
             }),
         ]);
         println!("  {:<10} reader saw X = {}", backend.name(), seen.load(Ordering::SeqCst));

@@ -16,16 +16,19 @@
 
 use pmc_apps::workload::Breakdown;
 
-/// Render a Fig. 8-style percentage bar row.
+/// Render a Fig. 8-style percentage bar row (the stall columns sum to
+/// 100%: `dma-wait` is the time cores sleep in event-based DMA
+/// completion waits).
 pub fn breakdown_row(label: &str, b: &Breakdown) -> String {
     format!(
-        "{label:<24} {:>7.1}% {:>9.1}% {:>9.1}% {:>7.1}% {:>8.1}% {:>7.1}% {:>12} {:>8.2}%",
+        "{label:<24} {:>7.1}% {:>9.1}% {:>9.1}% {:>7.1}% {:>8.1}% {:>7.1}% {:>8.1}% {:>12} {:>8.2}%",
         b.busy * 100.0,
         b.priv_read * 100.0,
         b.shared_read * 100.0,
         b.write * 100.0,
         b.icache * 100.0,
         b.noc * 100.0,
+        b.dma_wait * 100.0,
         b.makespan,
         b.flush_overhead * 100.0,
     )
@@ -34,8 +37,17 @@ pub fn breakdown_row(label: &str, b: &Breakdown) -> String {
 /// Header matching [`breakdown_row`].
 pub fn breakdown_header() -> String {
     format!(
-        "{:<24} {:>8} {:>10} {:>10} {:>8} {:>9} {:>8} {:>12} {:>9}",
-        "run", "busy", "priv-read", "shrd-read", "write", "icache", "noc", "makespan", "flush"
+        "{:<24} {:>8} {:>10} {:>10} {:>8} {:>9} {:>8} {:>9} {:>12} {:>9}",
+        "run",
+        "busy",
+        "priv-read",
+        "shrd-read",
+        "write",
+        "icache",
+        "noc",
+        "dma-wait",
+        "makespan",
+        "flush"
     )
 }
 

@@ -2,7 +2,9 @@
 //! workloads. Arrivals use the core's fetch-and-add; waiters poll the
 //! phase word with back-off.
 
-use pmc_soc_sim::{addr, Cpu};
+use pmc_soc_sim::addr;
+
+use crate::ctx::PmcCtx;
 
 /// A counting barrier for `n` participants. Allocate via
 /// [`crate::system::System::alloc_barrier`]; any number of phases.
@@ -25,20 +27,22 @@ impl Barrier {
     }
 
     /// Wait until all `n` participants arrive.
-    pub fn wait(&self, cpu: &mut Cpu) {
-        let phase = cpu.read_u32(self.phase_addr);
-        let arrived = cpu.sdram_faa_u32(self.count_addr, 1) + 1;
-        if arrived == self.n {
-            // Last arrival: reset the counter, advance the phase.
-            cpu.write_u32(self.count_addr, 0);
-            cpu.write_u32(self.phase_addr, phase.wrapping_add(1));
-            return;
-        }
-        let mut backoff = 32u64;
-        while cpu.read_u32(self.phase_addr) == phase {
-            cpu.compute(backoff);
-            backoff = (backoff * 2).min(512);
-        }
+    pub fn wait(&self, ctx: &PmcCtx<'_, '_>) {
+        ctx.with_cpu(|cpu| {
+            let phase = cpu.read_u32(self.phase_addr);
+            let arrived = cpu.sdram_faa_u32(self.count_addr, 1) + 1;
+            if arrived == self.n {
+                // Last arrival: reset the counter, advance the phase.
+                cpu.write_u32(self.count_addr, 0);
+                cpu.write_u32(self.phase_addr, phase.wrapping_add(1));
+                return;
+            }
+            let mut backoff = 32u64;
+            while cpu.read_u32(self.phase_addr) == phase {
+                cpu.compute(backoff);
+                backoff = (backoff * 2).min(512);
+            }
+        })
     }
 }
 
@@ -64,23 +68,24 @@ mod tests {
                 .map(|t| -> Box<dyn FnOnce(&mut crate::ctx::PmcCtx<'_, '_>) + Send> {
                     Box::new(move |ctx| {
                         for p in 0..phases {
-                            ctx.entry_x(slots.obj());
-                            let v = ctx.read_at(slots, t as u32);
-                            ctx.write_at(slots, t as u32, v + 1);
-                            ctx.exit_x(slots.obj());
-                            bar.wait(ctx.cpu);
+                            {
+                                let g = ctx.scope_x(slots);
+                                let v = g.read_at(t as u32);
+                                g.write_at(t as u32, v + 1);
+                            }
+                            bar.wait(ctx);
                             // After the barrier, everyone is at phase p+1.
-                            ctx.entry_ro(slots.obj());
+                            let g = ctx.scope_ro(slots);
                             for other in 0..n as u32 {
-                                let seen = ctx.read_at(slots, other);
+                                let seen = g.read_at(other);
                                 assert!(
                                     seen > p,
                                     "tile {t}: slot {other} at {seen}, expected ≥ {}",
                                     p + 1
                                 );
                             }
-                            ctx.exit_ro(slots.obj());
-                            bar.wait(ctx.cpu);
+                            g.close();
+                            bar.wait(ctx);
                         }
                     })
                 })

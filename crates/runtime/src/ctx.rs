@@ -1,25 +1,34 @@
-//! The PMC annotation API: `entry_x` / `exit_x` / `entry_ro` / `exit_ro` /
-//! `fence` / `flush` (paper Section V-A), implemented for all four
+//! The PMC annotation API (paper Section V-A), implemented for all four
 //! back-ends exactly as the paper's Table II prescribes.
 //!
 //! Application code is written once against this API and runs unmodified
 //! on every memory architecture; the back-end dispatch below is the
-//! "compiler setting" the paper promises. The closure-based scopes
-//! ([`scope_x`], [`scope_ro`]) mirror the C++ RAII classes of the paper's
-//! Fig. 10.
+//! "compiler setting" the paper promises. Since the scope-guard redesign
+//! the annotations are *typed RAII guards* (the paper's Fig. 10 C++
+//! classes, in Rust): [`PmcCtx::scope_x`] / [`PmcCtx::scope_ro`] (plus
+//! `_stream` variants) return [`crate::scope::XScope`] /
+//! [`crate::scope::RoScope`] guards that are the only way to read, write
+//! or transfer the guarded object — `Drop` performs the exit, so scopes
+//! can no longer be left open or unbalanced, and reads outside a scope
+//! no longer compile. The pre-guard `entry_x`/`exit_x` method pairs and
+//! the closure-based free functions remain as thin deprecated wrappers
+//! for one release.
 //!
 //! | annotation | uncached ("no CC") | SWCC | DSM | SPM |
 //! |---|---|---|---|---|
-//! | `entry_x`  | lock | lock + invalidate lines | lock + await replica version | lock + copy SDRAM→SPM |
-//! | `exit_x`   | unlock | flush lines + unlock | broadcast replica + bump version + unlock | copy SPM→SDRAM + unlock |
-//! | `entry_ro` | lock if >1 byte | lock if >1 byte | lock + await version if >1 byte | (lock while) copy SDRAM→SPM |
-//! | `exit_ro`  | unlock if locked | flush lines + unlock if locked | unlock if locked | discard SPM copy |
+//! | `scope_x` open  | lock | lock + invalidate lines | lock + await replica version | lock + copy SDRAM→SPM |
+//! | `scope_x` close | unlock | flush lines + unlock | broadcast replica + bump version + unlock | copy SPM→SDRAM + unlock |
+//! | `scope_ro` open | lock if >1 byte | lock if >1 byte | lock + await version if >1 byte | (lock while) copy SDRAM→SPM |
+//! | `scope_ro` close| unlock if locked | flush lines + unlock if locked | unlock if locked | discard SPM copy |
 //! | `fence`    | compiler-only (in-order core) | compiler-only | compiler-only | compiler-only |
 //! | `flush`    | no-op | flush lines | broadcast replica + bump version | copy SPM→SDRAM |
+
+use std::cell::RefCell;
 
 use pmc_soc_sim::{addr, Cpu, DmaDescriptor, DmaDir, DmaKind, DmaSeg};
 
 use crate::pod::Pod;
+use crate::scope::DmaTicket;
 use crate::spm::StagingAlloc;
 use crate::system::{BackendKind, Obj, ObjMeta, PrivSlab, Shared, Slab, DMA_DONE_OFFSET};
 
@@ -73,19 +82,20 @@ pub(crate) const TRACE_SEQ_MASK: u32 = (1 << TRACE_SEQ_BITS) - 1;
 /// channel field is 4 bits); enforced where the count is configured.
 pub(crate) const MAX_DMA_CHANNELS: usize = 16;
 
-/// Handle to an outstanding asynchronous bulk transfer. Each engine
-/// *channel* completes its transfers in issue order, so waiting on a
-/// ticket also completes every earlier transfer issued by the same tile
-/// **on the same channel**; transfers on other channels stay in flight.
+/// The `(object, channel, sequence)` identity of one programmed
+/// transfer — the payload of a [`DmaTicket`]. Each engine *channel*
+/// completes its transfers in issue order, so waiting on a ticket also
+/// completes every earlier transfer issued by the same tile **on the
+/// same channel**; transfers on other channels stay in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DmaTicket {
+pub(crate) struct TicketCore {
     pub(crate) obj: u32,
     pub(crate) chan: u32,
     pub(crate) seq: u32,
 }
 
 /// Objects up to this size are read atomically without a lock in
-/// `entry_ro`. The paper's Table II uses "one byte" (the model's
+/// read-only scopes. The paper's Table II uses "one byte" (the model's
 /// indivisible unit); on the MicroBlaze — and in this simulator, where
 /// NoC packets and word accesses apply atomically — naturally aligned
 /// words are indivisible too, which is what the paper's Fig. 9 FIFO
@@ -93,7 +103,7 @@ pub struct DmaTicket {
 pub const ATOMIC_ACCESS_SIZE: u32 = 4;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ScopeKind {
+pub(crate) enum ScopeKind {
     X,
     Ro,
 }
@@ -113,32 +123,56 @@ struct OpenScope {
     version: u32,
 }
 
-/// Per-core PMC context: the annotation API plus typed data access.
-pub struct PmcCtx<'a, 'b> {
-    /// The underlying simulated core (public for workloads that need
-    /// `compute`, counters or raw time).
-    pub cpu: &'a mut Cpu<'b>,
-    shared: &'a Shared,
+/// The mutable per-core state behind the [`PmcCtx`] cell: the simulated
+/// core plus the runtime's scope/transfer bookkeeping. Everything the
+/// guards touch lives here, so any number of open scope guards can share
+/// one `&PmcCtx` while each call still gets exclusive access for its
+/// duration.
+pub(crate) struct CtxInner<'a, 'b> {
+    pub(crate) cpu: &'a mut Cpu<'b>,
     scopes: Vec<OpenScope>,
     /// SPM staging arena (non-LIFO; see [`crate::spm::StagingAlloc`]).
     spm: StagingAlloc,
     /// Outstanding transfers per object: `(object id, ticket)`. A
     /// `dma_copy` contributes one entry per endpoint object.
-    /// `exit_x` / `exit_ro` wait for the object's entries before giving
+    /// Closing a scope waits for the object's entries before giving
     /// up access; `dma_wait` retires everything its ticket completes.
-    pending_dma: Vec<(u32, DmaTicket)>,
+    pending_dma: Vec<(u32, TicketCore)>,
     /// Round-robin cursor for channel assignment.
     next_chan: u32,
+}
+
+/// Per-core PMC context: the annotation API plus typed data access.
+///
+/// The context itself is handed to the tile program as `&mut PmcCtx`;
+/// opening a scope ([`PmcCtx::scope_x`], [`PmcCtx::scope_ro`]) borrows
+/// it *shared*, so any number of scope guards — and the
+/// [`DmaTicket`]s they issue — can be live at once (the double-buffered
+/// prefetch pattern). The deprecated entry/exit wrappers share the same
+/// interior state, so mixed old/new code keeps working for the
+/// transition release; only the guards add the compile-time discipline.
+pub struct PmcCtx<'a, 'b> {
+    pub(crate) shared: &'a Shared,
+    pub(crate) inner: RefCell<CtxInner<'a, 'b>>,
 }
 
 impl<'a, 'b> PmcCtx<'a, 'b> {
     pub(crate) fn new(cpu: &'a mut Cpu<'b>, shared: &'a Shared) -> Self {
         let spm = StagingAlloc::new(shared.spm_base, shared.spm_end, shared.line);
-        PmcCtx { cpu, shared, scopes: Vec::new(), spm, pending_dma: Vec::new(), next_chan: 0 }
+        PmcCtx {
+            shared,
+            inner: RefCell::new(CtxInner {
+                cpu,
+                scopes: Vec::new(),
+                spm,
+                pending_dma: Vec::new(),
+                next_chan: 0,
+            }),
+        }
     }
 
     pub fn tile(&self) -> usize {
-        self.cpu.tile()
+        self.inner.borrow().cpu.tile()
     }
 
     pub fn n_tiles(&self) -> usize {
@@ -150,21 +184,339 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     }
 
     /// Model computation: `instrs` instructions of pure work.
-    pub fn compute(&mut self, instrs: u64) {
-        self.cpu.compute(instrs);
+    pub fn compute(&self, instrs: u64) {
+        self.inner.borrow_mut().cpu.compute(instrs);
+    }
+
+    /// Run `f` against the simulated core (counters, raw time, atomics —
+    /// the escape hatch the ticket dispenser and barrier use). Shared
+    /// `&self` access, so it works while scope guards are open.
+    pub fn with_cpu<R>(&self, f: impl FnOnce(&mut Cpu<'_>) -> R) -> R {
+        f(self.inner.borrow_mut().cpu)
+    }
+
+    /// `fence()`: the PMC fence annotation. The simulated core is
+    /// in-order (like the MicroBlaze), so no instructions are emitted —
+    /// the fence constrains the *compiler*, which here means a Rust
+    /// compiler fence (paper Table II, fence row).
+    pub fn fence(&self) {
+        let inner = &mut *self.inner.borrow_mut();
+        inner.cpu.fence();
+        inner.cpu.trace_event(trace_kind::FENCE, 0, 0, 0);
+    }
+
+    /// Number of independent DMA channels per tile
+    /// ([`pmc_soc_sim::SocConfig::dma_channels`]). Transfers issued by
+    /// this context rotate round-robin over the channels; channels
+    /// complete independently.
+    pub fn dma_channels(&self) -> u32 {
+        self.inner.borrow().cpu.config().dma_channels as u32
     }
 
     pub(crate) fn assert_quiescent(&self) {
+        let inner = self.inner.borrow();
         assert!(
-            self.scopes.is_empty(),
+            inner.scopes.is_empty(),
             "tile {} finished with {} open entry/exit scopes",
-            self.cpu.tile(),
-            self.scopes.len()
+            inner.cpu.tile(),
+            inner.scopes.len()
         );
     }
 
-    fn meta(&self, id: u32) -> &ObjMeta {
-        self.shared.meta(id)
+    // ==================================================================
+    // Private (per-core) data: plain cached accesses, no annotations —
+    // exactly like stack/heap data on the real platform.
+    // ==================================================================
+
+    pub fn priv_read<T: Pod>(&self, slab: &PrivSlab<T>, i: u32) -> T {
+        assert!(i < slab.len);
+        let inner = &mut *self.inner.borrow_mut();
+        let mut buf = vec![0u8; T::SIZE as usize];
+        chunked_read(inner.cpu, self.shared.line, slab.addr + i * T::SIZE, &mut buf);
+        T::from_bytes(&buf)
+    }
+
+    pub fn priv_write<T: Pod>(&self, slab: &PrivSlab<T>, i: u32, value: T) {
+        assert!(i < slab.len);
+        let inner = &mut *self.inner.borrow_mut();
+        let mut buf = vec![0u8; T::SIZE as usize];
+        value.to_bytes(&mut buf);
+        chunked_write(inner.cpu, self.shared.line, slab.addr + i * T::SIZE, &buf);
+    }
+
+    // ==================================================================
+    // Waiting on transfers (shared across the guard and wrapper APIs).
+    // ==================================================================
+
+    /// Block until every transfer up to `ticket` has completed on its
+    /// channel (channels are FIFO; other channels are unaffected).
+    /// Equivalent to [`DmaTicket::wait`].
+    pub fn dma_wait(&self, ticket: DmaTicket<'_, '_, '_>) {
+        ticket.wait();
+    }
+
+    /// Block until *any* of `tickets` has completed, by sleeping on the
+    /// watched channels' completion words (one event wait, not a poll
+    /// loop); returns the index of a completed ticket — which that call
+    /// also retires, exactly like [`DmaTicket::wait`] on it. The other
+    /// tickets stay in flight. Spurious wakeups (an earlier transfer's
+    /// completion firing the shared per-channel event) are counted in
+    /// [`pmc_soc_sim::Counters::dma_spurious_wakeups`].
+    pub fn dma_wait_any(&self, tickets: &[DmaTicket<'_, 'a, 'b>]) -> usize {
+        assert!(!tickets.is_empty(), "dma_wait_any on an empty ticket set");
+        for t in tickets {
+            assert!(std::ptr::eq(t.ctx, self), "ticket from a different context");
+        }
+        let cores: Vec<TicketCore> = tickets.iter().map(|t| t.core).collect();
+        self.inner.borrow_mut().dma_wait_any_core(&cores)
+    }
+
+    // ==================================================================
+    // Deprecated pre-guard API: manually paired entry/exit calls plus
+    // scope-addressed data access. Kept for one release as thin wrappers
+    // over the same internals; misuse (unbalanced scopes, reads outside
+    // a scope, transfers outliving their scope) is only caught at run
+    // time here — the scope guards catch it at compile time.
+    // ==================================================================
+
+    /// `entry_x(X)`: acquire exclusive read/write access to `X`.
+    #[deprecated(note = "use PmcCtx::scope_x — the guard closes the scope on drop")]
+    pub fn entry_x<T>(&self, obj: Obj<T>) {
+        self.inner.borrow_mut().entry_x_id(self.shared, obj.id, false);
+    }
+
+    /// Streaming variant of `entry_x`: exclusive access *without* eager
+    /// staging (see [`PmcCtx::scope_x_stream`]).
+    #[deprecated(note = "use PmcCtx::scope_x_stream")]
+    pub fn entry_x_stream<T>(&self, obj: Obj<T>) {
+        self.inner.borrow_mut().entry_x_id(self.shared, obj.id, true);
+    }
+
+    /// `exit_x(X)`: give up exclusive access. Lazy release: under SWCC the
+    /// object's lines are flushed; under DSM the modified replica is
+    /// broadcast; under SPM the staging copy is written back.
+    #[deprecated(note = "dropping (or closing) the XScope guard exits the scope")]
+    pub fn exit_x<T>(&self, obj: Obj<T>) {
+        self.inner.borrow_mut().exit_x_id(self.shared, obj.id);
+    }
+
+    /// `entry_ro(X)`: begin non-exclusive read-only access.
+    #[deprecated(note = "use PmcCtx::scope_ro — the guard closes the scope on drop")]
+    pub fn entry_ro<T>(&self, obj: Obj<T>) {
+        self.inner.borrow_mut().entry_ro_id(self.shared, obj.id, false);
+    }
+
+    /// Streaming variant of `entry_ro` (see [`PmcCtx::scope_ro_stream`]).
+    #[deprecated(note = "use PmcCtx::scope_ro_stream")]
+    pub fn entry_ro_stream<T>(&self, obj: Obj<T>) {
+        self.inner.borrow_mut().entry_ro_id(self.shared, obj.id, true);
+    }
+
+    /// `exit_ro(X)`: end read-only access.
+    #[deprecated(note = "dropping (or closing) the RoScope guard exits the scope")]
+    pub fn exit_ro<T>(&self, obj: Obj<T>) {
+        self.inner.borrow_mut().exit_ro_id(self.shared, obj.id);
+    }
+
+    /// `flush(X)`: force modifications of `X` towards global visibility
+    /// (best effort; only legal inside an exclusive scope).
+    #[deprecated(note = "use XScope::flush")]
+    pub fn flush<T>(&self, obj: Obj<T>) {
+        self.inner.borrow_mut().flush_id(self.shared, obj.id);
+    }
+
+    /// Read a whole object (inside any scope on it).
+    #[deprecated(note = "use RoScope::read / XScope::read")]
+    pub fn read<T: Pod>(&self, obj: Obj<T>) -> T {
+        let mut buf = vec![0u8; T::SIZE as usize];
+        self.inner.borrow_mut().raw_read(self.shared, obj.id, 0, &mut buf);
+        T::from_bytes(&buf)
+    }
+
+    /// Write a whole object (inside an exclusive scope on it).
+    #[deprecated(note = "use XScope::write")]
+    pub fn write<T: Pod>(&self, obj: Obj<T>, value: T) {
+        let mut buf = vec![0u8; T::SIZE as usize];
+        value.to_bytes(&mut buf);
+        self.inner.borrow_mut().raw_write(self.shared, obj.id, 0, &buf);
+    }
+
+    /// Read element `i` of a slab (inside a scope on the slab).
+    #[deprecated(note = "use RoScope::read_at / XScope::read_at")]
+    pub fn read_at<T: Pod>(&self, slab: Slab<T>, i: u32) -> T {
+        assert!(i < slab.len);
+        let mut buf = vec![0u8; T::SIZE as usize];
+        self.inner.borrow_mut().raw_read(self.shared, slab.id, i * T::SIZE, &mut buf);
+        T::from_bytes(&buf)
+    }
+
+    /// Write element `i` of a slab (inside an exclusive scope).
+    #[deprecated(note = "use XScope::write_at")]
+    pub fn write_at<T: Pod>(&self, slab: Slab<T>, i: u32, value: T) {
+        assert!(i < slab.len);
+        let mut buf = vec![0u8; T::SIZE as usize];
+        value.to_bytes(&mut buf);
+        self.inner.borrow_mut().raw_write(self.shared, slab.id, i * T::SIZE, &buf);
+    }
+
+    /// Bulk read of `buf.len()` bytes at `byte_off` within a slab.
+    #[deprecated(note = "use RoScope::read_bytes_at / XScope::read_bytes_at")]
+    pub fn read_bytes_at<T: Pod>(&self, slab: Slab<T>, byte_off: u32, buf: &mut [u8]) {
+        assert!(byte_off + buf.len() as u32 <= slab.len * T::SIZE);
+        self.inner.borrow_mut().read_bytes_id(self.shared, slab.id, byte_off, buf);
+    }
+
+    /// Synchronous word-at-a-time fill of a streaming scope's local view.
+    #[deprecated(note = "use RoScope::stage_in_words / XScope::stage_in_words")]
+    pub fn stage_in_words<T: Pod>(&self, slab: Slab<T>, first: u32, count: u32) {
+        assert!(first + count <= slab.len, "stage_in_words range out of bounds");
+        self.inner.borrow_mut().stage_in_words_id(
+            self.shared,
+            slab.id,
+            first * T::SIZE,
+            count * T::SIZE,
+        );
+    }
+
+    /// Issue an asynchronous *get* for `count` elements starting at
+    /// `first` (see [`crate::scope::RoScope::dma_get`]).
+    #[deprecated(note = "use dma_get on the scope guard")]
+    pub fn dma_get<T: Pod>(&self, slab: Slab<T>, first: u32, count: u32) -> DmaTicket<'_, 'a, 'b> {
+        assert!(first + count <= slab.len, "dma_get range out of bounds");
+        let core = self.inner.borrow_mut().dma_xfer_ranges(
+            self.shared,
+            slab.id,
+            &[(first * T::SIZE, count * T::SIZE)],
+            DmaDir::Get,
+        );
+        DmaTicket { ctx: self, core }
+    }
+
+    /// Issue an asynchronous *put* for `count` elements starting at
+    /// `first` (see [`crate::scope::XScope::dma_put`]).
+    #[deprecated(note = "use dma_put on the XScope guard")]
+    pub fn dma_put<T: Pod>(&self, slab: Slab<T>, first: u32, count: u32) -> DmaTicket<'_, 'a, 'b> {
+        assert!(first + count <= slab.len, "dma_put range out of bounds");
+        let core = self.inner.borrow_mut().dma_xfer_ranges(
+            self.shared,
+            slab.id,
+            &[(first * T::SIZE, count * T::SIZE)],
+            DmaDir::Put,
+        );
+        DmaTicket { ctx: self, core }
+    }
+
+    /// Strided 2-D get (see [`crate::scope::RoScope::dma_get_2d`]).
+    #[deprecated(note = "use dma_get_2d on the scope guard")]
+    pub fn dma_get_2d<T: Pod>(
+        &self,
+        slab: Slab<T>,
+        first: u32,
+        row_elems: u32,
+        rows: u32,
+        stride_elems: u32,
+    ) -> DmaTicket<'_, 'a, 'b> {
+        let ranges = ranges_2d(slab.len * T::SIZE, T::SIZE, first, row_elems, rows, stride_elems);
+        let core =
+            self.inner.borrow_mut().dma_xfer_ranges(self.shared, slab.id, &ranges, DmaDir::Get);
+        DmaTicket { ctx: self, core }
+    }
+
+    /// Strided 2-D put (see [`crate::scope::XScope::dma_put_2d`]).
+    #[deprecated(note = "use dma_put_2d on the XScope guard")]
+    pub fn dma_put_2d<T: Pod>(
+        &self,
+        slab: Slab<T>,
+        first: u32,
+        row_elems: u32,
+        rows: u32,
+        stride_elems: u32,
+    ) -> DmaTicket<'_, 'a, 'b> {
+        let ranges = ranges_2d(slab.len * T::SIZE, T::SIZE, first, row_elems, rows, stride_elems);
+        let core =
+            self.inner.borrow_mut().dma_xfer_ranges(self.shared, slab.id, &ranges, DmaDir::Put);
+        DmaTicket { ctx: self, core }
+    }
+
+    /// Whole-object get (single objects rather than slabs).
+    #[deprecated(note = "use dma_get_all on the scope guard")]
+    pub fn dma_get_obj<T: Pod>(&self, obj: Obj<T>) -> DmaTicket<'_, 'a, 'b> {
+        let core = self.inner.borrow_mut().dma_xfer_ranges(
+            self.shared,
+            obj.id,
+            &[(0, T::SIZE)],
+            DmaDir::Get,
+        );
+        DmaTicket { ctx: self, core }
+    }
+
+    /// Whole-object put (single objects rather than slabs).
+    #[deprecated(note = "use dma_put_all on the XScope guard")]
+    pub fn dma_put_obj<T: Pod>(&self, obj: Obj<T>) -> DmaTicket<'_, 'a, 'b> {
+        let core = self.inner.borrow_mut().dma_xfer_ranges(
+            self.shared,
+            obj.id,
+            &[(0, T::SIZE)],
+            DmaDir::Put,
+        );
+        DmaTicket { ctx: self, core }
+    }
+
+    /// Asynchronous local-to-local copy between two open scopes (see
+    /// [`crate::scope::XScope::dma_copy_from`]).
+    #[deprecated(note = "use dma_copy_from on the destination XScope guard")]
+    pub fn dma_copy_local<T: Pod>(
+        &self,
+        src: Slab<T>,
+        src_first: u32,
+        dst: Slab<T>,
+        dst_first: u32,
+        count: u32,
+    ) -> DmaTicket<'_, 'a, 'b> {
+        assert!(src_first + count <= src.len, "dma_copy source range out of bounds");
+        assert!(dst_first + count <= dst.len, "dma_copy destination range out of bounds");
+        let core = self.inner.borrow_mut().dma_copy_range(
+            self.shared,
+            src.id,
+            src_first * T::SIZE,
+            dst.id,
+            dst_first * T::SIZE,
+            count * T::SIZE,
+        );
+        DmaTicket { ctx: self, core }
+    }
+
+    /// Whole-object local-to-local copy.
+    #[deprecated(note = "use copy_obj_from on the destination XScope guard")]
+    pub fn dma_copy_obj<T: Pod>(&self, src: Obj<T>, dst: Obj<T>) -> DmaTicket<'_, 'a, 'b> {
+        let core =
+            self.inner.borrow_mut().dma_copy_range(self.shared, src.id, 0, dst.id, 0, T::SIZE);
+        DmaTicket { ctx: self, core }
+    }
+}
+
+/// The scatter/gather row list of a strided 2-D transfer: `rows` rows of
+/// `row_elems` elements, row `r` starting at element
+/// `first + r * stride_elems`, bounds-checked against the object's
+/// `size_bytes`.
+pub(crate) fn ranges_2d(
+    size_bytes: u32,
+    elem_size: u32,
+    first: u32,
+    row_elems: u32,
+    rows: u32,
+    stride_elems: u32,
+) -> Vec<(u32, u32)> {
+    assert!(rows > 0 && row_elems > 0, "empty 2-D transfer");
+    assert!(stride_elems >= row_elems, "2-D rows must not overlap");
+    let last = first + (rows - 1) * stride_elems + row_elems;
+    assert!(last * elem_size <= size_bytes, "2-D transfer range out of bounds");
+    (0..rows).map(|r| ((first + r * stride_elems) * elem_size, row_elems * elem_size)).collect()
+}
+
+impl<'a, 'b> CtxInner<'a, 'b> {
+    fn meta<'s>(&self, sh: &'s Shared, id: u32) -> &'s ObjMeta {
+        sh.meta(id)
     }
 
     fn find_scope(&self, id: u32) -> Option<usize> {
@@ -175,27 +527,9 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     // The six annotations (paper Section V-A).
     // ==================================================================
 
-    /// `entry_x(X)`: acquire exclusive read/write access to `X`.
-    pub fn entry_x<T>(&mut self, obj: Obj<T>) {
-        self.entry_x_id(obj.id, false)
-    }
-
-    /// Streaming variant of [`PmcCtx::entry_x`]: acquires exclusive
-    /// access *without* eager staging. On the SPM back-end the staging
-    /// area is allocated but not filled — the application moves exactly
-    /// the bytes it needs with [`PmcCtx::dma_get`] and publishes its
-    /// modifications with [`PmcCtx::dma_put`] (which `exit_x` completes
-    /// before releasing the lock). Ranges that were neither written nor
-    /// covered by a completed get hold undefined bytes; the trace monitor
-    /// flags such reads on every back-end, keeping streaming code
-    /// portable.
-    pub fn entry_x_stream<T>(&mut self, obj: Obj<T>) {
-        self.entry_x_id(obj.id, true)
-    }
-
-    fn entry_x_id(&mut self, id: u32, streaming: bool) {
+    pub(crate) fn entry_x_id(&mut self, sh: &Shared, id: u32, streaming: bool) {
         assert!(self.find_scope(id).is_none(), "nested scope on one object");
-        let meta = self.meta(id);
+        let meta = self.meta(sh, id);
         let (lock, size, sdram_off, version_off, dsm_off) =
             (meta.lock, meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
         lock.lock(self.cpu);
@@ -208,7 +542,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
             spm_off: u32::MAX,
             version: 0,
         };
-        match self.shared.backend {
+        match sh.backend {
             BackendKind::Uncached => {}
             BackendKind::Swcc => {
                 // Ensure the first read misses and refetches the
@@ -220,7 +554,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
             }
             BackendKind::Spm => {
                 scope.spm_off = if streaming {
-                    self.spm_alloc(size)
+                    self.spm.alloc(size)
                 } else {
                     self.spm_stage_in(sdram_off, size)
                 };
@@ -230,25 +564,18 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         self.cpu.trace_event(trace_kind::ENTRY_X, id, 0, 1 | (streaming as u64) << 1);
     }
 
-    /// `exit_x(X)`: give up exclusive access. Lazy release: under SWCC the
-    /// object's lines are flushed; under DSM the modified replica is
-    /// broadcast; under SPM the staging copy is written back.
-    pub fn exit_x<T>(&mut self, obj: Obj<T>) {
-        self.exit_x_id(obj.id)
-    }
-
-    fn exit_x_id(&mut self, id: u32) {
+    pub(crate) fn exit_x_id(&mut self, sh: &Shared, id: u32) {
         let idx = self.find_scope(id).expect("exit_x without entry_x");
         assert_eq!(self.scopes[idx].kind, ScopeKind::X, "exit_x closes an entry_x scope");
-        // `exit_x` implies completion of outstanding transfers: wait
+        // Closing implies completion of outstanding transfers: wait
         // before any write-back or unlock so the released state is whole.
         self.wait_pending_for(id);
         self.cpu.trace_event(trace_kind::EXIT_X, id, 0, 0);
         let scope = self.scopes.remove(idx);
-        let meta = self.meta(id);
+        let meta = self.meta(sh, id);
         let (lock, size, sdram_off, version_off, dsm_off) =
             (meta.lock, meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
-        match self.shared.backend {
+        match sh.backend {
             BackendKind::Uncached => {}
             BackendKind::Swcc => {
                 // Flush the object out of the cache: dirty data reaches
@@ -268,29 +595,15 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
                 if scope.dirty && !scope.streaming {
                     self.spm_stage_out(scope.spm_off, sdram_off, size);
                 }
-                self.spm_free(scope.spm_off, size);
+                self.spm.free(scope.spm_off, size);
             }
         }
         lock.unlock(self.cpu);
     }
 
-    /// `entry_ro(X)`: begin non-exclusive read-only access.
-    pub fn entry_ro<T>(&mut self, obj: Obj<T>) {
-        self.entry_ro_id(obj.id, false)
-    }
-
-    /// Streaming variant of [`PmcCtx::entry_ro`]: no eager staging copy.
-    /// On the SPM back-end the staging area is allocated empty and the
-    /// shared lock (for multi-byte objects) is held for the whole scope,
-    /// so asynchronous [`PmcCtx::dma_get`]s observe a consistent
-    /// snapshot; reads are only defined on ranges a completed get covers.
-    pub fn entry_ro_stream<T>(&mut self, obj: Obj<T>) {
-        self.entry_ro_id(obj.id, true)
-    }
-
-    fn entry_ro_id(&mut self, id: u32, streaming: bool) {
+    pub(crate) fn entry_ro_id(&mut self, sh: &Shared, id: u32, streaming: bool) {
         assert!(self.find_scope(id).is_none(), "nested scope on one object");
-        let meta = self.meta(id);
+        let meta = self.meta(sh, id);
         let (lock, size, sdram_off, version_off, dsm_off) =
             (meta.lock, meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
         let multi_byte = size > ATOMIC_ACCESS_SIZE;
@@ -307,7 +620,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         // objects): the lock pins a stable snapshot for asynchronous
         // gets and keeps the scope visible to the monitor.
         let lock_scope = multi_byte || streaming;
-        match self.shared.backend {
+        match sh.backend {
             // "When the size of the object is one byte, it does nothing.
             // Otherwise, it acquires the same lock on the object as
             // entry_x" (Table II).
@@ -331,7 +644,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
                 // the monitor's streaming checks.
                 lock.lock_shared(self.cpu);
                 scope.locked = true;
-                scope.spm_off = self.spm_alloc(size);
+                scope.spm_off = self.spm.alloc(size);
             }
             BackendKind::Spm => {
                 // "Makes a local copy of the object. If the object is
@@ -351,21 +664,16 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         self.cpu.trace_event(trace_kind::ENTRY_RO, id, 0, flags);
     }
 
-    /// `exit_ro(X)`: end read-only access.
-    pub fn exit_ro<T>(&mut self, obj: Obj<T>) {
-        self.exit_ro_id(obj.id)
-    }
-
-    fn exit_ro_id(&mut self, id: u32) {
+    pub(crate) fn exit_ro_id(&mut self, sh: &Shared, id: u32) {
         let idx = self.find_scope(id).expect("exit_ro without entry_ro");
         assert_eq!(self.scopes[idx].kind, ScopeKind::Ro, "exit_ro closes an entry_ro scope");
         // Quiesce outstanding gets before discarding the local view.
         self.wait_pending_for(id);
         self.cpu.trace_event(trace_kind::EXIT_RO, id, 0, 0);
         let scope = self.scopes.remove(idx);
-        let meta = self.meta(id);
+        let meta = self.meta(sh, id);
         let (lock, size, sdram_off) = (meta.lock, meta.size, meta.sdram_off);
-        match self.shared.backend {
+        match sh.backend {
             BackendKind::Uncached => {
                 if scope.locked {
                     lock.unlock_shared(self.cpu);
@@ -392,39 +700,24 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
                     // Streaming scopes hold the shared lock until here.
                     lock.unlock_shared(self.cpu);
                 }
-                self.spm_free(scope.spm_off, size); // discard the local copy
+                self.spm.free(scope.spm_off, size); // discard the local copy
             }
         }
     }
 
-    /// `fence()`: the PMC fence annotation. The simulated core is
-    /// in-order (like the MicroBlaze), so no instructions are emitted —
-    /// the fence constrains the *compiler*, which here means a Rust
-    /// compiler fence (paper Table II, fence row).
-    pub fn fence(&mut self) {
-        self.cpu.fence();
-        self.cpu.trace_event(trace_kind::FENCE, 0, 0, 0);
-    }
-
-    /// `flush(X)`: force modifications of `X` towards global visibility
-    /// (best effort; only legal inside an `entry_x` scope).
-    pub fn flush<T>(&mut self, obj: Obj<T>) {
-        self.flush_id(obj.id)
-    }
-
-    fn flush_id(&mut self, id: u32) {
+    pub(crate) fn flush_id(&mut self, sh: &Shared, id: u32) {
         let idx = self.find_scope(id).expect("flush outside any scope");
         let scope = self.scopes[idx];
-        assert_eq!(scope.kind, ScopeKind::X, "flush is only allowed inside entry_x/exit_x");
+        assert_eq!(scope.kind, ScopeKind::X, "flush is only allowed inside an exclusive scope");
         // A whole-object flush on a streaming scope would copy the
         // mostly-undefined staging area home on SPM — publish streaming
         // writes with `dma_put` instead (forbidden on every back-end so
         // streaming code stays portable; the monitor flags it too).
         assert!(!scope.streaming, "flush is undefined on streaming scopes — use dma_put");
-        let meta = self.meta(id);
+        let meta = self.meta(sh, id);
         let (size, sdram_off, version_off, dsm_off) =
             (meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
-        match self.shared.backend {
+        match sh.backend {
             BackendKind::Uncached => {} // nothing to do: writes are already in SDRAM
             BackendKind::Swcc => {
                 self.cpu.flush_dcache_range(addr::SDRAM_CACHED_BASE + sdram_off, size);
@@ -446,19 +739,15 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     // Asynchronous bulk transfers (DMA).
     //
     // Ordering semantics come from the annotation model: a transfer may
-    // only be issued inside the owning `entry_x`/`entry_ro` scope (puts
-    // need `entry_x`), `dma_wait` completes every transfer up to its
-    // ticket on this tile, and `exit_x`/`exit_ro` imply completion of
-    // the scope's outstanding transfers. `monitor::validate` enforces
-    // all of this on traces, including that no in-scope access touches a
-    // range with an in-flight transfer.
+    // only be issued inside the owning scope (puts need exclusive
+    // access), `dma_wait` completes every transfer up to its ticket on
+    // this tile's channel, and closing a scope implies completion of the
+    // scope's outstanding transfers. `monitor::validate` enforces all of
+    // this on traces, including that no in-scope access touches a range
+    // with an in-flight transfer.
     // ==================================================================
 
-    /// Number of independent DMA channels per tile
-    /// ([`pmc_soc_sim::SocConfig::dma_channels`]). Transfers issued by
-    /// this context rotate round-robin over the channels; channels
-    /// complete independently.
-    pub fn dma_channels(&self) -> u32 {
+    fn dma_channels(&self) -> u32 {
         self.cpu.config().dma_channels as u32
     }
 
@@ -474,85 +763,15 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         u64::from(chan << TRACE_SEQ_BITS | seq)
     }
 
-    /// Issue an asynchronous *get*: refresh `count` elements of the
-    /// scope's local view of `slab`, starting at element `first`, from
-    /// the object's home. Reads of the range are undefined until
-    /// [`PmcCtx::dma_wait`] returns on the ticket. On SPM this is a real
-    /// engine transfer into the staging area; on back-ends whose scope
-    /// view needs no copy it degenerates to a null transfer with
-    /// identical ticket semantics (so portable code pays one uniform
-    /// programming cost and keeps the same protocol).
-    pub fn dma_get<T: Pod>(&mut self, slab: Slab<T>, first: u32, count: u32) -> DmaTicket {
-        assert!(first + count <= slab.len, "dma_get range out of bounds");
-        self.dma_xfer_ranges(slab.id, &[(first * T::SIZE, count * T::SIZE)], DmaDir::Get)
-    }
-
-    /// Issue an asynchronous *put*: push `count` elements of the scope's
-    /// local view (starting at `first`) towards the object's home.
-    /// Requires exclusive access. The home bytes are defined once the
-    /// ticket is waited; `exit_x` waits automatically.
-    pub fn dma_put<T: Pod>(&mut self, slab: Slab<T>, first: u32, count: u32) -> DmaTicket {
-        assert!(first + count <= slab.len, "dma_put range out of bounds");
-        self.dma_xfer_ranges(slab.id, &[(first * T::SIZE, count * T::SIZE)], DmaDir::Put)
-    }
-
-    /// Strided 2-D get: `rows` rows of `row_elems` elements each, row `r`
-    /// starting at element `first + r * stride_elems` — the
-    /// motion-estimation window / volume-slice shape. One engine
-    /// descriptor (a scatter/gather element list), one ticket.
-    pub fn dma_get_2d<T: Pod>(
-        &mut self,
-        slab: Slab<T>,
-        first: u32,
-        row_elems: u32,
-        rows: u32,
-        stride_elems: u32,
-    ) -> DmaTicket {
-        let ranges = Self::ranges_2d::<T>(slab, first, row_elems, rows, stride_elems);
-        self.dma_xfer_ranges(slab.id, &ranges, DmaDir::Get)
-    }
-
-    /// Strided 2-D put (see [`PmcCtx::dma_get_2d`]); requires exclusive
-    /// access.
-    pub fn dma_put_2d<T: Pod>(
-        &mut self,
-        slab: Slab<T>,
-        first: u32,
-        row_elems: u32,
-        rows: u32,
-        stride_elems: u32,
-    ) -> DmaTicket {
-        let ranges = Self::ranges_2d::<T>(slab, first, row_elems, rows, stride_elems);
-        self.dma_xfer_ranges(slab.id, &ranges, DmaDir::Put)
-    }
-
-    fn ranges_2d<T: Pod>(
-        slab: Slab<T>,
-        first: u32,
-        row_elems: u32,
-        rows: u32,
-        stride_elems: u32,
-    ) -> Vec<(u32, u32)> {
-        assert!(rows > 0 && row_elems > 0, "empty 2-D transfer");
-        assert!(stride_elems >= row_elems, "2-D rows must not overlap");
-        let last = first + (rows - 1) * stride_elems + row_elems;
-        assert!(last <= slab.len, "2-D transfer range out of bounds");
-        (0..rows).map(|r| ((first + r * stride_elems) * T::SIZE, row_elems * T::SIZE)).collect()
-    }
-
-    /// Whole-object get (single objects rather than slabs).
-    pub fn dma_get_obj<T: Pod>(&mut self, obj: Obj<T>) -> DmaTicket {
-        self.dma_xfer_ranges(obj.id, &[(0, T::SIZE)], DmaDir::Get)
-    }
-
-    /// Whole-object put (single objects rather than slabs).
-    pub fn dma_put_obj<T: Pod>(&mut self, obj: Obj<T>) -> DmaTicket {
-        self.dma_xfer_ranges(obj.id, &[(0, T::SIZE)], DmaDir::Put)
-    }
-
     /// `ranges` are `(byte_offset, bytes)` pairs within the object — the
     /// scatter/gather element list of one transfer.
-    fn dma_xfer_ranges(&mut self, id: u32, ranges: &[(u32, u32)], dir: DmaDir) -> DmaTicket {
+    pub(crate) fn dma_xfer_ranges(
+        &mut self,
+        sh: &Shared,
+        id: u32,
+        ranges: &[(u32, u32)],
+        dir: DmaDir,
+    ) -> TicketCore {
         let idx = self
             .find_scope(id)
             .expect("DMA transfer of a shared object outside any entry/exit scope");
@@ -560,10 +779,10 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
             assert_eq!(
                 self.scopes[idx].kind,
                 ScopeKind::X,
-                "dma_put requires exclusive access (entry_x)"
+                "dma_put requires exclusive access (an XScope)"
             );
         }
-        let meta = self.meta(id);
+        let meta = self.meta(sh, id);
         let (size, sdram_off, version_off, dsm_off) =
             (meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
         for &(byte_off, bytes) in ranges {
@@ -574,7 +793,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         // their `flush` does, before the (null) engine transfer whose
         // completion the ticket tracks.
         if dir == DmaDir::Put {
-            match self.shared.backend {
+            match sh.backend {
                 BackendKind::Uncached => {} // writes are already home
                 BackendKind::Swcc => {
                     for &(byte_off, bytes) in ranges {
@@ -593,7 +812,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
                 BackendKind::Spm => {}
             }
         }
-        let segs: Vec<DmaSeg> = match self.shared.backend {
+        let segs: Vec<DmaSeg> = match sh.backend {
             BackendKind::Spm => {
                 let spm_off = self.scopes[idx].spm_off;
                 ranges
@@ -613,11 +832,11 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
             DmaDescriptor {
                 kind: DmaKind::Sdram(dir),
                 segs,
-                burst: self.shared.dma_burst,
+                burst: sh.dma_burst,
                 done_offset: DMA_DONE_OFFSET + 4 * chan,
             },
         );
-        let ticket = DmaTicket { obj: id, chan, seq };
+        let ticket = TicketCore { obj: id, chan, seq };
         self.pending_dma.push((id, ticket));
         let kind = match dir {
             DmaDir::Get => trace_kind::DMA_GET,
@@ -634,49 +853,18 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         ticket
     }
 
-    /// Asynchronous local-to-local copy: move `count` elements from the
-    /// scope's local view of `src` (starting at `src_first`) into the
-    /// scope's local view of `dst` (starting at `dst_first`), without a
-    /// round trip through the objects' SDRAM homes. Requires an open
-    /// scope on `src` (any kind) and exclusive access to `dst`. On the
-    /// SPM back-end this is an engine transfer between the two staging
-    /// areas (local-to-local, no memory-controller traffic); elsewhere
-    /// the scope views are moved directly and a null transfer carries
-    /// the ticket. The destination range is undefined until the ticket
-    /// is waited; streaming destination scopes must still publish the
-    /// copied range with [`PmcCtx::dma_put`] before exiting.
-    pub fn dma_copy_local<T: Pod>(
+    /// Asynchronous local-to-local copy between the open scopes on
+    /// `src_id` and `dst_id` (exclusive), without a round trip through
+    /// the objects' SDRAM homes.
+    pub(crate) fn dma_copy_range(
         &mut self,
-        src: Slab<T>,
-        src_first: u32,
-        dst: Slab<T>,
-        dst_first: u32,
-        count: u32,
-    ) -> DmaTicket {
-        assert!(src_first + count <= src.len, "dma_copy source range out of bounds");
-        assert!(dst_first + count <= dst.len, "dma_copy destination range out of bounds");
-        self.dma_copy_range(
-            src.id,
-            src_first * T::SIZE,
-            dst.id,
-            dst_first * T::SIZE,
-            count * T::SIZE,
-        )
-    }
-
-    /// Whole-object local-to-local copy (see [`PmcCtx::dma_copy_local`]).
-    pub fn dma_copy_obj<T: Pod>(&mut self, src: Obj<T>, dst: Obj<T>) -> DmaTicket {
-        self.dma_copy_range(src.id, 0, dst.id, 0, T::SIZE)
-    }
-
-    fn dma_copy_range(
-        &mut self,
+        sh: &Shared,
         src_id: u32,
         src_off: u32,
         dst_id: u32,
         dst_off: u32,
         bytes: u32,
-    ) -> DmaTicket {
+    ) -> TicketCore {
         assert_ne!(src_id, dst_id, "dma_copy endpoints must be distinct objects");
         let sidx = self.find_scope(src_id).expect("dma_copy source outside any entry/exit scope");
         let didx =
@@ -684,16 +872,19 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         assert_eq!(
             self.scopes[didx].kind,
             ScopeKind::X,
-            "dma_copy destination requires exclusive access (entry_x)"
+            "dma_copy destination requires exclusive access (an XScope)"
         );
-        assert!(src_off + bytes <= self.meta(src_id).size, "dma_copy source outside the object");
         assert!(
-            dst_off + bytes <= self.meta(dst_id).size,
+            src_off + bytes <= self.meta(sh, src_id).size,
+            "dma_copy source outside the object"
+        );
+        assert!(
+            dst_off + bytes <= self.meta(sh, dst_id).size,
             "dma_copy destination outside the object"
         );
         self.scopes[didx].dirty = true;
         let chan = self.pick_chan();
-        let desc = match self.shared.backend {
+        let desc = match sh.backend {
             BackendKind::Spm => DmaDescriptor::contiguous(
                 // Both staging areas live in this tile's local memory:
                 // a zero-hop local-to-local engine transfer.
@@ -701,7 +892,7 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
                 self.scopes[didx].spm_off + dst_off,
                 self.scopes[sidx].spm_off + src_off,
                 bytes,
-                self.shared.dma_burst,
+                sh.dma_burst,
                 DMA_DONE_OFFSET + 4 * chan,
             ),
             _ => {
@@ -711,13 +902,13 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
                 // track completion with a null transfer.
                 let src_scope = self.scopes[sidx];
                 let dst_scope = self.scopes[didx];
-                let src_base = self.data_addr(src_id, &src_scope) + src_off;
-                let dst_base = self.data_addr(dst_id, &dst_scope) + dst_off;
+                let src_base = self.data_addr(sh, src_id, &src_scope) + src_off;
+                let dst_base = self.data_addr(sh, dst_id, &dst_scope) + dst_off;
                 let mut buf = vec![0u8; bytes as usize];
-                match self.shared.backend {
+                match sh.backend {
                     BackendKind::Swcc => {
-                        chunked_read(self.cpu, self.shared.line, src_base, &mut buf);
-                        chunked_write(self.cpu, self.shared.line, dst_base, &buf);
+                        chunked_read(self.cpu, sh.line, src_base, &mut buf);
+                        chunked_write(self.cpu, sh.line, dst_base, &buf);
                     }
                     _ => {
                         self.cpu.read_block(src_base, &mut buf);
@@ -725,14 +916,13 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
                     }
                 }
                 let mut d = DmaDescriptor::null(DMA_DONE_OFFSET + 4 * chan);
-                d.burst = self.shared.dma_burst;
+                d.burst = sh.dma_burst;
                 d
             }
         };
         let seq = self.cpu.dma_issue(chan as usize, desc);
-        let ticket_src = DmaTicket { obj: src_id, chan, seq };
-        let ticket_dst = DmaTicket { obj: dst_id, chan, seq };
-        self.pending_dma.push((src_id, ticket_src));
+        self.pending_dma.push((src_id, TicketCore { obj: src_id, chan, seq }));
+        let ticket_dst = TicketCore { obj: dst_id, chan, seq };
         self.pending_dma.push((dst_id, ticket_dst));
         let encoded = |off: u32| u64::from(off) << 32 | Self::trace_seq(chan, seq);
         self.cpu.trace_event(trace_kind::DMA_COPY_SRC, src_id, bytes, encoded(src_off));
@@ -741,30 +931,38 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     }
 
     /// Block until every transfer up to `ticket` has completed on its
-    /// channel (channels are FIFO; other channels are unaffected), by
-    /// polling the channel's completion word in local memory — the same
-    /// local-polling idiom the DSM back-end uses for versions.
-    pub fn dma_wait(&mut self, ticket: DmaTicket) {
+    /// channel (channels are FIFO; other channels are unaffected) — an
+    /// *event wait* on the channel's completion word: the core sleeps
+    /// until the engine's completion write lands instead of polling
+    /// ([`pmc_soc_sim::Cpu::dma_event_wait`]).
+    pub(crate) fn dma_wait_core(&mut self, ticket: TicketCore) {
         self.cpu.trace_event(
             trace_kind::DMA_WAIT,
             ticket.obj,
             0,
             Self::trace_seq(ticket.chan, ticket.seq),
         );
-        let done_addr = addr::local_base(self.cpu.tile()) + DMA_DONE_OFFSET + 4 * ticket.chan;
-        let mut backoff = 8u64;
-        while self.cpu.read_u32(done_addr) < ticket.seq {
-            self.cpu.compute(backoff);
-            backoff = (backoff * 2).min(256);
-        }
+        self.cpu.dma_event_wait(DMA_DONE_OFFSET + 4 * ticket.chan, ticket.seq);
         self.pending_dma.retain(|(_, t)| t.chan != ticket.chan || t.seq > ticket.seq);
     }
 
+    /// Sleep until any of `tickets` completes; retires the completed one
+    /// (trace event and all) and returns its index.
+    pub(crate) fn dma_wait_any_core(&mut self, tickets: &[TicketCore]) -> usize {
+        let watches: Vec<(u32, u32)> =
+            tickets.iter().map(|t| (DMA_DONE_OFFSET + 4 * t.chan, t.seq)).collect();
+        let idx = self.cpu.dma_event_wait_any(&watches);
+        let t = tickets[idx];
+        self.cpu.trace_event(trace_kind::DMA_WAIT, t.obj, 0, Self::trace_seq(t.chan, t.seq));
+        self.pending_dma.retain(|(_, p)| p.chan != t.chan || p.seq > t.seq);
+        idx
+    }
+
     /// Wait every outstanding transfer touching object `id` (the
-    /// exit-implies-completion rule).
+    /// close-implies-completion rule).
     fn wait_pending_for(&mut self, id: u32) {
         while let Some(&(_, t)) = self.pending_dma.iter().find(|(o, _)| *o == id) {
-            self.dma_wait(t);
+            self.dma_wait_core(t);
         }
     }
 
@@ -774,26 +972,18 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     /// The `fig_dma` harness uses it as the baseline DMA bursts are
     /// measured against; on back-ends without a staging copy it is a
     /// no-op, like the null transfer.
-    pub fn stage_in_words<T: Pod>(&mut self, slab: Slab<T>, first: u32, count: u32) {
-        assert!(first + count <= slab.len, "stage_in_words range out of bounds");
-        let idx = self
-            .find_scope(slab.id)
-            .expect("staging of a shared object outside any entry/exit scope");
+    pub(crate) fn stage_in_words_id(&mut self, sh: &Shared, id: u32, byte_off: u32, bytes: u32) {
+        let idx =
+            self.find_scope(id).expect("staging of a shared object outside any entry/exit scope");
         // The fill defines the range on every back-end (coverage for the
         // monitor), even where no bytes physically move.
-        self.cpu.trace_event(
-            trace_kind::STAGE_IN,
-            slab.id,
-            count * T::SIZE,
-            u64::from(first * T::SIZE),
-        );
-        if self.shared.backend != BackendKind::Spm {
+        self.cpu.trace_event(trace_kind::STAGE_IN, id, bytes, u64::from(byte_off));
+        if sh.backend != BackendKind::Spm {
             return;
         }
-        let meta = self.meta(slab.id);
-        let sdram = addr::SDRAM_UNCACHED_BASE + meta.sdram_off + first * T::SIZE;
-        let local = addr::local_base(self.cpu.tile()) + self.scopes[idx].spm_off + first * T::SIZE;
-        let bytes = count * T::SIZE;
+        let meta = self.meta(sh, id);
+        let sdram = addr::SDRAM_UNCACHED_BASE + meta.sdram_off + byte_off;
+        let local = addr::local_base(self.cpu.tile()) + self.scopes[idx].spm_off + byte_off;
         let mut off = 0u32;
         while off < bytes {
             let n = (bytes - off).min(4) as usize;
@@ -833,7 +1023,8 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         self.cpu.write_u32(hdr, new_version);
         let mut buf = vec![0u8; size as usize];
         self.cpu.read_block(hdr + 4, &mut buf);
-        for t in 0..self.shared.n_tiles {
+        let n_tiles = self.cpu.n_tiles();
+        for t in 0..n_tiles {
             if t != me {
                 // Versioned: a replica never rolls back even when
                 // broadcasts from different writers race in the NoC.
@@ -843,23 +1034,10 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         self.cpu.write_u32(addr::SDRAM_UNCACHED_BASE + version_off, new_version);
     }
 
-    /// SPM: reserve a staging region (bump allocation, line-padded;
-    /// non-LIFO frees handled by [`StagingAlloc`]).
-    fn spm_alloc(&mut self, size: u32) -> u32 {
-        self.spm.alloc(size)
-    }
-
-    /// SPM: release a staging region. Scopes may close out of stack
-    /// order (streaming prefetch overlaps lifetimes); the allocator
-    /// parks buried regions until everything above them is gone.
-    fn spm_free(&mut self, spm_off: u32, size: u32) {
-        self.spm.free(spm_off, size);
-    }
-
     /// SPM: stage an object into the local scratch-pad; returns the SPM
     /// offset.
     fn spm_stage_in(&mut self, sdram_off: u32, size: u32) -> u32 {
-        let spm_off = self.spm_alloc(size);
+        let spm_off = self.spm.alloc(size);
         let mut buf = vec![0u8; size as usize];
         self.cpu.read_block(addr::SDRAM_UNCACHED_BASE + sdram_off, &mut buf);
         self.cpu.write_block(addr::local_base(self.cpu.tile()) + spm_off, &buf);
@@ -874,9 +1052,9 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     }
 
     /// Where object bytes live for this core *right now* (scope-aware).
-    fn data_addr(&self, id: u32, scope: &OpenScope) -> u32 {
-        let meta = self.shared.meta(id);
-        match self.shared.backend {
+    fn data_addr(&self, sh: &Shared, id: u32, scope: &OpenScope) -> u32 {
+        let meta = sh.meta(id);
+        match sh.backend {
             BackendKind::Uncached => addr::SDRAM_UNCACHED_BASE + meta.sdram_off,
             BackendKind::Swcc => addr::SDRAM_CACHED_BASE + meta.sdram_off,
             BackendKind::Dsm => addr::local_base(self.cpu.tile()) + meta.dsm_off + 4,
@@ -888,12 +1066,12 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
     // Typed data access (must happen inside a scope).
     // ==================================================================
 
-    fn raw_read(&mut self, id: u32, byte_off: u32, buf: &mut [u8]) {
+    pub(crate) fn raw_read(&mut self, sh: &Shared, id: u32, byte_off: u32, buf: &mut [u8]) {
         let idx =
             self.find_scope(id).expect("read of a shared object outside any entry/exit scope");
         let scope = self.scopes[idx];
-        let base = self.data_addr(id, &scope);
-        chunked_read(self.cpu, self.shared.line, base + byte_off, buf);
+        let base = self.data_addr(sh, id, &scope);
+        chunked_read(self.cpu, sh.line, base + byte_off, buf);
         if buf.len() <= 8 {
             let mut v = [0u8; 8];
             v[..buf.len()].copy_from_slice(buf);
@@ -906,17 +1084,17 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         }
     }
 
-    fn raw_write(&mut self, id: u32, byte_off: u32, data: &[u8]) {
+    pub(crate) fn raw_write(&mut self, sh: &Shared, id: u32, byte_off: u32, data: &[u8]) {
         let idx =
             self.find_scope(id).expect("write of a shared object outside any entry/exit scope");
         assert_eq!(
             self.scopes[idx].kind,
             ScopeKind::X,
-            "writes require exclusive access (entry_x)"
+            "writes require exclusive access (an XScope)"
         );
         let scope = self.scopes[idx];
-        let base = self.data_addr(id, &scope);
-        chunked_write(self.cpu, self.shared.line, base + byte_off, data);
+        let base = self.data_addr(sh, id, &scope);
+        chunked_write(self.cpu, sh.line, base + byte_off, data);
         self.scopes[idx].dirty = true;
         if data.len() <= 8 {
             let mut v = [0u8; 8];
@@ -930,77 +1108,23 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         }
     }
 
-    /// Read a whole object (inside any scope on it).
-    pub fn read<T: Pod>(&mut self, obj: Obj<T>) -> T {
-        let mut buf = vec![0u8; T::SIZE as usize];
-        self.raw_read(obj.id, 0, &mut buf);
-        T::from_bytes(&buf)
-    }
-
-    /// Write a whole object (inside an `entry_x` scope on it).
-    pub fn write<T: Pod>(&mut self, obj: Obj<T>, value: T) {
-        let mut buf = vec![0u8; T::SIZE as usize];
-        value.to_bytes(&mut buf);
-        self.raw_write(obj.id, 0, &buf);
-    }
-
-    /// Bulk read of `buf.len()` bytes at `byte_off` within a slab (inside
-    /// a scope). On local-memory and uncached back-ends this is a single
-    /// burst transfer; on cached back-ends it is the usual word-copy loop.
-    /// Traced as a `READ_BLOCK` event so the monitor range-checks it
-    /// against in-flight transfers and streaming-scope coverage — the
-    /// bulk path is exactly what streaming kernels read with.
-    pub fn read_bytes_at<T: Pod>(&mut self, slab: Slab<T>, byte_off: u32, buf: &mut [u8]) {
-        assert!(byte_off + buf.len() as u32 <= slab.len * T::SIZE);
+    /// Bulk read of `buf.len()` bytes at `byte_off` within the object
+    /// (inside a scope). On local-memory and uncached back-ends this is
+    /// a single burst transfer; on cached back-ends it is the usual
+    /// word-copy loop. Traced as a `READ_BLOCK` event so the monitor
+    /// range-checks it against in-flight transfers and streaming-scope
+    /// coverage — the bulk path is exactly what streaming kernels read
+    /// with.
+    pub(crate) fn read_bytes_id(&mut self, sh: &Shared, id: u32, byte_off: u32, buf: &mut [u8]) {
         let idx =
-            self.find_scope(slab.id).expect("read of a shared object outside any entry/exit scope");
+            self.find_scope(id).expect("read of a shared object outside any entry/exit scope");
         let scope = self.scopes[idx];
-        let base = self.data_addr(slab.id, &scope) + byte_off;
-        match self.shared.backend {
-            BackendKind::Swcc => chunked_read(self.cpu, self.shared.line, base, buf),
+        let base = self.data_addr(sh, id, &scope) + byte_off;
+        match sh.backend {
+            BackendKind::Swcc => chunked_read(self.cpu, sh.line, base, buf),
             _ => self.cpu.read_block(base, buf),
         }
-        self.cpu.trace_event(
-            trace_kind::READ_BLOCK,
-            slab.id,
-            buf.len() as u32,
-            u64::from(byte_off),
-        );
-    }
-
-    /// Read element `i` of a slab (inside a scope on the slab).
-    pub fn read_at<T: Pod>(&mut self, slab: Slab<T>, i: u32) -> T {
-        assert!(i < slab.len);
-        let mut buf = vec![0u8; T::SIZE as usize];
-        self.raw_read(slab.id, i * T::SIZE, &mut buf);
-        T::from_bytes(&buf)
-    }
-
-    /// Write element `i` of a slab (inside an `entry_x` scope).
-    pub fn write_at<T: Pod>(&mut self, slab: Slab<T>, i: u32, value: T) {
-        assert!(i < slab.len);
-        let mut buf = vec![0u8; T::SIZE as usize];
-        value.to_bytes(&mut buf);
-        self.raw_write(slab.id, i * T::SIZE, &buf);
-    }
-
-    // ==================================================================
-    // Private (per-core) data: plain cached accesses, no annotations —
-    // exactly like stack/heap data on the real platform.
-    // ==================================================================
-
-    pub fn priv_read<T: Pod>(&mut self, slab: &PrivSlab<T>, i: u32) -> T {
-        assert!(i < slab.len);
-        let mut buf = vec![0u8; T::SIZE as usize];
-        chunked_read(self.cpu, self.shared.line, slab.addr + i * T::SIZE, &mut buf);
-        T::from_bytes(&buf)
-    }
-
-    pub fn priv_write<T: Pod>(&mut self, slab: &PrivSlab<T>, i: u32, value: T) {
-        assert!(i < slab.len);
-        let mut buf = vec![0u8; T::SIZE as usize];
-        value.to_bytes(&mut buf);
-        chunked_write(self.cpu, self.shared.line, slab.addr + i * T::SIZE, &buf);
+        self.cpu.trace_event(trace_kind::READ_BLOCK, id, buf.len() as u32, u64::from(byte_off));
     }
 }
 
@@ -1029,64 +1153,73 @@ fn chunked_write(cpu: &mut Cpu, line: u32, addr: u32, data: &[u8]) {
 }
 
 // ======================================================================
-// RAII scopes (the paper's Fig. 10 C++ classes, in Rust).
+// Deprecated closure-based scopes and momentary-access helpers (the
+// pre-guard idiom). The typed guards subsume them: `scope_x(ctx, obj,
+// |ctx| ...)` becomes `let s = ctx.scope_x(obj); ...`, and
+// `read_ro(ctx, obj)` becomes `ctx.scope_ro(obj).read()`.
 // ======================================================================
 
-/// Exclusive-access scope guard: `entry_x` on construction, `exit_x` on
-/// drop... except Rust borrowck makes a true Drop-based guard on a `&mut
-/// PmcCtx` unergonomic, so these are closure-scoped instead:
-/// `scope_x(ctx, obj, |ctx| ...)`.
+/// Closure-scoped exclusive access: `entry_x` before `f`, `exit_x` after.
+#[deprecated(note = "use PmcCtx::scope_x — the returned XScope guard is RAII and typed")]
 pub fn scope_x<T, R>(
     ctx: &mut PmcCtx<'_, '_>,
     obj: Obj<T>,
     f: impl FnOnce(&mut PmcCtx<'_, '_>) -> R,
 ) -> R {
-    ctx.entry_x(obj);
+    ctx.inner.get_mut().entry_x_id(ctx.shared, obj.id, false);
     let r = f(ctx);
-    ctx.exit_x(obj);
+    ctx.inner.get_mut().exit_x_id(ctx.shared, obj.id);
     r
 }
 
-/// Read-only scope (paper Fig. 10 `ScopeRO`).
+/// Closure-scoped read-only access (paper Fig. 10 `ScopeRO`).
+#[deprecated(note = "use PmcCtx::scope_ro — the returned RoScope guard is RAII and typed")]
 pub fn scope_ro<T, R>(
     ctx: &mut PmcCtx<'_, '_>,
     obj: Obj<T>,
     f: impl FnOnce(&mut PmcCtx<'_, '_>) -> R,
 ) -> R {
-    ctx.entry_ro(obj);
+    ctx.inner.get_mut().entry_ro_id(ctx.shared, obj.id, false);
     let r = f(ctx);
-    ctx.exit_ro(obj);
+    ctx.inner.get_mut().exit_ro_id(ctx.shared, obj.id);
     r
 }
 
-/// Convenience: read a whole object under a momentary read-only scope
+/// Read a whole object under a momentary read-only scope
 /// (the `poll = f;` pattern of the paper's Fig. 6 lines 10–12).
+#[deprecated(note = "use `ctx.scope_ro(obj).read()` — the temporary guard closes the scope")]
 pub fn read_ro<T: Pod>(ctx: &mut PmcCtx<'_, '_>, obj: Obj<T>) -> T {
-    ctx.entry_ro(obj);
-    let v = ctx.read(obj);
-    ctx.exit_ro(obj);
-    v
+    let inner = ctx.inner.get_mut();
+    inner.entry_ro_id(ctx.shared, obj.id, false);
+    let mut buf = vec![0u8; T::SIZE as usize];
+    inner.raw_read(ctx.shared, obj.id, 0, &mut buf);
+    inner.exit_ro_id(ctx.shared, obj.id);
+    T::from_bytes(&buf)
 }
 
-/// Convenience: write a whole object under a momentary exclusive scope,
-/// with an optional flush (the paper's Fig. 6 lines 6–9).
+/// Write a whole object under a momentary exclusive scope, with an
+/// optional flush (the paper's Fig. 6 lines 6–9).
+#[deprecated(note = "use a momentary XScope: `let s = ctx.scope_x(obj); s.write(v); s.flush();`")]
 pub fn write_x<T: Pod>(ctx: &mut PmcCtx<'_, '_>, obj: Obj<T>, value: T, flush: bool) {
-    ctx.entry_x(obj);
-    ctx.write(obj, value);
+    let inner = ctx.inner.get_mut();
+    inner.entry_x_id(ctx.shared, obj.id, false);
+    let mut buf = vec![0u8; T::SIZE as usize];
+    value.to_bytes(&mut buf);
+    inner.raw_write(ctx.shared, obj.id, 0, &buf);
     if flush {
-        ctx.flush(obj);
+        inner.flush_id(ctx.shared, obj.id);
     }
-    ctx.exit_x(obj);
+    inner.exit_x_id(ctx.shared, obj.id);
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::system::{LockKind, System};
+    use crate::system::{BackendKind, LockKind, System};
     use pmc_soc_sim::SocConfig;
 
     /// Streaming get/wait/read and write/put round-trips on every
-    /// back-end: the same code, the same results.
+    /// back-end: the same code, the same results — written against the
+    /// scope guards.
     #[test]
     fn dma_stream_roundtrip_on_all_backends() {
         for backend in BackendKind::ALL {
@@ -1098,18 +1231,16 @@ mod tests {
             }
             sys.run(vec![
                 Box::new(move |ctx| {
-                    ctx.entry_ro_stream(src.obj());
-                    let t = ctx.dma_get(src, 0, 64);
-                    ctx.dma_wait(t);
-                    ctx.entry_x_stream(dst.obj());
+                    let s = ctx.scope_ro_stream(src.obj());
+                    s.dma_get(0, 64).wait();
+                    let d = ctx.scope_x_stream(dst.obj());
                     for i in 0..64 {
-                        let v: u32 = ctx.read_at(src, i);
-                        ctx.write_at(dst, i, v * 2);
+                        let v: u32 = s.read_at(i);
+                        d.write_at(i, v * 2);
                     }
-                    let t = ctx.dma_put(dst, 0, 64);
-                    ctx.dma_wait(t);
-                    ctx.exit_x(dst.obj());
-                    ctx.exit_ro(src.obj());
+                    d.dma_put(0, 64).wait();
+                    d.close();
+                    s.close();
                 }),
                 Box::new(|_ctx| {}),
             ]);
@@ -1119,41 +1250,39 @@ mod tests {
         }
     }
 
-    /// `exit_x` implies completion: an unwaited put is finished before
-    /// the lock is released, so the next holder observes the data.
+    /// Closing a scope implies completion: an unwaited put is finished
+    /// before the lock is released, so the next holder observes the data.
     #[test]
-    fn exit_x_waits_outstanding_puts() {
+    fn close_waits_outstanding_puts() {
         for backend in BackendKind::ALL {
             let mut sys = System::new(SocConfig::small(2), backend, LockKind::Sdram);
             let slab = sys.alloc_slab::<u32>("s", 256);
             sys.run(vec![
                 Box::new(move |ctx| {
-                    ctx.entry_x_stream(slab.obj());
+                    let s = ctx.scope_x_stream(slab.obj());
                     for i in 0..256 {
-                        ctx.write_at(slab, i, 0xBEEF + i);
+                        s.write_at(i, 0xBEEF + i);
                     }
-                    ctx.dma_put(slab, 0, 256);
-                    ctx.exit_x(slab.obj()); // no explicit wait
+                    let _unwaited = s.dma_put(0, 256);
+                    s.close(); // no explicit wait: close completes it
                 }),
                 Box::new(move |ctx| {
                     ctx.compute(50);
-                    ctx.entry_x(slab.obj());
                     // Whoever enters second must see a whole state: all
                     // old or all new. Spin until the writer's state.
                     let mut backoff = 32;
                     loop {
-                        let v: u32 = ctx.read_at(slab, 255);
+                        let s = ctx.scope_x(slab.obj());
+                        let v: u32 = s.read_at(255);
                         if v == 0xBEEF + 255 {
+                            assert_eq!(s.read_at(0), 0xBEEF, "{backend:?}");
                             break;
                         }
                         assert_eq!(v, 0, "{backend:?}: torn publication");
-                        ctx.exit_x(slab.obj());
+                        s.close();
                         ctx.compute(backoff);
                         backoff = (backoff * 2).min(512);
-                        ctx.entry_x(slab.obj());
                     }
-                    assert_eq!(ctx.read_at(slab, 0), 0xBEEF, "{backend:?}");
-                    ctx.exit_x(slab.obj());
                 }),
             ]);
         }
@@ -1161,6 +1290,8 @@ mod tests {
 
     /// Non-LIFO scope exits (the double-buffered prefetch pattern): the
     /// SPM staging allocator reclaims buried regions once uncovered.
+    /// With guards, out-of-order closes are explicit `close()` calls on
+    /// independently owned guards.
     #[test]
     fn overlapping_scope_lifetimes_on_spm() {
         let mut sys = System::new(SocConfig::small(1), BackendKind::Spm, LockKind::Sdram);
@@ -1175,26 +1306,25 @@ mod tests {
         sys.run(vec![Box::new(move |ctx| {
             // Open a, then b; close a (buried free), open c (reuses no
             // space yet), close b and c (everything reclaimed).
-            ctx.entry_ro(a.obj());
-            ctx.entry_ro(b.obj());
-            assert_eq!(ctx.read_at(a, 3), 3);
-            ctx.exit_ro(a.obj()); // non-LIFO: b is still open
-            ctx.entry_ro(c.obj());
-            assert_eq!(ctx.read_at(b, 4), 1004);
-            assert_eq!(ctx.read_at(c, 5), 2005);
-            ctx.exit_ro(c.obj());
-            ctx.exit_ro(b.obj());
+            let sa = ctx.scope_ro(a.obj());
+            let sb = ctx.scope_ro(b.obj());
+            assert_eq!(sa.read_at(3), 3);
+            sa.close(); // non-LIFO: b is still open
+            let sc = ctx.scope_ro(c.obj());
+            assert_eq!(sb.read_at(4), 1004);
+            assert_eq!(sc.read_at(5), 2005);
+            sc.close();
+            sb.close();
             // A fresh scope must start from a fully reclaimed arena:
             // repeat a few times — if regions leaked, the arena asserts.
             for _ in 0..200 {
-                ctx.entry_ro(a.obj());
-                ctx.exit_ro(a.obj());
+                let _s = ctx.scope_ro(a.obj());
             }
         })]);
     }
 
-    /// Ticket semantics are FIFO per tile: waiting a later ticket
-    /// completes earlier transfers of the same tile as well.
+    /// Ticket semantics are FIFO per channel: waiting a later ticket
+    /// completes earlier transfers of the same channel as well.
     #[test]
     fn waiting_a_later_ticket_completes_earlier_transfers() {
         let mut sys = System::new(SocConfig::small(1), BackendKind::Spm, LockKind::Sdram);
@@ -1205,15 +1335,47 @@ mod tests {
             sys.init_at(b, i, (i % 127) as u8);
         }
         sys.run(vec![Box::new(move |ctx| {
-            ctx.entry_ro_stream(a.obj());
-            ctx.entry_ro_stream(b.obj());
-            let _ta = ctx.dma_get(a, 0, 1024);
-            let tb = ctx.dma_get(b, 0, 1024);
-            ctx.dma_wait(tb); // completes ta too (engine FIFO)
-            assert_eq!(ctx.read_at(a, 1000), (1000 % 251) as u8);
-            assert_eq!(ctx.read_at(b, 1000), (1000 % 127) as u8);
-            ctx.exit_ro(b.obj());
-            ctx.exit_ro(a.obj());
+            let sa = ctx.scope_ro_stream(a.obj());
+            let sb = ctx.scope_ro_stream(b.obj());
+            let _ta = sa.dma_get(0, 1024);
+            let tb = sb.dma_get(0, 1024);
+            tb.wait(); // completes ta too (single engine channel)
+            assert_eq!(sa.read_at(1000), (1000 % 251) as u8);
+            assert_eq!(sb.read_at(1000), (1000 % 127) as u8);
+            sb.close();
+            sa.close();
         })]);
+    }
+
+    /// The deprecated wrapper API still drives the same machinery: a
+    /// mixed-style program produces identical memory state.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        use super::{read_ro, scope_x, write_x};
+        for backend in BackendKind::ALL {
+            let mut sys = System::new(SocConfig::small(2), backend, LockKind::Sdram);
+            let x = sys.alloc::<u32>("x");
+            sys.run(vec![
+                Box::new(move |ctx| {
+                    ctx.entry_x(x);
+                    ctx.write(x, 5);
+                    ctx.exit_x(x);
+                    scope_x(ctx, x, |ctx| {
+                        let v = ctx.read(x);
+                        ctx.write(x, v + 1);
+                    });
+                    write_x(ctx, x, 42, true);
+                }),
+                Box::new(move |ctx| {
+                    let mut backoff = 8;
+                    while read_ro(ctx, x) != 42 {
+                        ctx.compute(backoff);
+                        backoff = (backoff * 2).min(256);
+                    }
+                }),
+            ]);
+            assert_eq!(sys.read_back(x), 42, "{backend:?}");
+        }
     }
 }

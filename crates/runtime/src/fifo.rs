@@ -10,13 +10,13 @@
 //! indexing, which is the intended semantics of the comparisons
 //! `rp < wp - N` / `wp <= rp`).
 
-use crate::ctx::{read_ro, PmcCtx};
+use crate::ctx::PmcCtx;
 use crate::pod::Pod;
 use crate::system::{Obj, ObjVec, System};
 
 /// A bounded FIFO with `N` slots, any number of writers, `R` readers;
 /// every reader sees every element (broadcast semantics, as in the
-/// paper: "Wait until all readers got buf[wp]").
+/// paper: "Wait until all readers got buf\[wp\]").
 pub struct MFifo<T> {
     write_ptr: Obj<u32>,
     read_ptr: ObjVec<u32>,
@@ -52,15 +52,15 @@ impl<T: Pod> MFifo<T> {
 
     /// Push an element (paper Fig. 9, `push()`), blocking until every
     /// reader has consumed the slot being overwritten.
-    pub fn push(&self, ctx: &mut PmcCtx<'_, '_>, data: T) {
-        ctx.entry_x(self.write_ptr);
-        let wp_raw = ctx.read(self.write_ptr);
+    pub fn push(&self, ctx: &PmcCtx<'_, '_>, data: T) {
+        let wp = ctx.scope_x(self.write_ptr);
+        let wp_raw = wp.read();
         let slot = wp_raw % self.depth;
         // Wait until all readers got buf[slot] (lines 9–15).
         for i in 0..self.read_ptr.len() {
             let mut backoff = 16u64;
             loop {
-                let rp = read_ro(ctx, self.read_ptr.at(i));
+                let rp = ctx.scope_ro(self.read_ptr.at(i)).read();
                 // Reader i must have consumed index wp_raw - depth.
                 if (rp as i64) > (wp_raw as i64) - (self.depth as i64) {
                     break;
@@ -70,24 +70,22 @@ impl<T: Pod> MFifo<T> {
             }
         }
         ctx.fence(); // ≺ℓ → ≺F boundary (line 16)
-        ctx.entry_x(self.buf.at(slot)); // line 17
-        ctx.write(self.buf.at(slot), data);
-        ctx.exit_x(self.buf.at(slot));
+        ctx.scope_x(self.buf.at(slot)).write(data); // lines 17–19
         ctx.fence(); // line 20
-        ctx.write(self.write_ptr, wp_raw + 1);
-        ctx.flush(self.write_ptr); // line 22: make the new count visible
-        ctx.exit_x(self.write_ptr);
+        wp.write(wp_raw + 1);
+        wp.flush(); // line 22: make the new count visible
+        wp.close();
     }
 
     /// Pop the next element for `reader` (paper Fig. 9, `pop()`).
-    pub fn pop(&self, ctx: &mut PmcCtx<'_, '_>, reader: u32) -> T {
+    pub fn pop(&self, ctx: &PmcCtx<'_, '_>, reader: u32) -> T {
         let rp_obj = self.read_ptr.at(reader);
-        let rp_raw = read_ro(ctx, rp_obj); // lines 27–29
+        let rp_raw = ctx.scope_ro(rp_obj).read(); // lines 27–29
         let slot = rp_raw % self.depth;
         // Wait until data is written (lines 30–34).
         let mut backoff = 16u64;
         loop {
-            let wp = read_ro(ctx, self.write_ptr);
+            let wp = ctx.scope_ro(self.write_ptr).read();
             if wp > rp_raw {
                 break;
             }
@@ -95,62 +93,55 @@ impl<T: Pod> MFifo<T> {
             backoff = (backoff * 2).min(256);
         }
         ctx.fence(); // line 35
-        ctx.entry_x(self.buf.at(slot)); // line 36
-        let data = ctx.read(self.buf.at(slot));
-        ctx.exit_x(self.buf.at(slot));
+        let data = ctx.scope_x(self.buf.at(slot)).read(); // lines 36–38
         ctx.fence(); // line 39
-        ctx.entry_x(rp_obj); // lines 40–43
-        ctx.write(rp_obj, rp_raw + 1);
-        ctx.flush(rp_obj);
-        ctx.exit_x(rp_obj);
+        let rp = ctx.scope_x(rp_obj); // lines 40–43
+        rp.write(rp_raw + 1);
+        rp.flush();
+        rp.close();
         data
     }
 
     /// Non-blocking variant of [`MFifo::push`] (mirroring
     /// [`MFifo::try_pop`]): returns `false` — without writing — when some
     /// reader has not yet consumed the slot the push would overwrite.
-    pub fn try_push(&self, ctx: &mut PmcCtx<'_, '_>, data: T) -> bool {
-        ctx.entry_x(self.write_ptr);
-        let wp_raw = ctx.read(self.write_ptr);
+    pub fn try_push(&self, ctx: &PmcCtx<'_, '_>, data: T) -> bool {
+        let wp = ctx.scope_x(self.write_ptr);
+        let wp_raw = wp.read();
         let slot = wp_raw % self.depth;
         for i in 0..self.read_ptr.len() {
-            let rp = read_ro(ctx, self.read_ptr.at(i));
+            let rp = ctx.scope_ro(self.read_ptr.at(i)).read();
             // Reader i must have consumed index wp_raw - depth.
             if (rp as i64) <= (wp_raw as i64) - (self.depth as i64) {
-                ctx.exit_x(self.write_ptr);
-                return false;
+                return false; // wp's drop releases the write pointer
             }
         }
         ctx.fence();
-        ctx.entry_x(self.buf.at(slot));
-        ctx.write(self.buf.at(slot), data);
-        ctx.exit_x(self.buf.at(slot));
+        ctx.scope_x(self.buf.at(slot)).write(data);
         ctx.fence();
-        ctx.write(self.write_ptr, wp_raw + 1);
-        ctx.flush(self.write_ptr);
-        ctx.exit_x(self.write_ptr);
+        wp.write(wp_raw + 1);
+        wp.flush();
+        wp.close();
         true
     }
 
     /// Non-blocking variant of [`MFifo::pop`]: returns `None` when no
     /// element is available.
-    pub fn try_pop(&self, ctx: &mut PmcCtx<'_, '_>, reader: u32) -> Option<T> {
+    pub fn try_pop(&self, ctx: &PmcCtx<'_, '_>, reader: u32) -> Option<T> {
         let rp_obj = self.read_ptr.at(reader);
-        let rp_raw = read_ro(ctx, rp_obj);
-        let wp = read_ro(ctx, self.write_ptr);
+        let rp_raw = ctx.scope_ro(rp_obj).read();
+        let wp = ctx.scope_ro(self.write_ptr).read();
         if wp <= rp_raw {
             return None;
         }
         let slot = rp_raw % self.depth;
         ctx.fence();
-        ctx.entry_x(self.buf.at(slot));
-        let data = ctx.read(self.buf.at(slot));
-        ctx.exit_x(self.buf.at(slot));
+        let data = ctx.scope_x(self.buf.at(slot)).read();
         ctx.fence();
-        ctx.entry_x(rp_obj);
-        ctx.write(rp_obj, rp_raw + 1);
-        ctx.flush(rp_obj);
-        ctx.exit_x(rp_obj);
+        let rp = ctx.scope_x(rp_obj);
+        rp.write(rp_raw + 1);
+        rp.flush();
+        rp.close();
         Some(data)
     }
 }

@@ -1,9 +1,10 @@
 //! # pmc-runtime — the PMC approach
 //!
 //! The portable-memory-consistency runtime of Rutgers et al. (IPPS 2013):
-//! source-level annotations (`entry_x` / `exit_x` / `entry_ro` / `exit_ro`
-//! / `fence` / `flush`, paper Section V-A) over typed shared objects, plus
-//! one back-end per memory architecture of the paper's Table II:
+//! source-level annotations over typed shared objects — as **typed RAII
+//! scope guards** ([`PmcCtx::scope_x`] / [`PmcCtx::scope_ro`], paper
+//! Section V-A and Fig. 10) — plus one back-end per memory architecture
+//! of the paper's Table II:
 //!
 //! * **uncached** — the "no CC" baseline (shared data in uncached SDRAM);
 //! * **swcc** — software cache coherency (BACKER-style flush/invalidate);
@@ -12,23 +13,38 @@
 //!
 //! The same application code runs on every back-end — the paper's
 //! portability claim — and with tracing enabled, [`monitor::validate`]
-//! checks each run against the PMC model's guarantees.
+//! checks each run against the PMC model's guarantees. The guards encode
+//! the annotation discipline in the type system: a scope cannot be left
+//! open ([`scope::XScope`] exits on drop), reads and writes only exist
+//! on the guard of an open scope, writes only on exclusive guards, and
+//! asynchronous transfers hand back `#[must_use]` [`DmaTicket`]s whose
+//! completion the owning scope's close enforces.
+//!
+//! Guard-based message passing (the paper's Fig. 6):
 //!
 //! ```
-//! use pmc_runtime::ctx::{read_ro, write_x};
 //! use pmc_runtime::system::{BackendKind, LockKind, System};
 //! use pmc_soc_sim::SocConfig;
 //!
 //! let mut sys = System::new(SocConfig::small(2), BackendKind::Swcc, LockKind::Sdram);
 //! let x = sys.alloc::<u32>("x");
+//! let flag = sys.alloc::<u32>("flag");
 //! sys.run(vec![
-//!     Box::new(move |ctx| write_x(ctx, x, 42, true)),
+//!     Box::new(move |ctx| {
+//!         ctx.scope_x(x).write(42); // momentary exclusive scope
+//!         ctx.fence();
+//!         let f = ctx.scope_x(flag);
+//!         f.write(1);
+//!         f.flush(); // make the flag visible soon; drop exits
+//!     }),
 //!     Box::new(move |ctx| {
 //!         let mut backoff = 8;
-//!         while read_ro(ctx, x) != 42 {
+//!         while ctx.scope_ro(flag).read() != 1 {
 //!             ctx.compute(backoff);
 //!             backoff = (backoff * 2).min(256);
 //!         }
+//!         ctx.fence();
+//!         assert_eq!(ctx.scope_x(x).read(), 42);
 //!     }),
 //! ]);
 //! assert_eq!(sys.read_back(x), 42);
@@ -42,12 +58,16 @@ pub mod lock;
 pub mod monitor;
 pub mod pod;
 pub mod queue;
+pub mod scope;
 pub mod spm;
 pub mod system;
 
-pub use ctx::{read_ro, scope_ro, scope_x, write_x, DmaTicket, PmcCtx};
+pub use ctx::PmcCtx;
+#[allow(deprecated)]
+pub use ctx::{read_ro, scope_ro, scope_x, write_x};
 pub use fifo::MFifo;
 pub use pod::{Pod, Vec2};
+pub use scope::{DmaTicket, RoScope, SrcScope, XScope};
 pub use system::{BackendKind, LockKind, Obj, ObjVec, PrivSlab, Slab, System};
 
 /// The per-tile program type accepted by [`System::run`].

@@ -2,16 +2,18 @@
 //! simulated back-end through the annotation API.
 //!
 //! This is the simulator half of the differential conformance harness:
-//! the same program the model enumerator explores is lowered onto
-//! `entry_x` / `exit_x` / `read_ro` / `fence` exactly as
-//! [`pmc_core::conformance::lower`] describes —
+//! the same program the model enumerator explores is lowered onto the
+//! scope-guard annotation API exactly as [`pmc_core::conformance::lower`]
+//! describes —
 //!
-//! * `Acquire`/`Release` windows become `entry_x`/`exit_x` scopes, with
-//!   reads and writes inside them going through the open scope;
-//! * bare writes become momentary `write_x` windows (the runtime only
+//! * `Acquire`/`Release` windows become [`crate::scope::XScope`] guards
+//!   held on a stack (released LIFO by explicit `close`), with reads and
+//!   writes inside them going through the open guard;
+//! * bare writes become momentary exclusive guards (the runtime only
 //!   ever writes shared data under exclusive access);
-//! * bare reads become `read_ro` — on word-sized objects `entry_ro`
-//!   takes no lock (Table II), i.e. the model's plain slow read;
+//! * bare reads become momentary read-only guards
+//!   (`ctx.scope_ro(x).read()`) — on word-sized objects the scope takes
+//!   no lock (Table II), i.e. the model's plain slow read;
 //! * `WaitEq` becomes the paper's Fig. 6 polling loop with exponential
 //!   back-off;
 //! * `Fence` is the `fence()` annotation.
@@ -27,7 +29,6 @@ use pmc_core::litmus::{Instr, Program};
 use pmc_core::{conformance, op::Value};
 use pmc_soc_sim::{RunReport, SocConfig, Topology, TraceRecord};
 
-use crate::ctx::{read_ro, write_x};
 use crate::system::{BackendKind, LockKind, Obj, System};
 
 /// Result of one litmus execution on a back-end.
@@ -102,48 +103,57 @@ pub fn run_litmus_on(
                 let instrs = instrs.clone();
                 let n_regs = program.reg_count(t);
                 Box::new(move |ctx| {
+                    let ctx = &*ctx; // guards borrow the context shared
                     let mut regs = vec![0; n_regs];
-                    let mut held: Vec<u32> = Vec::new();
+                    // The held exclusive guards, as a stack: `Acquire`
+                    // pushes, `Release` pops LIFO and closes explicitly.
+                    let mut held: Vec<(u32, crate::scope::XScope<'_, '_, '_, Value>)> = Vec::new();
                     // Outstanding DMA state: every unwaited ticket
                     // (transfers rotate over engine channels, each FIFO
                     // per channel, so `DmaWait` waits them all) and the
                     // registers awaiting get completions.
-                    let mut tickets: Vec<crate::ctx::DmaTicket> = Vec::new();
+                    let mut tickets: Vec<crate::scope::DmaTicket<'_, '_, '_>> = Vec::new();
                     let mut pending_gets: Vec<(pmc_core::op::LocId, pmc_core::litmus::Reg)> =
                         Vec::new();
                     for i in &instrs {
                         let obj = |l: pmc_core::op::LocId| -> Obj<Value> { locs.at(l.0) };
                         match i {
                             Instr::Acquire(l) => {
-                                ctx.entry_x(obj(*l));
-                                held.push(l.0);
+                                held.push((l.0, ctx.scope_x(obj(*l))));
                             }
                             Instr::Release(l) => {
-                                assert_eq!(held.pop(), Some(l.0), "scopes must nest (LIFO)");
-                                ctx.exit_x(obj(*l));
+                                let (id, guard) = held.pop().expect("Release without Acquire");
+                                assert_eq!(id, l.0, "scopes must nest (LIFO)");
+                                guard.close();
                             }
                             Instr::Fence => ctx.fence(),
                             Instr::Write(l, v) => {
-                                if held.contains(&l.0) {
-                                    ctx.write(obj(*l), *v);
+                                if let Some(i) = held.iter().position(|(id, _)| *id == l.0) {
+                                    held[i].1.write(*v);
                                 } else {
-                                    write_x(ctx, obj(*l), *v, true);
+                                    // Momentary exclusive window with an
+                                    // eager visibility push (Fig. 6 lines
+                                    // 6–9).
+                                    let s = ctx.scope_x(obj(*l));
+                                    s.write(*v);
+                                    s.flush();
                                 }
                             }
                             Instr::Read(l, r) => {
-                                regs[r.0 as usize] = if held.contains(&l.0) {
-                                    ctx.read(obj(*l))
-                                } else {
-                                    read_ro(ctx, obj(*l))
-                                };
+                                regs[r.0 as usize] =
+                                    if let Some(i) = held.iter().position(|(id, _)| *id == l.0) {
+                                        held[i].1.read()
+                                    } else {
+                                        ctx.scope_ro(obj(*l)).read()
+                                    };
                             }
                             Instr::WaitEq(l, v) => {
                                 assert!(
-                                    !held.contains(&l.0),
+                                    !held.iter().any(|(id, _)| *id == l.0),
                                     "WaitEq on a held location cannot terminate"
                                 );
                                 let mut backoff = 8;
-                                while read_ro(ctx, obj(*l)) != *v {
+                                while ctx.scope_ro(obj(*l)).read() != *v {
                                     ctx.compute(backoff);
                                     backoff = (backoff * 2).min(512);
                                 }
@@ -151,38 +161,46 @@ pub fn run_litmus_on(
                             Instr::DmaPut(l, v) => {
                                 // Stage the value in the scope's local
                                 // view, then hand the range to the engine.
-                                assert!(
-                                    held.contains(&l.0),
-                                    "DMA transfers require the owning scope"
-                                );
-                                ctx.write(obj(*l), *v);
-                                tickets.push(ctx.dma_put_obj(obj(*l)));
+                                let i = held
+                                    .iter()
+                                    .position(|(id, _)| *id == l.0)
+                                    .expect("DMA transfers require the owning scope");
+                                held[i].1.write(*v);
+                                tickets.push(held[i].1.dma_put_all());
                             }
                             Instr::DmaGet(l, r) => {
-                                assert!(
-                                    held.contains(&l.0),
-                                    "DMA transfers require the owning scope"
-                                );
-                                tickets.push(ctx.dma_get_obj(obj(*l)));
+                                let i = held
+                                    .iter()
+                                    .position(|(id, _)| *id == l.0)
+                                    .expect("DMA transfers require the owning scope");
+                                tickets.push(held[i].1.dma_get_all());
                                 pending_gets.push((*l, *r));
                             }
                             Instr::DmaCopy(s, d) => {
                                 // Local-to-local: both endpoints must be
                                 // held (the destination exclusively).
-                                assert!(
-                                    held.contains(&s.0) && held.contains(&d.0),
-                                    "DMA copies require both owning scopes"
-                                );
-                                tickets.push(ctx.dma_copy_obj(obj(*s), obj(*d)));
+                                let si = held
+                                    .iter()
+                                    .position(|(id, _)| *id == s.0)
+                                    .expect("DMA copies require both owning scopes");
+                                let di = held
+                                    .iter()
+                                    .position(|(id, _)| *id == d.0)
+                                    .expect("DMA copies require both owning scopes");
+                                tickets.push(held[di].1.copy_obj_from(&held[si].1));
                             }
                             Instr::DmaWait => {
                                 for t in tickets.drain(..) {
-                                    ctx.dma_wait(t);
+                                    t.wait();
                                 }
                                 // The staged bytes are defined now: land
                                 // the awaited gets in their registers.
                                 for (l, r) in pending_gets.drain(..) {
-                                    regs[r.0 as usize] = ctx.read(obj(l));
+                                    let i = held
+                                        .iter()
+                                        .position(|(id, _)| *id == l.0)
+                                        .expect("awaited get outside its scope");
+                                    regs[r.0 as usize] = held[i].1.read();
                                 }
                             }
                         }
@@ -191,6 +209,7 @@ pub fn run_litmus_on(
                         tickets.is_empty() && pending_gets.is_empty(),
                         "litmus DMA transfers must be waited before the thread ends"
                     );
+                    assert!(held.is_empty(), "litmus scopes must be released");
                     *results_ref[t].lock().unwrap() = regs;
                 })
             })

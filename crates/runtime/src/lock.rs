@@ -7,7 +7,7 @@
 //!   exponential back-off. Simple, but every poll loads the shared
 //!   interconnect.
 //! * [`DistLock`] — the *asymmetric distributed lock* in the spirit of the
-//!   authors' companion paper [15]: the lock byte lives in a *home tile*'s
+//!   authors' companion paper \[15\]: the lock byte lives in a *home tile*'s
 //!   local memory; the home tile acquires with a single-cycle local
 //!   test-and-set, while remote tiles issue a NoC remote test-and-set and
 //!   poll their **own** local-memory mailbox for the reply. Waiters
@@ -113,7 +113,7 @@ impl SdramLock {
     }
 }
 
-/// Asymmetric distributed lock ([15]-style; see DESIGN.md substitutions).
+/// Asymmetric distributed lock (\[15\]-style; see DESIGN.md substitutions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DistLock {
     /// Tile whose local memory holds the lock byte.

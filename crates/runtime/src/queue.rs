@@ -4,7 +4,9 @@
 //! keeps the sharing pattern — one contended counter — without the
 //! queue-management noise).
 
-use pmc_soc_sim::{addr, Cpu};
+use pmc_soc_sim::addr;
+
+use crate::ctx::PmcCtx;
 
 /// A monotone ticket counter; `take` returns unique, dense tickets.
 #[derive(Debug, Clone, Copy)]
@@ -18,8 +20,10 @@ impl Tickets {
     }
 
     /// Take the next ticket; returns `None` once `limit` is reached.
-    pub fn take(&self, cpu: &mut Cpu, limit: u32) -> Option<u32> {
-        let t = cpu.sdram_faa_u32(self.counter_addr, 1);
+    /// Shared `&PmcCtx` access, so it works while scope guards are open
+    /// (the double-buffered prefetch loops dispatch mid-scope).
+    pub fn take(&self, ctx: &PmcCtx<'_, '_>, limit: u32) -> Option<u32> {
+        let t = ctx.with_cpu(|cpu| cpu.sdram_faa_u32(self.counter_addr, 1));
         if t < limit {
             Some(t)
         } else {
@@ -28,8 +32,8 @@ impl Tickets {
     }
 
     /// Reset between phases (call from one core, behind a barrier).
-    pub fn reset(&self, cpu: &mut Cpu) {
-        cpu.write_u32(self.counter_addr, 0);
+    pub fn reset(&self, ctx: &PmcCtx<'_, '_>) {
+        ctx.with_cpu(|cpu| cpu.write_u32(self.counter_addr, 0));
     }
 }
 
@@ -50,7 +54,7 @@ mod tests {
             (0..n)
                 .map(|_| -> Box<dyn FnOnce(&mut crate::ctx::PmcCtx<'_, '_>) + Send> {
                     Box::new(move |ctx| {
-                        while let Some(t) = tickets.take(ctx.cpu, 64) {
+                        while let Some(t) = tickets.take(ctx, 64) {
                             // Record the ticket as a bit; duplicates would
                             // collide.
                             let bit = 1u64 << t;

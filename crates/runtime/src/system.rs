@@ -50,7 +50,7 @@ impl BackendKind {
 pub enum LockKind {
     /// Test-and-test-and-set on uncached SDRAM.
     Sdram,
-    /// Asymmetric distributed lock homed round-robin across tiles [15].
+    /// Asymmetric distributed lock homed round-robin across tiles \[15\].
     Distributed,
 }
 

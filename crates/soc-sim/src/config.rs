@@ -27,7 +27,7 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Topology {
     /// Bidirectional ring (the original stand-in for the paper's
-    /// connectionless NoC [16]).
+    /// connectionless NoC \[16\]).
     #[default]
     Ring,
     /// 2-D mesh of `cols × rows` tiles with XY (dimension-ordered)

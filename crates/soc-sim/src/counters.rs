@@ -30,6 +30,10 @@ pub struct Counters {
     /// mailboxes, remote transfers). Reported inside shared-read stall in
     /// the Fig. 8 harness, tracked separately for diagnostics.
     pub stall_noc: u64,
+    /// Cycles the core slept in an event-based DMA completion wait
+    /// ([`crate::soc::Cpu::dma_event_wait`]): blocked until the engine's
+    /// completion-word write landed, retiring no instructions.
+    pub stall_dma_wait: u64,
     /// Instructions retired.
     pub instret: u64,
     /// Cycles (busy + stall) spent in cache-management instructions —
@@ -44,6 +48,15 @@ pub struct Counters {
     pub dma_transfers: u64,
     /// Payload bytes moved by those transfers.
     pub dma_bytes: u64,
+    /// Event-based DMA completion waits entered
+    /// ([`crate::soc::Cpu::dma_event_wait`] /
+    /// [`crate::soc::Cpu::dma_event_wait_any`]).
+    pub dma_event_waits: u64,
+    /// Wakeups whose completion check still failed — an *earlier*
+    /// transfer's completion write fired the per-channel event (the
+    /// condvar-broadcast cost of sharing one completion word per
+    /// channel).
+    pub dma_spurious_wakeups: u64,
 }
 
 impl Counters {
@@ -55,6 +68,7 @@ impl Counters {
             + self.stall_write
             + self.stall_icache
             + self.stall_noc
+            + self.stall_dma_wait
     }
 
     /// Core utilization: fraction of cycles doing real work.
@@ -73,12 +87,15 @@ impl Counters {
         self.stall_write += other.stall_write;
         self.stall_icache += other.stall_icache;
         self.stall_noc += other.stall_noc;
+        self.stall_dma_wait += other.stall_dma_wait;
         self.instret += other.instret;
         self.flush_cycles += other.flush_cycles;
         self.dcache_hits += other.dcache_hits;
         self.dcache_misses += other.dcache_misses;
         self.dma_transfers += other.dma_transfers;
         self.dma_bytes += other.dma_bytes;
+        self.dma_event_waits += other.dma_event_waits;
+        self.dma_spurious_wakeups += other.dma_spurious_wakeups;
     }
 }
 

@@ -8,7 +8,7 @@
 //! * per-tile local memories, readable locally, **write-only** remotely
 //!   via a posted-write NoC (paper Fig. 7);
 //! * remote test-and-set / fetch-and-add NoC atomics (the substrate of
-//!   the asymmetric distributed lock [15]);
+//!   the asymmetric distributed lock \[15\]);
 //! * per-core cycle accounting in the stall categories of the paper's
 //!   Fig. 8, and a deterministic synthetic I-cache;
 //! * a PDES "turnstile" scheduler: bit-identical runs for identical

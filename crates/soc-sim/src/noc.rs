@@ -1,6 +1,6 @@
 //! The network-on-chip: write-only remote access to other tiles' local
-//! memories (paper Fig. 7 and [16]), plus a remote test-and-set used by
-//! the asymmetric distributed lock ([15]; see DESIGN.md substitutions).
+//! memories (paper Fig. 7 and \[16\]), plus a remote test-and-set used by
+//! the asymmetric distributed lock (\[15\]; see DESIGN.md substitutions).
 //!
 //! Writes are *posted*: they complete at the source immediately and are
 //! applied to the destination memory at `issue_time + route_latency`.
@@ -202,6 +202,32 @@ impl Noc {
     /// Earliest pending arrival, if any.
     pub fn next_arrival(&self) -> Option<u64> {
         self.heap.peek().map(|p| p.arrive)
+    }
+
+    /// Earliest in-flight completion-word write for `dst`'s completion
+    /// word at local-memory offset `done_offset` — the event a blocked
+    /// [`crate::soc::Cpu::dma_event_wait`] sleeps on. `None` when no
+    /// such write is in flight (every programmed transfer on the word's
+    /// channel has already landed).
+    pub fn next_completion_arrival(&self, dst: usize, done_offset: u32) -> Option<u64> {
+        self.next_completion_arrival_any(dst, &[done_offset])
+    }
+
+    /// [`Noc::next_completion_arrival`] across several completion words
+    /// in one heap pass — what a multi-watch event wait sleeps on
+    /// ([`crate::soc::Cpu::dma_event_wait_any`]); scanning once keeps
+    /// the cost independent of the watch count on busy interconnects.
+    pub fn next_completion_arrival_any(&self, dst: usize, done_offsets: &[u32]) -> Option<u64> {
+        self.heap
+            .iter()
+            .filter(|p| {
+                p.dst == dst
+                    && matches!(&p.kind,
+                        PacketKind::DmaBurst { done: Some((off, _)), .. }
+                            if done_offsets.contains(off))
+            })
+            .map(|p| p.arrive)
+            .min()
     }
 }
 

@@ -387,6 +387,8 @@ enum StallCat {
     Noc,
     /// Cache-management (counted as write stall *and* flush overhead).
     Flush,
+    /// Blocked in an event-based DMA completion wait.
+    DmaWait,
 }
 
 /// The per-core execution context handed to tile programs: the only way
@@ -474,6 +476,7 @@ impl<'a> Cpu<'a> {
                 self.ctr.stall_write += cycles;
                 self.ctr.flush_cycles += cycles;
             }
+            StallCat::DmaWait => self.ctr.stall_dma_wait += cycles,
         }
         self.clock += cycles;
         self.check_time_limit();
@@ -966,8 +969,68 @@ impl<'a> Cpu<'a> {
         seq
     }
 
+    /// Block until this tile's DMA completion word at local-memory
+    /// offset `done_offset` reaches `min_seq` — **event-based**: instead
+    /// of burning cycles polling the word, the core sleeps until the
+    /// engine's in-flight completion write lands (the simulated analogue
+    /// of a completion interrupt / condvar wait on the word), charging
+    /// the elapsed time as [`Counters::stall_dma_wait`] rather than busy
+    /// polling. Wakeups fire on *every* completion write to the word, so
+    /// waiting for transfer `n` while `n-1` is still in flight wakes
+    /// once per earlier completion; failed re-checks are counted in
+    /// [`Counters::dma_spurious_wakeups`].
+    ///
+    /// Panics when the word is short of `min_seq` and no completion
+    /// write is in flight — a lost event would otherwise deadlock
+    /// silently.
+    pub fn dma_event_wait(&mut self, done_offset: u32, min_seq: u32) {
+        self.dma_event_wait_any(&[(done_offset, min_seq)]);
+    }
+
+    /// Block until *any* watch `(done_offset, min_seq)` is satisfied;
+    /// returns the index of the satisfied watch (lowest index on ties,
+    /// keeping callers deterministic). Semantics per watch are those of
+    /// [`Cpu::dma_event_wait`]; the core sleeps until the earliest
+    /// in-flight completion write across all watched words.
+    pub fn dma_event_wait_any(&mut self, watches: &[(u32, u32)]) -> usize {
+        assert!(!watches.is_empty(), "empty DMA event-wait set");
+        self.ctr.dma_event_waits += 1;
+        let offsets: Vec<u32> = watches.iter().map(|&(off, _)| off).collect();
+        let mut woke = false;
+        loop {
+            // The check: one load per watched completion word.
+            self.charge_instr(watches.len() as u64);
+            let (hit, next) = self.turn(|g, _cfg, _now, me| {
+                let hit = watches.iter().position(|&(off, seq)| g.locals[me].read_u32(off) >= seq);
+                // One heap pass across every watched word: the in-flight
+                // queue can be large (every posted write and queued
+                // burst), and this runs under the scheduler lock.
+                let next = g.noc.next_completion_arrival_any(me, &offsets);
+                (hit, next)
+            });
+            if let Some(i) = hit {
+                return i;
+            }
+            if woke {
+                self.ctr.dma_spurious_wakeups += 1;
+            }
+            let Some(arrive) = next else {
+                panic!(
+                    "tile {}: dma_event_wait with no completion in flight — lost event \
+                     (watches {watches:?})",
+                    self.tile
+                );
+            };
+            // Sleep until the completion write lands: the parked core
+            // retires no instructions; the time is DMA-wait stall.
+            let stall = arrive.saturating_sub(self.clock).max(1);
+            self.charge_stall(StallCat::DmaWait, stall);
+            woke = true;
+        }
+    }
+
     /// Atomic test-and-set on the own local memory (the lock-owner fast
-    /// path of the asymmetric distributed lock [15]).
+    /// path of the asymmetric distributed lock \[15\]).
     pub fn local_test_and_set(&mut self, offset: u32) -> u8 {
         self.charge_instr(1);
         let old = self.turn(|g, _, _, me| {
@@ -1479,6 +1542,104 @@ mod tests {
         let stats = s.link_stats();
         assert!(stats[1].bursts >= 4 && stats[2].bursts >= 4, "{stats:?}");
         assert_eq!(stats[0].bursts, 0, "no controller round trip: {stats:?}");
+    }
+
+    /// The event-based wait sleeps exactly to the completion write: the
+    /// elapsed time lands in `stall_dma_wait`, the data is defined
+    /// afterwards, and an already-complete wait returns without
+    /// sleeping.
+    #[test]
+    fn dma_event_wait_sleeps_to_completion() {
+        let s = soc(4);
+        for i in 0..64u32 {
+            s.write_sdram(1024 + i * 4, &(i * 3).to_le_bytes());
+        }
+        let r = s.run(vec![
+            Box::new(|_c: &mut Cpu| {}),
+            Box::new(|cpu: &mut Cpu| {
+                let done = 0u32;
+                let seq = cpu.dma_issue(
+                    0,
+                    DmaDescriptor::contiguous(
+                        DmaKind::Sdram(DmaDir::Get),
+                        1024,
+                        256,
+                        256,
+                        64,
+                        done,
+                    ),
+                );
+                cpu.dma_event_wait(done, seq);
+                let base = local_base(1);
+                assert!(cpu.read_u32(base + done) >= seq, "wait returned before completion");
+                for i in 0..64u32 {
+                    assert_eq!(cpu.read_u32(base + 256 + i * 4), i * 3);
+                }
+                // Waiting again is free: no sleep, no spurious wakeup.
+                cpu.dma_event_wait(done, seq);
+            }),
+        ]);
+        let c = &r.per_core[1];
+        assert!(c.stall_dma_wait > 0, "the blocked time must be attributed: {c:?}");
+        assert_eq!(c.dma_event_waits, 2);
+        assert_eq!(c.dma_spurious_wakeups, 0, "one transfer, one event: {c:?}");
+        assert_eq!(c.total(), r.makespan.max(c.total()), "all cycles stay accounted");
+    }
+
+    /// Waiting for transfer `n` while `n-1` is still in flight on the
+    /// same channel wakes on the earlier completion first — a counted
+    /// spurious wakeup — and still returns only once `n` lands.
+    #[test]
+    fn dma_event_wait_counts_spurious_wakeups() {
+        let s = soc(2);
+        let r = s.run(vec![
+            Box::new(|cpu: &mut Cpu| {
+                let d = |far| {
+                    DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Get), far, 512, 1024, 256, 0)
+                };
+                let _first = cpu.dma_issue(0, d(0));
+                let second = cpu.dma_issue(0, d(4096));
+                cpu.dma_event_wait(0, second);
+                assert!(cpu.read_u32(local_base(0)) >= second);
+            }),
+            Box::new(|_c: &mut Cpu| {}),
+        ]);
+        assert_eq!(r.per_core[0].dma_spurious_wakeups, 1, "{:?}", r.per_core[0]);
+    }
+
+    /// `dma_event_wait_any` returns the watch that completes first: a
+    /// small tile-to-tile copy on channel 1 beats a large SDRAM get on
+    /// channel 0.
+    #[test]
+    fn dma_event_wait_any_returns_first_completer() {
+        let mut cfg = SocConfig::small(4);
+        cfg.dma_channels = 2;
+        let s = Soc::new(cfg);
+        s.run(vec![Box::new(|cpu: &mut Cpu| {
+            let big = cpu.dma_issue(
+                0,
+                DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Get), 0, 1024, 8192, 256, 0),
+            );
+            let small = cpu.dma_issue(
+                1,
+                DmaDescriptor::contiguous(DmaKind::Copy { dst_tile: 1 }, 0, 10240, 64, 64, 4),
+            );
+            let hit = cpu.dma_event_wait_any(&[(0, big), (4, small)]);
+            assert_eq!(hit, 1, "the small copy completes first");
+            assert_eq!(cpu.read_u32(local_base(0)), 0, "channel 0 must still be in flight");
+            cpu.dma_event_wait(0, big);
+        })]);
+    }
+
+    /// A wait with nothing in flight is a lost event: fail loudly
+    /// instead of deadlocking.
+    #[test]
+    #[should_panic(expected = "no completion in flight")]
+    fn dma_event_wait_rejects_lost_events() {
+        let s = soc(1);
+        s.run(vec![Box::new(|cpu: &mut Cpu| {
+            cpu.dma_event_wait(0, 1);
+        })]);
     }
 
     /// Multi-channel: the per-channel completion words are independent —

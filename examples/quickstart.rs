@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pmc::runtime::{read_ro, BackendKind, LockKind, System};
+use pmc::runtime::{BackendKind, LockKind, System};
 use pmc::sim::SocConfig;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -21,27 +21,26 @@ fn main() {
         let seen = AtomicU32::new(0);
         let seen_ref = &seen;
         let report = sys.run(vec![
-            // Process 1: write the payload, then raise the flag.
+            // Process 1: write the payload, then raise the flag. Each
+            // scope guard performs the exit annotation when it drops.
             Box::new(move |ctx| {
-                ctx.entry_x(x);
-                ctx.write(x, 42);
-                ctx.fence();
-                ctx.exit_x(x);
-
-                ctx.entry_x(flag);
-                ctx.write(flag, 1);
-                ctx.flush(flag); // make the flag visible soon
-                ctx.exit_x(flag);
+                {
+                    let xs = ctx.scope_x(x);
+                    xs.write(42);
+                    ctx.fence();
+                }
+                let fs = ctx.scope_x(flag);
+                fs.write(1);
+                fs.flush(); // make the flag visible soon
             }),
-            // Process 2: poll the flag, then read the payload.
+            // Process 2: poll the flag (a momentary read-only scope per
+            // probe), then read the payload.
             Box::new(move |ctx| {
-                while read_ro(ctx, flag) != 1 {
+                while ctx.scope_ro(flag).read() != 1 {
                     ctx.compute(16); // polling back-off
                 }
                 ctx.fence();
-                ctx.entry_x(x);
-                seen_ref.store(ctx.read(x), Ordering::SeqCst);
-                ctx.exit_x(x);
+                seen_ref.store(ctx.scope_x(x).read(), Ordering::SeqCst);
             }),
         ]);
 

@@ -10,9 +10,11 @@
 //!   with non-coherent caches, per-tile local memories, a write-only NoC
 //!   and SDRAM (the paper's 32-core MicroBlaze platform, simulated).
 //! * [`runtime`] (`pmc-runtime`) — the PMC approach: the annotation API
-//!   (`entry_x`/`exit_x`/`entry_ro`/`exit_ro`/`fence`/`flush`), typed
-//!   shared objects, locks, barriers, the multi-reader/multi-writer FIFO
-//!   and the four architecture back-ends (uncached, SWCC, DSM, SPM).
+//!   as typed RAII scope guards (`scope_x`/`scope_ro` returning
+//!   `XScope`/`RoScope`, plus `fence`/`flush` and `#[must_use]` DMA
+//!   tickets), typed shared objects, locks, barriers, the
+//!   multi-reader/multi-writer FIFO and the four architecture back-ends
+//!   (uncached, SWCC, DSM, SPM).
 //! * [`apps`] (`pmc-apps`) — SPLASH-2-style workloads (radiosity,
 //!   raytrace, volrend), motion estimation and litmus programs.
 //!
@@ -21,24 +23,36 @@
 //! (litmus catalogue × back-ends × lock kinds, validated against the
 //! model) lives in `tests/conformance.rs` on top of
 //! [`model::conformance`](pmc_core::conformance) and
-//! [`runtime::litmus_exec`](pmc_runtime::litmus_exec).
+//! [`runtime::litmus_exec`].
 //!
 //! ## Quick example
 //!
-//! The annotated message-passing idiom through the facade paths:
+//! Guard-based message passing (the paper's Fig. 6) through the facade
+//! paths: each scope guard performs the exit annotation when it drops,
+//! and a temporary guard gives the momentary poll/write idiom in one
+//! expression.
 //!
 //! ```
-//! use pmc::runtime::{read_ro, write_x, BackendKind, LockKind, System};
+//! use pmc::runtime::{BackendKind, LockKind, System};
 //! use pmc::sim::SocConfig;
 //!
 //! let mut sys = System::new(SocConfig::small(2), BackendKind::Dsm, LockKind::Distributed);
 //! let x = sys.alloc::<u32>("x");
+//! let flag = sys.alloc::<u32>("flag");
 //! sys.run(vec![
-//!     Box::new(move |ctx| write_x(ctx, x, 7, true)),
 //!     Box::new(move |ctx| {
-//!         while read_ro(ctx, x) != 7 {
+//!         ctx.scope_x(x).write(7); // momentary exclusive scope
+//!         ctx.fence();
+//!         let f = ctx.scope_x(flag);
+//!         f.write(1);
+//!         f.flush(); // push the flag towards visibility; drop exits
+//!     }),
+//!     Box::new(move |ctx| {
+//!         while ctx.scope_ro(flag).read() != 1 {
 //!             ctx.compute(16);
 //!         }
+//!         ctx.fence();
+//!         assert_eq!(ctx.scope_x(x).read(), 7);
 //!     }),
 //! ]);
 //! assert_eq!(sys.read_back(x), 7);

@@ -142,9 +142,7 @@ fn monitor_still_catches_planted_violations() {
     let x = sys.alloc::<u32>("x");
     sys.run(vec![
         Box::new(move |ctx| {
-            ctx.entry_x(x);
-            ctx.write(x, 1);
-            ctx.exit_x(x);
+            ctx.scope_x(x).write(1);
         }),
         Box::new(move |_ctx| {}),
     ]);

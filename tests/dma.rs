@@ -76,11 +76,13 @@ fn dma_bursts_beat_word_copy_and_links_report_contention() {
 }
 
 /// Channel scaling: on the double-buffered stream kernel, 2 channels
-/// beat 1 (the second transfer's port/link legs overlap the first
-/// channel's in-flight delivery tail instead of queueing behind it),
-/// and more channels never lose. Pinned at one and two tiles — beyond
-/// that the shared SDRAM port saturates and channels cannot add
-/// bandwidth, which the equality at 4 tiles in `fig_dma`'s table shows.
+/// beat 1 at one tile (the second transfer's port/link legs overlap the
+/// first channel's in-flight delivery tail instead of queueing behind
+/// it), and more channels never lose. With the event-based completion
+/// wait the cores sleep to the exact completion cycle — no poll-loop
+/// overshoot remains to hide — so already at two tiles the shared SDRAM
+/// port saturates and extra channels can only tie, which `fig_dma`'s
+/// channel table shows.
 #[test]
 fn two_channels_beat_one_on_double_buffered_stream() {
     // Transfer-bound configuration (no extra per-word compute): the
@@ -92,7 +94,11 @@ fn two_channels_beat_one_on_double_buffered_stream() {
         let (s4, c4, _) = run_stream_compute(StreamMode::DmaDouble, 4096, 4, tiles, 0);
         assert_eq!(s1, s2);
         assert_eq!(s1, s4);
-        assert!(c2 < c1, "{tiles} tiles: 2 channels must beat 1: {c2} vs {c1}");
+        if tiles == 1 {
+            assert!(c2 < c1, "{tiles} tiles: 2 channels must beat 1: {c2} vs {c1}");
+        } else {
+            assert!(c2 <= c1, "{tiles} tiles: 2 channels must not lose to 1: {c2} vs {c1}");
+        }
         assert!(c4 <= c2, "{tiles} tiles: 4 channels must not lose to 2: {c4} vs {c2}");
     }
 }
@@ -335,16 +341,13 @@ fn dma_copy_roundtrips_on_mesh() {
         }
         sys.run(vec![
             Box::new(move |ctx| {
-                ctx.entry_ro_stream(src.obj());
-                let t = ctx.dma_get(src, 0, 16);
-                ctx.dma_wait(t);
-                ctx.entry_x_stream(dst.obj());
-                let t = ctx.dma_copy_local(src, 4, dst, 0, 8);
-                ctx.dma_wait(t);
-                let t = ctx.dma_put(dst, 0, 8);
-                ctx.dma_wait(t);
-                ctx.exit_x(dst.obj());
-                ctx.exit_ro(src.obj());
+                let s = ctx.scope_ro_stream(src);
+                s.dma_get(0, 16).wait();
+                let d = ctx.scope_x_stream(dst);
+                d.dma_copy_from(&s, 4, 0, 8).wait();
+                d.dma_put(0, 8).wait();
+                d.close();
+                s.close();
             }),
             Box::new(|_ctx| {}),
             Box::new(|_ctx| {}),
@@ -370,12 +373,11 @@ fn monitor_rejects_read_before_dma_wait_everywhere() {
             let mut sys = System::new(cfg, backend, lock);
             let s = sys.alloc_slab::<u32>("s", 32);
             sys.run(vec![Box::new(move |ctx| {
-                ctx.entry_ro_stream(s.obj());
-                let t = ctx.dma_get(s, 0, 32);
-                let _racy: u32 = ctx.read_at(s, 1); // protocol violation
-                ctx.dma_wait(t);
-                let _fine: u32 = ctx.read_at(s, 1);
-                ctx.exit_ro(s.obj());
+                let g = ctx.scope_ro_stream(s);
+                let t = g.dma_get(0, 32);
+                let _racy: u32 = g.read_at(1); // protocol violation
+                t.wait();
+                let _fine: u32 = g.read_at(1);
             })]);
             let v = validate(&sys.soc().take_trace());
             assert!(
@@ -404,17 +406,16 @@ fn monitor_tracks_strided_element_lists() {
         let mut sys = System::new(cfg, backend, LockKind::Sdram);
         let s = sys.alloc_slab::<u32>("grid", 64); // 8 x 8
         sys.run(vec![Box::new(move |ctx| {
-            ctx.entry_ro_stream(s.obj());
+            let g = ctx.scope_ro_stream(s);
             // Gather a 4-wide, 3-row tile starting at element 8 (row 1),
             // stride 8 (one grid row).
-            let t = ctx.dma_get_2d(s, 8, 4, 3, 8);
-            let _racy: u32 = ctx.read_at(s, 16); // row 2: in flight
-            ctx.dma_wait(t);
-            let _ok0: u32 = ctx.read_at(s, 8); // row 1: gathered
-            let _ok1: u32 = ctx.read_at(s, 24); // row 3: gathered
-            let _gap: u32 = ctx.read_at(s, 12); // row 1 gap: never defined
-            let _below: u32 = ctx.read_at(s, 0); // row 0: never defined
-            ctx.exit_ro(s.obj());
+            let t = g.dma_get_2d(8, 4, 3, 8);
+            let _racy: u32 = g.read_at(16); // row 2: in flight
+            t.wait();
+            let _ok0: u32 = g.read_at(8); // row 1: gathered
+            let _ok1: u32 = g.read_at(24); // row 3: gathered
+            let _gap: u32 = g.read_at(12); // row 1 gap: never defined
+            let _below: u32 = g.read_at(0); // row 0: never defined
         })]);
         let v = validate(&sys.soc().take_trace());
         let racy = v.iter().filter(|v| v.message.contains("before dma_wait")).count();
@@ -442,16 +443,14 @@ fn dma_put_2d_publishes_exactly_its_rows() {
             sys.init_at(s, i, 1000 + i);
         }
         sys.run(vec![Box::new(move |ctx| {
-            ctx.entry_x_stream(s.obj());
+            let g = ctx.scope_x_stream(s);
             // Write a 4-wide, 3-row tile at element 8 (row 1), stride 8.
             for r in 0..3 {
                 for c in 0..4 {
-                    ctx.write_at(s, 8 + r * 8 + c, 7000 + r * 10 + c);
+                    g.write_at(8 + r * 8 + c, 7000 + r * 10 + c);
                 }
             }
-            let t = ctx.dma_put_2d(s, 8, 4, 3, 8);
-            ctx.dma_wait(t);
-            ctx.exit_x(s.obj());
+            g.dma_put_2d(8, 4, 3, 8).wait();
         })]);
         for r in 0..3 {
             for c in 0..4 {
@@ -488,16 +487,13 @@ fn dma_copy_roundtrips_on_all_backends() {
             }
             sys.run(vec![
                 Box::new(move |ctx| {
-                    ctx.entry_ro_stream(src.obj());
-                    let t = ctx.dma_get(src, 0, 16);
-                    ctx.dma_wait(t);
-                    ctx.entry_x_stream(dst.obj());
-                    let t = ctx.dma_copy_local(src, 4, dst, 0, 8);
-                    ctx.dma_wait(t);
-                    let t = ctx.dma_put(dst, 0, 8);
-                    ctx.dma_wait(t);
-                    ctx.exit_x(dst.obj());
-                    ctx.exit_ro(src.obj());
+                    let s = ctx.scope_ro_stream(src);
+                    s.dma_get(0, 16).wait();
+                    let d = ctx.scope_x_stream(dst);
+                    d.dma_copy_from(&s, 4, 0, 8).wait();
+                    d.dma_put(0, 8).wait();
+                    d.close();
+                    s.close();
                 }),
                 Box::new(|_ctx| {}),
             ]);
@@ -527,16 +523,16 @@ fn monitor_rejects_read_of_copy_destination_before_wait() {
         let dst = sys.alloc::<u32>("dst");
         sys.init(src, 7);
         sys.run(vec![Box::new(move |ctx| {
-            ctx.entry_x(src);
-            ctx.write(src, 9);
-            ctx.entry_x(dst);
-            let t = ctx.dma_copy_obj(src, dst);
-            let _racy = ctx.read(dst); // before the wait!
-            ctx.dma_wait(t);
-            let fresh = ctx.read(dst); // defined now
+            let gs = ctx.scope_x(src);
+            gs.write(9);
+            let gd = ctx.scope_x(dst);
+            let t = gd.copy_obj_from(&gs);
+            let _racy = gd.read(); // before the wait!
+            t.wait();
+            let fresh = gd.read(); // defined now
             assert_eq!(fresh, 9, "{backend:?}");
-            ctx.exit_x(dst);
-            ctx.exit_x(src);
+            gd.close();
+            gs.close();
         })]);
         let v = validate(&sys.soc().take_trace());
         assert!(

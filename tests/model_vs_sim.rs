@@ -11,7 +11,7 @@
 use pmc::model::interleave::outcomes;
 use pmc::model::litmus::catalogue;
 use pmc::runtime::monitor::validate;
-use pmc::runtime::{read_ro, BackendKind, LockKind, System};
+use pmc::runtime::{BackendKind, LockKind, System};
 use pmc::sim::SocConfig;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -37,23 +37,21 @@ fn sim_outcomes_within_model_outcomes() {
         let seen_ref = &seen;
         sys.run(vec![
             Box::new(move |ctx| {
-                ctx.entry_x(x);
-                ctx.write(x, 42);
-                ctx.fence();
-                ctx.exit_x(x);
-                ctx.entry_x(f);
-                ctx.write(f, 1);
-                ctx.flush(f);
-                ctx.exit_x(f);
+                {
+                    let xs = ctx.scope_x(x);
+                    xs.write(42);
+                    ctx.fence();
+                }
+                let fs = ctx.scope_x(f);
+                fs.write(1);
+                fs.flush();
             }),
             Box::new(move |ctx| {
-                while read_ro(ctx, f) != 1 {
+                while ctx.scope_ro(f).read() != 1 {
                     ctx.compute(12);
                 }
                 ctx.fence();
-                ctx.entry_x(x);
-                seen_ref.store(ctx.read(x), Ordering::SeqCst);
-                ctx.exit_x(x);
+                seen_ref.store(ctx.scope_x(x).read(), Ordering::SeqCst);
             }),
         ]);
         let got = seen.load(Ordering::SeqCst);
@@ -78,12 +76,13 @@ fn churn_traces_validate() {
                         Box::new(move |ctx| {
                             for i in 0..10u32 {
                                 let o = objs.at((t as u32 * 2 + i) % objs.len());
-                                ctx.entry_x(o);
-                                let v = ctx.read(o);
-                                ctx.write(o, v + 1);
-                                ctx.exit_x(o);
+                                {
+                                    let s = ctx.scope_x(o);
+                                    let v = s.read();
+                                    s.write(v + 1);
+                                }
                                 // Unlocked polling reads interleave.
-                                let _ = read_ro(ctx, objs.at(i % objs.len()));
+                                let _ = ctx.scope_ro(objs.at(i % objs.len())).read();
                                 ctx.compute(25);
                             }
                         })
@@ -109,17 +108,17 @@ fn no_backend_violates_read_monotonicity() {
         sys.run(vec![
             Box::new(move |ctx| {
                 for v in 1..=30u32 {
-                    ctx.entry_x(x);
-                    ctx.write(x, v);
-                    ctx.flush(x);
-                    ctx.exit_x(x);
+                    let xs = ctx.scope_x(x);
+                    xs.write(v);
+                    xs.flush();
+                    xs.close();
                     ctx.compute(40);
                 }
             }),
             Box::new(move |ctx| {
                 let mut prev = 0;
                 for _ in 0..60 {
-                    let v = read_ro(ctx, x);
+                    let v = ctx.scope_ro(x).read();
                     assert!(v >= prev, "{backend:?}: read went backwards {prev} -> {v}");
                     prev = v;
                     ctx.compute(15);
@@ -128,7 +127,7 @@ fn no_backend_violates_read_monotonicity() {
             Box::new(move |ctx| {
                 let mut prev = 0;
                 for _ in 0..60 {
-                    let v = read_ro(ctx, x);
+                    let v = ctx.scope_ro(x).read();
                     assert!(v >= prev, "{backend:?}: read went backwards {prev} -> {v}");
                     prev = v;
                     ctx.compute(23);

@@ -3,7 +3,7 @@
 //! produce consistent results.
 
 use pmc::apps::workload::{run_workload, Workload, WorkloadParams};
-use pmc::runtime::{read_ro, BackendKind, LockKind, System};
+use pmc::runtime::{BackendKind, LockKind, System};
 use pmc::sim::SocConfig;
 
 #[test]
@@ -81,23 +81,21 @@ fn annotated_mp_reads_42_everywhere() {
             let seen_ref = &seen;
             sys.run(vec![
                 Box::new(move |ctx| {
-                    ctx.entry_x(x);
-                    ctx.write(x, 42);
-                    ctx.fence();
-                    ctx.exit_x(x);
-                    ctx.entry_x(f);
-                    ctx.write(f, 1);
-                    ctx.flush(f);
-                    ctx.exit_x(f);
+                    {
+                        let xs = ctx.scope_x(x);
+                        xs.write(42);
+                        ctx.fence();
+                    }
+                    let fs = ctx.scope_x(f);
+                    fs.write(1);
+                    fs.flush();
                 }),
                 Box::new(move |ctx| {
-                    while read_ro(ctx, f) != 1 {
+                    while ctx.scope_ro(f).read() != 1 {
                         ctx.compute(16);
                     }
                     ctx.fence();
-                    ctx.entry_x(x);
-                    seen_ref.store(ctx.read(x), std::sync::atomic::Ordering::SeqCst);
-                    ctx.exit_x(x);
+                    seen_ref.store(ctx.scope_x(x).read(), std::sync::atomic::Ordering::SeqCst);
                 }),
             ]);
             assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 42, "{backend:?}/{lock:?}");
