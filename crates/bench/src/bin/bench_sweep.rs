@@ -1,0 +1,93 @@
+//! State-space sweep over the conformance catalogue: explored states and
+//! wall time for each enumeration mode — plain DFS, memoized, partial-
+//! order-reduced, and POR+memoized — per case and in total. This is the
+//! measured justification for `Limits::reduced_memoized()` being the
+//! fuzzing default: POR composes with memoization and shrinks the search
+//! on every catalogue program without changing a single outcome set (the
+//! preservation proof lives in `interleave::tests` and
+//! `tests/fuzz.rs`; this binary measures the win).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_sweep            # print the JSON report to stdout
+//! bench_sweep --write    # also write it to BENCH_sweep.json
+//! bench_sweep --smoke    # capped state budget, for CI sanity ticks
+//! ```
+//!
+//! The JSON is hand-rolled (no serde in the workspace): one object per
+//! case with `{states, ms}` per mode, plus totals.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pmc_core::conformance;
+use pmc_core::interleave::{outcomes_counted, Limits};
+
+type ModeLimits = fn() -> Limits;
+
+const MODES: [(&str, ModeLimits); 4] = [
+    ("plain", || Limits { memoize: false, por: false, ..Limits::default() }),
+    ("memoized", Limits::memoized),
+    ("por", Limits::reduced),
+    ("por_memoized", Limits::reduced_memoized),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(unknown) = args.iter().find(|a| *a != "--write" && *a != "--smoke") {
+        eprintln!("unknown flag {unknown}; usage: bench_sweep [--write] [--smoke]");
+        std::process::exit(2);
+    }
+    // The smoke tier caps the budget so a CI tick stays a tick; exhausted
+    // cells are reported as null rather than failing.
+    let max_states = if smoke { 200_000 } else { 50_000_000 };
+
+    let mut json = String::new();
+    json.push_str("{\n  \"cases\": [\n");
+    let mut totals = [(0usize, 0.0f64); MODES.len()];
+    let cases = conformance::cases();
+    for (ci, case) in cases.iter().enumerate() {
+        let lowered = conformance::lower(&case.program);
+        let instrs: usize = lowered.threads.iter().map(|t| t.len()).sum();
+        let _ = write!(json, "    {{\"name\": \"{}\", \"instrs\": {instrs}", case.name);
+        let mut outcome_sets = Vec::new();
+        for (mi, (mode, limits)) in MODES.iter().enumerate() {
+            let lim = Limits { max_states, ..limits() };
+            let t0 = Instant::now();
+            match outcomes_counted(&lowered, lim) {
+                Ok((outs, states)) => {
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    totals[mi].0 += states;
+                    totals[mi].1 += ms;
+                    let _ = write!(json, ", \"{mode}\": {{\"states\": {states}, \"ms\": {ms:.2}}}");
+                    outcome_sets.push(outs);
+                }
+                Err(_) => {
+                    let _ = write!(json, ", \"{mode}\": null");
+                    eprintln!("{}: {mode} exhausted {max_states} states", case.name);
+                }
+            }
+        }
+        // Belt and braces: every mode that completed must agree.
+        for pair in outcome_sets.windows(2) {
+            assert_eq!(pair[0], pair[1], "{}: outcome sets differ across modes", case.name);
+        }
+        json.push_str(if ci + 1 < cases.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ],\n  \"totals\": {");
+    for (mi, (mode, _)) in MODES.iter().enumerate() {
+        let (states, ms) = totals[mi];
+        let sep = if mi == 0 { "" } else { ", " };
+        let _ = write!(json, "{sep}\"{mode}\": {{\"states\": {states}, \"ms\": {ms:.2}}}");
+    }
+    json.push_str("}\n}\n");
+
+    print!("{json}");
+    if write {
+        std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+        eprintln!("wrote BENCH_sweep.json");
+    }
+}

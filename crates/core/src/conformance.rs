@@ -96,6 +96,16 @@ pub fn cases() -> Vec<Case> {
             program: catalogue::drf_fenced_cross_locks(),
             golden: "0|1\n1|0\n1|1\n",
         },
+        Case {
+            name: "fuzz_get_sees_own_write",
+            program: catalogue::fuzz_get_sees_own_write(),
+            golden: "1|0\n1|1\n",
+        },
+        Case {
+            name: "fuzz_write_after_get_orders",
+            program: catalogue::fuzz_write_after_get_orders(),
+            golden: "0|-\n2|-\n",
+        },
     ]
 }
 
@@ -146,9 +156,13 @@ pub fn lower(p: &Program) -> Program {
                 Instr::DmaCopy(s, d) if !held.contains(s) || !held.contains(d) => {
                     // Momentary windows for whichever endpoints are bare
                     // (the runtime requires scopes on both), waited
-                    // before the releases.
-                    let need: Vec<LocId> =
+                    // before the releases. Acquired in ascending LocId
+                    // order so the lowering respects the same global lock
+                    // order deadlock-free generated programs follow.
+                    let mut need: Vec<LocId> =
                         [*s, *d].into_iter().filter(|v| !held.contains(v)).collect();
+                    need.sort_unstable_by_key(|l| l.0);
+                    need.dedup();
                     for v in &need {
                         instrs.push(Instr::Acquire(*v));
                     }

@@ -43,11 +43,38 @@ pub struct Limits {
     /// `memoization_preserves_outcome_sets` test) while the explored
     /// state count can drop by orders of magnitude on wide programs.
     pub memoize: bool,
+    /// Opt-in partial-order reduction via location-disjoint ample sets.
+    ///
+    /// At each DFS node the enumerator looks for a *safe* step: one whose
+    /// touched locations are disjoint from every remaining instruction of
+    /// every other thread, and whose order-sensitive same-thread
+    /// neighbours are all gated by a text-order Table I dependency. Such
+    /// a step commutes with everything that could run before it — the
+    /// only cross-process couplings in PMC are same-location (the ≺S
+    /// release→acquire rule, the lock table, read candidacy), and fences
+    /// are per-process — so exploring *only* that step (a singleton
+    /// persistent set; the state space of a straight-line litmus program
+    /// is acyclic, so the ignoring problem cannot arise) preserves the
+    /// set of completed-run outcomes. Safety is checked in both rule
+    /// directions because Table I is asymmetric: a release may overtake
+    /// an earlier fence (the `(F, R)` cell is empty) and an acquire may
+    /// overtake plain accesses of its location, so a candidate is unsafe
+    /// whenever a remaining neighbour could still legally run on either
+    /// side of it. Outcome preservation over the whole conformance
+    /// catalogue is pinned by `por_preserves_outcome_sets` and
+    /// differentially re-checked per fuzzed program by `tests/fuzz.rs`.
+    ///
+    /// Composes with [`Limits::memoize`]: the ample choice is a pure
+    /// function of the node, so the reduced transition relation is
+    /// state-deterministic and visited-state pruning stays sound (unlike
+    /// sleep sets, whose per-path sleep state is notoriously unsound to
+    /// combine with naive state caching).
+    pub por: bool,
 }
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_states: 20_000_000, memoize: false }
+        Limits { max_states: 20_000_000, memoize: false, por: false }
     }
 }
 
@@ -55,6 +82,17 @@ impl Limits {
     /// Default limits with memoization enabled.
     pub fn memoized() -> Self {
         Limits { memoize: true, ..Limits::default() }
+    }
+
+    /// Default limits with partial-order reduction enabled.
+    pub fn reduced() -> Self {
+        Limits { por: true, ..Limits::default() }
+    }
+
+    /// Default limits with both partial-order reduction and memoization —
+    /// the cheapest sound configuration for sweep-sized programs.
+    pub fn reduced_memoized() -> Self {
+        Limits { por: true, memoize: true, ..Limits::default() }
     }
 }
 
@@ -152,6 +190,58 @@ fn open_transfers(thread: &[Instr], idx: usize) -> Vec<usize> {
     (prev_wait..idx).filter(|&j| thread[j].is_dma_transfer()).collect()
 }
 
+/// Every location instruction `idx` of `thread` can touch across both of
+/// its phases: its signature locations, plus — for a [`Instr::DmaWait`],
+/// whose signature is location-free but whose execution marks the
+/// completion of every open transfer — the locations those transfers
+/// touch.
+fn instr_locs(thread: &[Instr], idx: usize) -> Vec<LocId> {
+    let sig_locs = |i: usize| {
+        let (sigs, n) = instr_sigs(&thread[i]);
+        sigs.into_iter().take(n).filter_map(|(_, l)| l)
+    };
+    match thread[idx] {
+        Instr::DmaWait => open_transfers(thread, idx).into_iter().flat_map(sig_locs).collect(),
+        _ => sig_locs(idx).collect(),
+    }
+}
+
+/// Can the relative execution order of two instructions of one thread
+/// matter? Either a Table I dependency exists in *some* direction (the
+/// table is asymmetric: `release → fence` orders but `fence → release`
+/// does not, so a release may overtake an earlier fence and the two
+/// orders build different graphs), or the instructions share a location
+/// (reads of one location interact through the monotonicity floor and
+/// DMA markers even where the table has no cell).
+fn order_sensitive(thread: &[Instr], i: usize, j: usize) -> bool {
+    intra_thread_dep(&thread[i], &thread[j]) || intra_thread_dep(&thread[j], &thread[i]) || {
+        let a = instr_locs(thread, i);
+        instr_locs(thread, j).iter().any(|l| a.contains(l))
+    }
+}
+
+/// Which of an instruction's two phases a DFS step executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Issue in (possibly reordered) program order.
+    Issue,
+    /// The floating data movement of an issued DMA transfer.
+    Perform,
+}
+
+/// The partial-order-reduction decision at a node.
+enum PorChoice {
+    /// A safe, enabled step was found: explore only it.
+    Step(usize, usize, Phase),
+    /// A safe step exists but is permanently disabled (its locations are
+    /// private to its thread and its dependencies are met, so nothing can
+    /// ever enable it): the thread can never complete, hence no completed
+    /// run — and no outcome — exists below this node.
+    Stuck,
+    /// No safe step: fall back to full branching.
+    Full,
+}
+
 struct Search<'p> {
     program: &'p Program,
     limits: Limits,
@@ -159,6 +249,13 @@ struct Search<'p> {
     outcomes: BTreeSet<Outcome>,
     /// Canonical states already explored (memoization, opt-in).
     seen: Option<std::collections::HashSet<Vec<u64>>>,
+    /// Static per-instruction footprints (`instr_locs`), precomputed when
+    /// POR is on — they depend only on program text, and the safety check
+    /// runs on every DFS node.
+    locs: Vec<Vec<Vec<LocId>>>,
+    /// Static per-thread order-sensitivity matrices (`sensitive[t][i *
+    /// len + j]`), precomputed for the same reason.
+    sensitive: Vec<Vec<bool>>,
 }
 
 #[derive(Clone)]
@@ -235,12 +332,39 @@ pub fn outcomes_counted(
     let regs = (0..program.threads.len()).map(|t| vec![0; program.reg_count(t)]).collect();
     let issued: Vec<Vec<bool>> = program.threads.iter().map(|t| vec![false; t.len()]).collect();
     let root = Node { model, performed: issued.clone(), issued, regs };
+    let (locs, sensitive) = if limits.por {
+        (
+            program
+                .threads
+                .iter()
+                .map(|t| (0..t.len()).map(|i| instr_locs(t, i)).collect())
+                .collect(),
+            program
+                .threads
+                .iter()
+                .map(|t| {
+                    let n = t.len();
+                    let mut m = vec![false; n * n];
+                    for i in 0..n {
+                        for j in 0..n {
+                            m[i * n + j] = order_sensitive(t, i, j);
+                        }
+                    }
+                    m
+                })
+                .collect(),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
     let mut search = Search {
         program,
         limits,
         states: 0,
         outcomes: BTreeSet::new(),
         seen: limits.memoize.then(std::collections::HashSet::new),
+        locs,
+        sensitive,
     };
     search.dfs(root)?;
     Ok((search.outcomes, search.states))
@@ -259,189 +383,33 @@ impl<'p> Search<'p> {
                 return Ok(());
             }
         }
+        if self.limits.por {
+            match self.por_choice(&node) {
+                PorChoice::Step(t, idx, Phase::Perform) => {
+                    self.explore_perform(&node, t, idx)?;
+                    return Ok(());
+                }
+                PorChoice::Step(t, idx, Phase::Issue) => {
+                    self.explore_issue(&node, t, idx)?;
+                    return Ok(());
+                }
+                PorChoice::Stuck => return Ok(()),
+                PorChoice::Full => {}
+            }
+        }
         let mut any_step = false;
         for t in 0..self.program.threads.len() {
             let thread = &self.program.threads[t];
-            let p = ProcId(t as u16);
             // Perform steps: issued-but-unperformed DMA transfers may
             // execute their floating data movement at any point.
-            for (idx, instr) in thread.iter().enumerate() {
-                if !node.issued[t][idx] || node.performed[t][idx] {
-                    continue;
-                }
-                match instr {
-                    Instr::DmaPut(v, value) => {
-                        any_step = true;
-                        let mut next = node.clone();
-                        next.model.write(p, *v, *value);
-                        next.performed[t][idx] = true;
-                        self.dfs(next)?;
-                    }
-                    Instr::DmaCopy(s, d) => {
-                        // Sample the source (branching over every
-                        // model-allowed value) and write the destination
-                        // at one floating point.
-                        let mut probe = node.clone();
-                        let cands = probe.model.read_candidates(p, *s);
-                        let mut values: Vec<Value> = cands.iter().map(|&(_, val)| val).collect();
-                        values.sort_unstable();
-                        values.dedup();
-                        for value in values {
-                            any_step = true;
-                            let mut next = node.clone();
-                            next.model
-                                .read_value(p, *s, value)
-                                .expect("candidate value must be readable");
-                            next.model.write(p, *d, value);
-                            next.performed[t][idx] = true;
-                            self.dfs(next)?;
-                        }
-                    }
-                    Instr::DmaGet(v, reg) => {
-                        // Like a plain read: branch over every
-                        // model-allowed value at the sample point.
-                        let mut probe = node.clone();
-                        let cands = probe.model.read_candidates(p, *v);
-                        let mut values: Vec<Value> = cands.iter().map(|&(_, val)| val).collect();
-                        values.sort_unstable();
-                        values.dedup();
-                        for value in values {
-                            any_step = true;
-                            let mut next = node.clone();
-                            next.model
-                                .read_value(p, *v, value)
-                                .expect("candidate value must be readable");
-                            next.regs[t][reg.0 as usize] = value;
-                            next.performed[t][idx] = true;
-                            self.dfs(next)?;
-                        }
-                    }
-                    other => unreachable!("{other:?} is single-phase"),
+            for idx in 0..thread.len() {
+                if node.issued[t][idx] && !node.performed[t][idx] {
+                    any_step |= self.explore_perform(&node, t, idx)?;
                 }
             }
             for idx in 0..thread.len() {
-                if !node.ready(self.program, t, idx) {
-                    continue;
-                }
-                match &thread[idx] {
-                    Instr::Write(v, value) => {
-                        any_step = true;
-                        let mut next = node.clone();
-                        next.model.write(p, *v, *value);
-                        next.issued[t][idx] = true;
-                        next.performed[t][idx] = true;
-                        self.dfs(next)?;
-                    }
-                    Instr::Fence => {
-                        any_step = true;
-                        let mut next = node.clone();
-                        next.model.fence(p);
-                        next.issued[t][idx] = true;
-                        next.performed[t][idx] = true;
-                        self.dfs(next)?;
-                    }
-                    Instr::Acquire(v) => {
-                        if node.model.can_acquire(*v) {
-                            any_step = true;
-                            let mut next = node.clone();
-                            next.model.acquire(p, *v).expect("checked can_acquire");
-                            next.issued[t][idx] = true;
-                            next.performed[t][idx] = true;
-                            self.dfs(next)?;
-                        }
-                    }
-                    Instr::Release(v) => {
-                        any_step = true;
-                        let mut next = node.clone();
-                        next.model.release(p, *v).expect("litmus programs are lock-balanced");
-                        next.issued[t][idx] = true;
-                        next.performed[t][idx] = true;
-                        self.dfs(next)?;
-                    }
-                    Instr::Read(v, reg) => {
-                        // Branch over every model-allowed value (dedup:
-                        // distinct writes of equal values give one
-                        // outcome).
-                        let mut probe = node.clone();
-                        let cands = probe.model.read_candidates(p, *v);
-                        let mut values: Vec<Value> = cands.iter().map(|&(_, val)| val).collect();
-                        values.sort_unstable();
-                        values.dedup();
-                        for value in values {
-                            any_step = true;
-                            let mut next = node.clone();
-                            next.model
-                                .read_value(p, *v, value)
-                                .expect("candidate value must be readable");
-                            next.regs[t][reg.0 as usize] = value;
-                            next.issued[t][idx] = true;
-                            next.performed[t][idx] = true;
-                            self.dfs(next)?;
-                        }
-                    }
-                    Instr::WaitEq(v, value) => {
-                        // Enabled only when the awaited value is readable;
-                        // eventual visibility (liveness) is assumed, so
-                        // paths where it is not yet readable simply do not
-                        // take this step.
-                        let mut probe = node.clone();
-                        let ok = probe
-                            .model
-                            .read_candidates(p, *v)
-                            .iter()
-                            .any(|&(_, val)| val == *value);
-                        if ok {
-                            any_step = true;
-                            let mut next = node.clone();
-                            next.model
-                                .read_value(p, *v, *value)
-                                .expect("candidate value must be readable");
-                            next.issued[t][idx] = true;
-                            next.performed[t][idx] = true;
-                            self.dfs(next)?;
-                        }
-                    }
-                    Instr::DmaPut(v, _) | Instr::DmaGet(v, _) => {
-                        // Issue step only: the data movement floats as a
-                        // separate perform step (loop above).
-                        any_step = true;
-                        let mut next = node.clone();
-                        next.model.dma_issue(p, *v);
-                        next.issued[t][idx] = true;
-                        self.dfs(next)?;
-                    }
-                    Instr::DmaCopy(s, d) => {
-                        // Issue markers on both endpoints; the combined
-                        // read/write floats as one perform step.
-                        any_step = true;
-                        let mut next = node.clone();
-                        next.model.dma_issue(p, *s);
-                        next.model.dma_issue(p, *d);
-                        next.issued[t][idx] = true;
-                        self.dfs(next)?;
-                    }
-                    Instr::DmaWait => {
-                        // Ready only once every outstanding transfer has
-                        // performed (intra-thread dependency); mark the
-                        // completion of each waited location.
-                        any_step = true;
-                        let mut next = node.clone();
-                        let mut locs: Vec<LocId> = open_transfers(thread, idx)
-                            .into_iter()
-                            .flat_map(|j| {
-                                let (sigs, n) = instr_sigs(&thread[j]);
-                                sigs.into_iter().take(n).filter_map(|(_, l)| l)
-                            })
-                            .collect();
-                        locs.sort_unstable_by_key(|l| l.0);
-                        locs.dedup();
-                        for v in locs {
-                            next.model.dma_complete(p, v);
-                        }
-                        next.issued[t][idx] = true;
-                        next.performed[t][idx] = true;
-                        self.dfs(next)?;
-                    }
+                if node.ready(self.program, t, idx) {
+                    any_step |= self.explore_issue(&node, t, idx)?;
                 }
             }
         }
@@ -457,6 +425,266 @@ impl<'p> Search<'p> {
             }
         }
         Ok(())
+    }
+
+    /// Find the ample step at `node`, if any: the first candidate step (in
+    /// thread, then perform-before-issue, then index order — a pure
+    /// function of the node, which keeps memoization sound) that is
+    /// *safe*: location-disjoint from every other thread's remaining
+    /// instructions and dependency-gated against its own thread's
+    /// order-sensitive neighbours.
+    fn por_choice(&self, node: &Node) -> PorChoice {
+        for t in 0..self.program.threads.len() {
+            let thread = &self.program.threads[t];
+            for idx in 0..thread.len() {
+                let phase = if node.issued[t][idx] {
+                    if node.performed[t][idx] {
+                        continue;
+                    }
+                    Phase::Perform
+                } else if node.ready(self.program, t, idx) {
+                    Phase::Issue
+                } else {
+                    continue;
+                };
+                if !self.safe(node, t, idx) {
+                    continue;
+                }
+                // A safe step's enabledness can never change again:
+                // nothing outside this thread touches its locations, and
+                // every in-thread enabler is dependency-ordered after it.
+                // So a disabled safe step means the thread is permanently
+                // blocked. The only disabledness that needs checking here
+                // is a held lock — a read-shaped step with no candidates
+                // simply explores zero branches below, which prunes the
+                // same way. (A safe acquire's lock is in fact never held
+                // on lock-balanced programs: a holder's future release
+                // would share the location and break safety. The check
+                // stays for robustness on unbalanced inputs.)
+                return match &self.program.threads[t][idx] {
+                    Instr::Acquire(v) if !node.model.can_acquire(*v) => PorChoice::Stuck,
+                    _ => PorChoice::Step(t, idx, phase),
+                };
+            }
+        }
+        PorChoice::Full
+    }
+
+    /// Is the step at `(t, idx)` independent of everything that could run
+    /// before it?
+    fn safe(&self, node: &Node, t: usize, idx: usize) -> bool {
+        let thread = &self.program.threads[t];
+        let fp = &self.locs[t][idx];
+        // Cross-thread: every coupling between processes in PMC is
+        // same-location (≺S, the lock table, read candidacy; fences are
+        // per-process), so location-disjointness from every remaining
+        // instruction of every other thread is independence.
+        for (u, other) in self.locs.iter().enumerate() {
+            if u == t {
+                continue;
+            }
+            for (j, other_fp) in other.iter().enumerate() {
+                if !node.performed[u][j] && other_fp.iter().any(|l| fp.contains(l)) {
+                    return false;
+                }
+            }
+        }
+        // Own thread: every remaining order-sensitive neighbour must be
+        // gated by a text-order dependency — behind the step it must
+        // already have performed for the step to be ready, ahead of it it
+        // cannot issue until the step completes. An ungated sensitive
+        // neighbour could legally run on either side, and the two orders
+        // are not guaranteed to commute.
+        let n = thread.len();
+        for j in 0..n {
+            if j == idx || node.performed[t][j] || !self.sensitive[t][idx * n + j] {
+                continue;
+            }
+            let gated = if j < idx {
+                intra_thread_dep(&thread[j], &thread[idx])
+            } else {
+                intra_thread_dep(&thread[idx], &thread[j])
+            };
+            if !gated {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Execute the floating data movement of the issued DMA transfer at
+    /// `(t, idx)`, branching over every model-allowed sample. Returns
+    /// whether any branch was taken.
+    fn explore_perform(&mut self, node: &Node, t: usize, idx: usize) -> Result<bool, Exhausted> {
+        let p = ProcId(t as u16);
+        let mut any_step = false;
+        match &self.program.threads[t][idx] {
+            Instr::DmaPut(v, value) => {
+                any_step = true;
+                let mut next = node.clone();
+                next.model.write(p, *v, *value);
+                next.performed[t][idx] = true;
+                self.dfs(next)?;
+            }
+            Instr::DmaCopy(s, d) => {
+                // Sample the source (branching over every model-allowed
+                // value) and write the destination at one floating point.
+                let mut probe = node.model.clone();
+                let cands = probe.read_candidates(p, *s);
+                let mut values: Vec<Value> = cands.iter().map(|&(_, val)| val).collect();
+                values.sort_unstable();
+                values.dedup();
+                for value in values {
+                    any_step = true;
+                    let mut next = node.clone();
+                    next.model.read_value(p, *s, value).expect("candidate value must be readable");
+                    next.model.write(p, *d, value);
+                    next.performed[t][idx] = true;
+                    self.dfs(next)?;
+                }
+            }
+            Instr::DmaGet(v, reg) => {
+                // Like a plain read: branch over every model-allowed
+                // value at the sample point.
+                let mut probe = node.model.clone();
+                let cands = probe.read_candidates(p, *v);
+                let mut values: Vec<Value> = cands.iter().map(|&(_, val)| val).collect();
+                values.sort_unstable();
+                values.dedup();
+                for value in values {
+                    any_step = true;
+                    let mut next = node.clone();
+                    next.model.read_value(p, *v, value).expect("candidate value must be readable");
+                    next.regs[t][reg.0 as usize] = value;
+                    next.performed[t][idx] = true;
+                    self.dfs(next)?;
+                }
+            }
+            other => unreachable!("{other:?} is single-phase"),
+        }
+        Ok(any_step)
+    }
+
+    /// Issue the instruction at `(t, idx)` (the caller has checked
+    /// [`Node::ready`]), branching over read values where the model
+    /// allows several. Returns whether any branch was taken.
+    fn explore_issue(&mut self, node: &Node, t: usize, idx: usize) -> Result<bool, Exhausted> {
+        let thread = &self.program.threads[t];
+        let p = ProcId(t as u16);
+        let mut any_step = false;
+        match &thread[idx] {
+            Instr::Write(v, value) => {
+                any_step = true;
+                let mut next = node.clone();
+                next.model.write(p, *v, *value);
+                next.issued[t][idx] = true;
+                next.performed[t][idx] = true;
+                self.dfs(next)?;
+            }
+            Instr::Fence => {
+                any_step = true;
+                let mut next = node.clone();
+                next.model.fence(p);
+                next.issued[t][idx] = true;
+                next.performed[t][idx] = true;
+                self.dfs(next)?;
+            }
+            Instr::Acquire(v) => {
+                if node.model.can_acquire(*v) {
+                    any_step = true;
+                    let mut next = node.clone();
+                    next.model.acquire(p, *v).expect("checked can_acquire");
+                    next.issued[t][idx] = true;
+                    next.performed[t][idx] = true;
+                    self.dfs(next)?;
+                }
+            }
+            Instr::Release(v) => {
+                any_step = true;
+                let mut next = node.clone();
+                next.model.release(p, *v).expect("litmus programs are lock-balanced");
+                next.issued[t][idx] = true;
+                next.performed[t][idx] = true;
+                self.dfs(next)?;
+            }
+            Instr::Read(v, reg) => {
+                // Branch over every model-allowed value (dedup:
+                // distinct writes of equal values give one
+                // outcome).
+                let mut probe = node.clone();
+                let cands = probe.model.read_candidates(p, *v);
+                let mut values: Vec<Value> = cands.iter().map(|&(_, val)| val).collect();
+                values.sort_unstable();
+                values.dedup();
+                for value in values {
+                    any_step = true;
+                    let mut next = node.clone();
+                    next.model.read_value(p, *v, value).expect("candidate value must be readable");
+                    next.regs[t][reg.0 as usize] = value;
+                    next.issued[t][idx] = true;
+                    next.performed[t][idx] = true;
+                    self.dfs(next)?;
+                }
+            }
+            Instr::WaitEq(v, value) => {
+                // Enabled only when the awaited value is readable;
+                // eventual visibility (liveness) is assumed, so
+                // paths where it is not yet readable simply do not
+                // take this step.
+                let mut probe = node.clone();
+                let ok = probe.model.read_candidates(p, *v).iter().any(|&(_, val)| val == *value);
+                if ok {
+                    any_step = true;
+                    let mut next = node.clone();
+                    next.model.read_value(p, *v, *value).expect("candidate value must be readable");
+                    next.issued[t][idx] = true;
+                    next.performed[t][idx] = true;
+                    self.dfs(next)?;
+                }
+            }
+            Instr::DmaPut(v, _) | Instr::DmaGet(v, _) => {
+                // Issue step only: the data movement floats as a
+                // separate perform step (loop above).
+                any_step = true;
+                let mut next = node.clone();
+                next.model.dma_issue(p, *v);
+                next.issued[t][idx] = true;
+                self.dfs(next)?;
+            }
+            Instr::DmaCopy(s, d) => {
+                // Issue markers on both endpoints; the combined
+                // read/write floats as one perform step.
+                any_step = true;
+                let mut next = node.clone();
+                next.model.dma_issue(p, *s);
+                next.model.dma_issue(p, *d);
+                next.issued[t][idx] = true;
+                self.dfs(next)?;
+            }
+            Instr::DmaWait => {
+                // Ready only once every outstanding transfer has
+                // performed (intra-thread dependency); mark the
+                // completion of each waited location.
+                any_step = true;
+                let mut next = node.clone();
+                let mut locs: Vec<LocId> = open_transfers(thread, idx)
+                    .into_iter()
+                    .flat_map(|j| {
+                        let (sigs, n) = instr_sigs(&thread[j]);
+                        sigs.into_iter().take(n).filter_map(|(_, l)| l)
+                    })
+                    .collect();
+                locs.sort_unstable_by_key(|l| l.0);
+                locs.dedup();
+                for v in locs {
+                    next.model.dma_complete(p, v);
+                }
+                next.issued[t][idx] = true;
+                next.performed[t][idx] = true;
+                self.dfs(next)?;
+            }
+        }
+        Ok(any_step)
     }
 }
 
@@ -727,5 +955,59 @@ mod tests {
             memo_states * 2 < plain_states,
             "expected substantial pruning: {memo_states} vs {plain_states}"
         );
+    }
+
+    /// The differential proof obligation for partial-order reduction: on
+    /// the *entire* conformance catalogue (lowered exactly as the sweep
+    /// runs it), POR — alone and composed with memoization — produces
+    /// bit-identical outcome sets while never exploring more states, and
+    /// strictly fewer in aggregate.
+    #[test]
+    fn por_preserves_outcome_sets() {
+        let mut total_plain = 0usize;
+        let mut total_por = 0usize;
+        let mut total_memo = 0usize;
+        let mut total_both = 0usize;
+        for case in crate::conformance::cases() {
+            let p = crate::conformance::lower(&case.program);
+            let (plain, plain_states) = outcomes_counted(&p, Limits::default()).unwrap();
+            let (por, por_states) = outcomes_counted(&p, Limits::reduced()).unwrap();
+            let (memo, memo_states) = outcomes_counted(&p, Limits::memoized()).unwrap();
+            let (both, both_states) = outcomes_counted(&p, Limits::reduced_memoized()).unwrap();
+            assert_eq!(plain, por, "{}: POR changed the outcome set", case.name);
+            assert_eq!(plain, both, "{}: POR+memo changed the outcome set", case.name);
+            assert_eq!(plain, memo, "{}: memoization changed the outcome set", case.name);
+            assert!(por_states <= plain_states, "{}: {por_states} > {plain_states}", case.name);
+            assert!(both_states <= memo_states, "{}: {both_states} > {memo_states}", case.name);
+            total_plain += plain_states;
+            total_por += por_states;
+            total_memo += memo_states;
+            total_both += both_states;
+        }
+        assert!(total_por < total_plain, "POR must strictly reduce: {total_por} vs {total_plain}");
+        assert!(
+            total_both < total_memo,
+            "POR+memo must strictly reduce: {total_both} vs {total_memo}"
+        );
+    }
+
+    /// POR leaves a deadlocking program's (empty) outcome set empty: a
+    /// safe-but-disabled step is a permanently stuck thread, and the
+    /// pruned subtree holds no completed runs.
+    #[test]
+    fn por_agrees_on_deadlock() {
+        // Two threads acquiring x/y in opposite orders: some interleavings
+        // deadlock (pruned), some complete. Both modes must agree.
+        let p = Program {
+            threads: vec![
+                vec![Acquire(L(0)), Acquire(L(1)), Release(L(1)), Release(L(0))],
+                vec![Acquire(L(1)), Acquire(L(0)), Release(L(0)), Release(L(1))],
+            ],
+            init: vec![],
+        };
+        let plain = outcomes(&p).unwrap();
+        let por = outcomes_with(&p, Limits::reduced()).unwrap();
+        assert_eq!(plain, por);
+        assert!(!plain.is_empty(), "the non-deadlocking interleavings complete");
     }
 }

@@ -30,6 +30,8 @@
 //! * [`litmus`] — a small program DSL for litmus tests.
 //! * [`interleave`] — bounded-exhaustive enumeration of every outcome the
 //!   PMC model allows for a litmus program.
+//! * [`fuzz`] — seeded random litmus-program generation plus a
+//!   delta-debugging shrinker, for the adversarial conformance harness.
 //! * [`models`] — reference checkers for Sequential, Processor, Cache and
 //!   Slow Consistency, used to reproduce the paper's Section IV-E
 //!   comparisons.
@@ -55,6 +57,7 @@ pub mod conformance;
 pub mod dot;
 pub mod exec_state;
 pub mod execution;
+pub mod fuzz;
 pub mod interleave;
 pub mod litmus;
 pub mod models;

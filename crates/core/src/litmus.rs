@@ -418,6 +418,42 @@ pub mod catalogue {
                 Instr::Release(X),
             ])
     }
+
+    /// Fuzzer-promoted (shrunk from `fuzz::generate` seed `0x3042`,
+    /// found diverging on the SPM back-end): a scoped DMA get of a
+    /// location the *same scope* already wrote must observe the staged
+    /// write, not re-fetch the stale home copy over it. The model pins
+    /// `r0 = 1`; the racing bare reader may see 0 or 1.
+    pub fn fuzz_get_sees_own_write() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::Write(X, 1),
+                Instr::DmaGet(X, Reg(0)),
+                Instr::DmaWait,
+                Instr::Release(X),
+            ])
+            .thread(vec![Instr::Read(X, Reg(0))])
+    }
+
+    /// Fuzzer-promoted (shrunk from `fuzz::generate` seed `0x303c`,
+    /// found diverging on the uncached back-end): a plain write after a
+    /// scoped DMA get of the same location waits for the get's floating
+    /// perform, so the get samples the *pre-write* value — 0, or the
+    /// competing bare put's 2, but never this thread's own later 2.
+    pub fn fuzz_write_after_get_orders() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .thread(vec![
+                Instr::Acquire(X),
+                Instr::DmaGet(X, Reg(0)),
+                Instr::Write(X, 2),
+                Instr::DmaWait,
+                Instr::Release(X),
+            ])
+            .thread(vec![Instr::DmaPut(X, 2)])
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +487,8 @@ mod tests {
             catalogue::dma_chan_overlap(),
             catalogue::drf_no_fence_cross_locks(),
             catalogue::drf_fenced_cross_locks(),
+            catalogue::fuzz_get_sees_own_write(),
+            catalogue::fuzz_write_after_get_orders(),
         ] {
             assert!(!p.threads.is_empty());
             // Acquire/Release balance per thread per location.

@@ -11,6 +11,10 @@
 //!   writes inside them going through the open guard;
 //! * bare writes become momentary exclusive guards (the runtime only
 //!   ever writes shared data under exclusive access);
+//! * bare DMA transfers likewise become momentary exclusive windows,
+//!   waited before they close — and because the model's `DmaWait`
+//!   completes *every* open transfer of the thread, the window's drain
+//!   waits all outstanding tickets, not just its own;
 //! * bare reads become momentary read-only guards
 //!   (`ctx.scope_ro(x).read()`) — on word-sized objects the scope takes
 //!   no lock (Table II), i.e. the model's plain slow read;
@@ -115,6 +119,45 @@ pub fn run_litmus_on(
                     let mut tickets: Vec<crate::scope::DmaTicket<'_, '_, '_>> = Vec::new();
                     let mut pending_gets: Vec<(pmc_core::op::LocId, pmc_core::litmus::Reg)> =
                         Vec::new();
+                    // Locations touched by outstanding tickets: the model
+                    // orders any later same-location access (and any
+                    // fence) after a floating transfer's perform, so the
+                    // executor drains before touching an overlap.
+                    let mut dma_locs: Vec<u32> = Vec::new();
+                    // Wait every outstanding ticket and land the awaited
+                    // gets in their registers — the runtime counterpart
+                    // of the model's `DmaWait`, which completes *all*
+                    // open transfers of the thread. Also invoked inside
+                    // bare-DMA momentary windows, whose canonical
+                    // lowering ends in exactly such a wait.
+                    macro_rules! drain_dma {
+                        () => {
+                            for t in tickets.drain(..) {
+                                t.wait();
+                            }
+                            dma_locs.clear();
+                            for (l, r) in pending_gets.drain(..) {
+                                let i = held
+                                    .iter()
+                                    .position(|(id, _)| *id == l.0)
+                                    .expect("awaited get outside its scope");
+                                regs[r.0 as usize] = held[i].1.read();
+                            }
+                        };
+                    }
+                    // Wait outstanding transfers before an access that
+                    // overlaps one of their locations — the runtime
+                    // counterpart of the model's issue gating (`ready`
+                    // requires every dependent earlier transfer to have
+                    // *performed*). Draining more than strictly necessary
+                    // only restricts the schedule, never widens it.
+                    macro_rules! sync_dma {
+                        ($($l:expr),+) => {
+                            if [$($l),+].iter().any(|l: &u32| dma_locs.contains(l)) {
+                                drain_dma!();
+                            }
+                        };
+                    }
                     for i in &instrs {
                         let obj = |l: pmc_core::op::LocId| -> Obj<Value> { locs.at(l.0) };
                         match i {
@@ -122,12 +165,21 @@ pub fn run_litmus_on(
                                 held.push((l.0, ctx.scope_x(obj(*l))));
                             }
                             Instr::Release(l) => {
+                                sync_dma!(l.0);
                                 let (id, guard) = held.pop().expect("Release without Acquire");
                                 assert_eq!(id, l.0, "scopes must nest (LIFO)");
                                 guard.close();
                             }
-                            Instr::Fence => ctx.fence(),
+                            Instr::Fence => {
+                                // The model's fence issues only after
+                                // every outstanding transfer performed.
+                                if !tickets.is_empty() {
+                                    drain_dma!();
+                                }
+                                ctx.fence();
+                            }
                             Instr::Write(l, v) => {
+                                sync_dma!(l.0);
                                 if let Some(i) = held.iter().position(|(id, _)| *id == l.0) {
                                     held[i].1.write(*v);
                                 } else {
@@ -140,6 +192,7 @@ pub fn run_litmus_on(
                                 }
                             }
                             Instr::Read(l, r) => {
+                                sync_dma!(l.0);
                                 regs[r.0 as usize] =
                                     if let Some(i) = held.iter().position(|(id, _)| *id == l.0) {
                                         held[i].1.read()
@@ -148,6 +201,7 @@ pub fn run_litmus_on(
                                     };
                             }
                             Instr::WaitEq(l, v) => {
+                                sync_dma!(l.0);
                                 assert!(
                                     !held.iter().any(|(id, _)| *id == l.0),
                                     "WaitEq on a held location cannot terminate"
@@ -159,49 +213,91 @@ pub fn run_litmus_on(
                                 }
                             }
                             Instr::DmaPut(l, v) => {
-                                // Stage the value in the scope's local
-                                // view, then hand the range to the engine.
-                                let i = held
-                                    .iter()
-                                    .position(|(id, _)| *id == l.0)
-                                    .expect("DMA transfers require the owning scope");
-                                held[i].1.write(*v);
-                                tickets.push(held[i].1.dma_put_all());
+                                sync_dma!(l.0);
+                                if let Some(i) = held.iter().position(|(id, _)| *id == l.0) {
+                                    // Stage the value in the scope's
+                                    // local view, then hand the range to
+                                    // the engine; floats until a wait.
+                                    held[i].1.write(*v);
+                                    tickets.push(held[i].1.dma_put_all());
+                                    dma_locs.push(l.0);
+                                } else {
+                                    // Bare transfer: momentary exclusive
+                                    // window, waited before it closes —
+                                    // and the wait drains *everything*
+                                    // outstanding, exactly like the
+                                    // lowering's inserted `DmaWait`.
+                                    let s = ctx.scope_x(obj(*l));
+                                    s.write(*v);
+                                    tickets.push(s.dma_put_all());
+                                    drain_dma!();
+                                }
                             }
                             Instr::DmaGet(l, r) => {
-                                let i = held
-                                    .iter()
-                                    .position(|(id, _)| *id == l.0)
-                                    .expect("DMA transfers require the owning scope");
-                                tickets.push(held[i].1.dma_get_all());
-                                pending_gets.push((*l, *r));
+                                sync_dma!(l.0);
+                                if let Some(i) = held.iter().position(|(id, _)| *id == l.0) {
+                                    // Publish staged writes first: the
+                                    // model's get observes the thread's
+                                    // own program-earlier writes, so the
+                                    // engine must fetch a current home
+                                    // copy, not clobber the scope's dirty
+                                    // view with a stale one.
+                                    held[i].1.flush();
+                                    tickets.push(held[i].1.dma_get_all());
+                                    dma_locs.push(l.0);
+                                    pending_gets.push((*l, *r));
+                                } else {
+                                    let s = ctx.scope_x(obj(*l));
+                                    tickets.push(s.dma_get_all());
+                                    drain_dma!();
+                                    regs[r.0 as usize] = s.read();
+                                }
                             }
                             Instr::DmaCopy(s, d) => {
-                                // Local-to-local: both endpoints must be
-                                // held (the destination exclusively).
-                                let si = held
-                                    .iter()
-                                    .position(|(id, _)| *id == s.0)
-                                    .expect("DMA copies require both owning scopes");
-                                let di = held
-                                    .iter()
-                                    .position(|(id, _)| *id == d.0)
-                                    .expect("DMA copies require both owning scopes");
-                                tickets.push(held[di].1.copy_obj_from(&held[si].1));
+                                sync_dma!(s.0, d.0);
+                                let pos = |l: &pmc_core::op::LocId| {
+                                    held.iter().position(|(id, _)| *id == l.0)
+                                };
+                                match (pos(s), pos(d)) {
+                                    (Some(si), Some(di)) => {
+                                        // Both endpoints held: the copy
+                                        // floats until a wait (it reads
+                                        // the source's *local* view, so
+                                        // staged writes are included).
+                                        tickets.push(held[di].1.copy_obj_from(&held[si].1));
+                                        dma_locs.push(s.0);
+                                        dma_locs.push(d.0);
+                                    }
+                                    (si, di) => {
+                                        // Momentary windows for the bare
+                                        // endpoints, opened in ascending
+                                        // location order (the global lock
+                                        // order), drained before closing.
+                                        let mut need = [(*s, si.is_none()), (*d, di.is_none())]
+                                            .into_iter()
+                                            .filter(|&(_, bare)| bare)
+                                            .map(|(l, _)| l)
+                                            .collect::<Vec<_>>();
+                                        need.sort_unstable_by_key(|l| l.0);
+                                        need.dedup();
+                                        let opened: Vec<(u32, _)> = need
+                                            .into_iter()
+                                            .map(|l| (l.0, ctx.scope_x(obj(l))))
+                                            .collect();
+                                        let find = |l: &pmc_core::op::LocId| {
+                                            held.iter()
+                                                .chain(opened.iter())
+                                                .find(|(id, _)| *id == l.0)
+                                                .map(|(_, g)| g)
+                                                .expect("endpoint scope")
+                                        };
+                                        tickets.push(find(d).copy_obj_from(find(s)));
+                                        drain_dma!();
+                                    }
+                                }
                             }
                             Instr::DmaWait => {
-                                for t in tickets.drain(..) {
-                                    t.wait();
-                                }
-                                // The staged bytes are defined now: land
-                                // the awaited gets in their registers.
-                                for (l, r) in pending_gets.drain(..) {
-                                    let i = held
-                                        .iter()
-                                        .position(|(id, _)| *id == l.0)
-                                        .expect("awaited get outside its scope");
-                                    regs[r.0 as usize] = held[i].1.read();
-                                }
+                                drain_dma!();
                             }
                         }
                     }

@@ -50,41 +50,75 @@ fn topologies_for(threads: usize) -> Vec<(&'static str, Topology)> {
         .collect()
 }
 
-/// The tentpole sweep: catalogue × 4 back-ends × 2 lock kinds × 2
-/// topologies. Every simulator outcome inside the model set, every
-/// trace clean — on the mesh exactly as on the ring.
-#[test]
-fn catalogue_sweep_outcomes_within_model_and_traces_clean() {
-    for case in conformance::cases() {
-        let lowered = conformance::lower(&case.program);
-        let allowed: BTreeSet<Outcome> = outcomes_with(&lowered, sweep_limits())
-            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
-        assert!(!allowed.is_empty(), "{}: empty model outcome set", case.name);
-        let topologies = topologies_for(case.program.threads.len().max(1));
-        for backend in BackendKind::ALL {
-            for lock in LOCK_KINDS {
-                for &(topo_name, topo) in &topologies {
-                    let run = run_litmus_on(&case.program, backend, lock, topo);
-                    assert!(
-                        allowed.contains(&run.outcome),
+/// Sweep one case over 4 back-ends × 2 lock kinds × the topology axis,
+/// returning every divergence as a message instead of panicking (the
+/// sweep runs cases on worker threads and wants all failures, not the
+/// first).
+fn sweep_case(case: &conformance::Case) -> Vec<String> {
+    let mut errors = Vec::new();
+    let lowered = conformance::lower(&case.program);
+    let allowed: BTreeSet<Outcome> = match outcomes_with(&lowered, sweep_limits()) {
+        Ok(outs) => outs,
+        Err(e) => return vec![format!("{}: {e}", case.name)],
+    };
+    if allowed.is_empty() {
+        return vec![format!("{}: empty model outcome set", case.name)];
+    }
+    let topologies = topologies_for(case.program.threads.len().max(1));
+    for backend in BackendKind::ALL {
+        for lock in LOCK_KINDS {
+            for &(topo_name, topo) in &topologies {
+                let run = run_litmus_on(&case.program, backend, lock, topo);
+                if !allowed.contains(&run.outcome) {
+                    errors.push(format!(
                         "{}/{}/{lock:?}/{topo_name}: simulator outcome {:?} outside the \
                          model's allowed set:\n{}",
                         case.name,
                         backend.name(),
                         run.outcome,
                         render_outcomes(&allowed),
-                    );
-                    let violations = validate(&run.trace);
-                    assert!(
-                        violations.is_empty(),
+                    ));
+                }
+                let violations = validate(&run.trace);
+                if !violations.is_empty() {
+                    errors.push(format!(
                         "{}/{}/{lock:?}/{topo_name}: monitor violations: {violations:#?}",
                         case.name,
                         backend.name(),
-                    );
+                    ));
                 }
             }
         }
     }
+    errors
+}
+
+/// The tentpole sweep: catalogue × 4 back-ends × 2 lock kinds × 2
+/// topologies. Every simulator outcome inside the model set, every
+/// trace clean — on the mesh exactly as on the ring. Cases are
+/// independent (each run builds its own `System`), so they are spread
+/// over worker threads and all divergences are reported together.
+#[test]
+fn catalogue_sweep_outcomes_within_model_and_traces_clean() {
+    let cases = conformance::cases();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let errors: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    let workers =
+        std::thread::available_parallelism().map_or(4, |n| n.get()).min(cases.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(case) = cases.get(i) else { return };
+                let case_errors = sweep_case(case);
+                if !case_errors.is_empty() {
+                    errors.lock().unwrap().extend(case_errors);
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().unwrap();
+    assert!(errors.is_empty(), "{} divergence(s):\n{}", errors.len(), errors.join("\n"));
 }
 
 /// The golden outcome-set snapshots (paper Figs. 1–6 programs) match the
