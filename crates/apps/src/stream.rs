@@ -9,7 +9,7 @@
 //!
 //! * [`StreamMode::WordCopy`] — the software copy loop a core without a
 //!   DMA engine runs: one load + one store per word, every load a full
-//!   SDRAM transaction ([`PmcCtx::stage_in_words`]);
+//!   SDRAM transaction ([`RoScope::stage_in_words`]);
 //! * [`StreamMode::Dma`] — one asynchronous burst transfer per task,
 //!   waited before use;
 //! * [`StreamMode::DmaDouble`] — double-buffered: the next task's

@@ -3,7 +3,9 @@
 //! harness, the portability tests and the Criterion benches.
 
 use pmc_runtime::{BackendKind, LockKind, Program, System};
-use pmc_soc_sim::{LinkReport, RunReport, SocConfig, Topology};
+use pmc_soc_sim::{
+    LinkReport, RunReport, SocConfig, TelemetryConfig, TelemetryReport, Topology, TraceRecord,
+};
 
 use crate::motion_est::{MotionEst, MotionEstParams};
 use crate::radiosity::{Radiosity, RadiosityParams};
@@ -67,6 +69,16 @@ pub struct AppReport {
     /// the run's topology (posted writes, write-backs, atomics and DMA
     /// bursts all route through the link model).
     pub links: Vec<LinkReport>,
+    /// Cycle-level telemetry streams (empty unless run through
+    /// [`run_workload_telemetry`]).
+    pub telemetry: TelemetryReport,
+    /// Annotation trace with runtime span records (empty unless run
+    /// through [`run_workload_telemetry`]).
+    pub trace: Vec<TraceRecord>,
+    /// The exact simulator configuration the run used — what
+    /// [`pmc_soc_sim::telemetry::perfetto_json`] needs to lay out the
+    /// exported timeline.
+    pub cfg: SocConfig,
 }
 
 /// Build the SoC configuration for a workload run (ring interconnect).
@@ -104,8 +116,39 @@ pub fn run_workload_on(
     params: WorkloadParams,
     topology: Topology,
 ) -> AppReport {
-    let cfg = soc_config_on(n_tiles, workload, topology);
-    let mut sys = System::new(cfg, backend, LockKind::Sdram);
+    run_workload_full(workload, backend, n_tiles, params, topology, TelemetryConfig::default())
+}
+
+/// [`run_workload_on`] with cycle-level telemetry and annotation tracing
+/// enabled: the returned [`AppReport`] additionally carries the per-tile
+/// event streams, the span-bearing trace and the run's `SocConfig` —
+/// everything [`pmc_soc_sim::telemetry::perfetto_json`] needs for a
+/// timeline. Recording is observation-only: counters, makespan and
+/// checksum are bit-identical to the untraced run.
+pub fn run_workload_telemetry(
+    workload: Workload,
+    backend: BackendKind,
+    n_tiles: usize,
+    params: WorkloadParams,
+    topology: Topology,
+) -> AppReport {
+    run_workload_full(workload, backend, n_tiles, params, topology, TelemetryConfig::on())
+}
+
+fn run_workload_full(
+    workload: Workload,
+    backend: BackendKind,
+    n_tiles: usize,
+    params: WorkloadParams,
+    topology: Topology,
+    telemetry: TelemetryConfig,
+) -> AppReport {
+    let mut cfg = soc_config_on(n_tiles, workload, topology);
+    cfg.telemetry = telemetry;
+    // Protocol records ride along with the spans so the exported
+    // timeline carries entry/exit/flush instants, not just durations.
+    cfg.trace = telemetry.enabled;
+    let mut sys = System::new(cfg.clone(), backend, LockKind::Sdram);
     let (report, checksum) = match workload {
         Workload::Radiosity => {
             let p = match params {
@@ -177,7 +220,9 @@ pub fn run_workload_on(
         }
     };
     let links = sys.soc().link_report();
-    AppReport { workload, backend, report, checksum, links }
+    let trace = if cfg.trace { sys.soc().take_trace() } else { Vec::new() };
+    let telemetry = sys.soc().take_telemetry();
+    AppReport { workload, backend, report, checksum, links, telemetry, trace, cfg }
 }
 
 /// Fig. 8 row: the stall breakdown of a run as fractions of total time.

@@ -8,8 +8,11 @@
 //! ~70 %); RAYTRACE and VOLREND lose almost all shared-read stalls; time
 //! spent in flush instructions is 0.66 % / 0.00 % / 0.01 %.
 //!
-//! Usage: `fig8 [--tiles N] [--topology ring|mesh] [--tiny] [--smoke]`
-//! (`--smoke` = tiny workloads on 8 tiles: the CI figure-pipeline check.)
+//! Usage: `fig8 [--tiles N] [--topology ring|mesh] [--tiny] [--smoke]
+//! [--json]`
+//! (`--smoke` = tiny workloads on 8 tiles: the CI figure-pipeline check;
+//! `--json` = machine-readable output on stdout instead of the tables —
+//! the source of the committed `BENCH_figs.json` snapshot.)
 //!
 //! `--topology` selects the interconnect every run routes over (posted
 //! writes and write-backs to the memory controller cross its links); a
@@ -18,31 +21,37 @@
 
 use pmc_apps::workload::{run_workload_on, Workload, WorkloadParams};
 use pmc_bench::{
-    arg_flag, arg_topology, arg_u32, breakdown_header, breakdown_row, mesh_dims, top_links,
+    arg_flag, arg_topology, arg_u32, breakdown_header, breakdown_json, breakdown_row, json,
+    mesh_dims, top_links, top_links_json,
 };
 use pmc_runtime::BackendKind;
 use pmc_soc_sim::Topology;
 
 fn main() {
     let smoke = arg_flag("--smoke");
+    let emit_json = arg_flag("--json");
     let tiles = arg_u32("--tiles", if smoke { 8 } else { 32 }) as usize;
     let topology = arg_topology(tiles);
     let params =
         if arg_flag("--tiny") || smoke { WorkloadParams::Tiny } else { WorkloadParams::Full };
-    println!("Fig. 8 — noCC vs SWCC, {tiles} cores ({params:?}, {} NoC)\n", topology.name());
-    println!("{}", breakdown_header());
+    // All assertions run in both modes; `--json` only swaps the tables
+    // on stdout for one JSON document.
+    macro_rules! say { ($($t:tt)*) => { if !emit_json { println!($($t)*); } } }
+    say!("Fig. 8 — noCC vs SWCC, {tiles} cores ({params:?}, {} NoC)\n", topology.name());
+    say!("{}", breakdown_header());
     let mut improvements = Vec::new();
+    let mut workload_rows = Vec::new();
     for w in Workload::FIG8 {
         let base = run_workload_on(w, BackendKind::Uncached, tiles, params, topology);
         let swcc = run_workload_on(w, BackendKind::Swcc, tiles, params, topology);
         let bb = base.breakdown();
         let sb = swcc.breakdown();
-        println!("{}", breakdown_row(&format!("{} (no CC)", w.name()), &bb));
-        println!("{}", breakdown_row(&format!("{} (SWCC)", w.name()), &sb));
+        say!("{}", breakdown_row(&format!("{} (no CC)", w.name()), &bb));
+        say!("{}", breakdown_row(&format!("{} (SWCC)", w.name()), &sb));
         let rel = sb.makespan as f64 / bb.makespan as f64;
         let improvement = (1.0 - rel) * 100.0;
         improvements.push(improvement);
-        println!(
+        say!(
             "{:<24} exec time {:.1}% of no-CC (improvement {improvement:.1}%), \
              utilization {:.0}% -> {:.0}%, flush overhead {:.2}%\n",
             "  =>",
@@ -54,20 +63,24 @@ fn main() {
         if base.workload != Workload::Radiosity {
             assert_eq!(base.checksum, swcc.checksum, "output mismatch for {w:?}");
         }
+        workload_rows.push(json::obj(&[
+            ("name", json::str(w.name())),
+            ("uncached", breakdown_json(&bb)),
+            ("swcc", breakdown_json(&sb)),
+            ("improvement_pct", json::num(improvement)),
+        ]));
     }
     let mean = improvements.iter().sum::<f64>() / improvements.len() as f64;
-    println!("mean execution-time improvement: {mean:.1}%  (paper: 22%)");
+    say!("mean execution-time improvement: {mean:.1}%  (paper: 22%)");
 
     // Ring-vs-mesh contention: the same SWCC workload on both
     // topologies produces the same output; the busiest links shift from
     // the controller-adjacent ring arcs to the XY funnel of the mesh.
     let (cols, rows) = mesh_dims(tiles);
-    println!("\nRing vs mesh — VOLREND (SWCC), {tiles} cores (mesh {cols}x{rows}):");
-    println!(
-        "{:<6} {:>12} {:>14} {:>14}  busiest links",
-        "topo", "makespan", "total busy", "max busy"
-    );
+    say!("\nRing vs mesh — VOLREND (SWCC), {tiles} cores (mesh {cols}x{rows}):");
+    say!("{:<6} {:>12} {:>14} {:>14}  busiest links", "topo", "makespan", "total busy", "max busy");
     let mut checksums = Vec::new();
+    let mut topo_rows = Vec::new();
     for topo in [Topology::Ring, Topology::Mesh { cols, rows }] {
         let r = run_workload_on(Workload::Volrend, BackendKind::Swcc, tiles, params, topo);
         let total: u64 = r.links.iter().map(|l| l.busy).sum();
@@ -77,7 +90,7 @@ fn main() {
             .iter()
             .map(|l| format!("{}->{}:{}", l.from, l.to, l.busy))
             .collect();
-        println!(
+        say!(
             "{:<6} {:>12} {:>14} {:>14}  {}",
             topo.name(),
             r.report.makespan,
@@ -86,6 +99,28 @@ fn main() {
             tops.join("  ")
         );
         checksums.push(r.checksum);
+        topo_rows.push(json::obj(&[
+            ("topology", json::str(topo.name())),
+            ("makespan", r.report.makespan.to_string()),
+            ("total_busy", total.to_string()),
+            ("max_link_busy", max.to_string()),
+            ("top_links", top_links_json(&r.links, 3)),
+        ]));
     }
     assert_eq!(checksums[0], checksums[1], "Fig. 8 output must not depend on the topology");
+
+    if emit_json {
+        println!(
+            "{}",
+            json::obj(&[
+                ("figure", json::str("fig8")),
+                ("tiles", tiles.to_string()),
+                ("topology", json::str(topology.name())),
+                ("params", json::str(&format!("{params:?}"))),
+                ("workloads", json::arr(&workload_rows)),
+                ("mean_improvement_pct", json::num(mean)),
+                ("ring_vs_mesh", json::arr(&topo_rows)),
+            ])
+        );
+    }
 }

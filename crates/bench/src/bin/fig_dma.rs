@@ -26,15 +26,17 @@
 //!    double-buffered DMA worker vs the strided 2-D gather worker.
 //!
 //! Usage: `fig_dma [--tiles N] [--tasks K] [--kbytes S]
-//! [--topology ring|mesh] [--smoke]`
+//! [--topology ring|mesh] [--smoke] [--json]`
 //!
 //! `--topology` selects the interconnect for every experiment
 //! (mesh = most nearly square factorisation of the tile count); the
-//! ring-vs-mesh table always runs both.
+//! ring-vs-mesh table always runs both. `--json` swaps the tables on
+//! stdout for one machine-readable document (the source of the
+//! committed `BENCH_figs.json` snapshot); every assertion still runs.
 
 use pmc_apps::motion_est::{MotionEst, MotionEstParams};
 use pmc_apps::stream::{StreamCopy, StreamCopyParams, StreamMode};
-use pmc_bench::{arg_flag, arg_topology, arg_u32, mesh_dims, top_links};
+use pmc_bench::{arg_flag, arg_topology, arg_u32, json, mesh_dims, top_links, top_links_json};
 use pmc_runtime::{BackendKind, LockKind, System};
 use pmc_soc_sim::{
     addr, CoreProgram, Cpu, DmaDescriptor, DmaDir, DmaKind, LinkReport, Soc, SocConfig, Topology,
@@ -165,24 +167,25 @@ fn print_top_links(links: &[LinkReport], n: usize) {
 
 fn main() {
     let smoke = arg_flag("--smoke");
+    let emit_json = arg_flag("--json");
     let tiles = (arg_u32("--tiles", if smoke { 4 } else { 8 }) as usize).max(2);
     let topology = arg_topology(tiles);
     let tasks = arg_u32("--tasks", if smoke { 8 } else { 64 });
     let kbytes = arg_u32("--kbytes", if smoke { 1 } else { 4 });
     let params =
         StreamCopyParams { n_tasks: tasks, task_bytes: kbytes * 1024, compute_per_word: 2 };
-    println!(
+    // All assertions run in both modes; `--json` only swaps the tables
+    // on stdout for one JSON document.
+    macro_rules! say { ($($t:tt)*) => { if !emit_json { println!($($t)*); } } }
+    say!(
         "fig_dma — bulk scratchpad transfers on the SPM back-end \
          ({tasks} tasks x {kbytes} KiB, {tiles} tiles, {} NoC, controller at tile 0)\n",
         topology.name()
     );
 
-    println!(
-        "{:<12} {:>6} {:>12} {:>9} {:>12}",
-        "mode", "burst", "makespan", "vs word", "dma-bytes"
-    );
+    say!("{:<12} {:>6} {:>12} {:>9} {:>12}", "mode", "burst", "makespan", "vs word", "dma-bytes");
     let word = run_stream(tiles, params, StreamMode::WordCopy, 256, 1, topology);
-    println!(
+    say!(
         "{:<12} {:>6} {:>12} {:>8.2}x {:>12}",
         StreamMode::WordCopy.name(),
         "-",
@@ -190,13 +193,21 @@ fn main() {
         1.0,
         word.dma_bytes
     );
+    let mut stream_rows = vec![json::obj(&[
+        ("mode", json::str(StreamMode::WordCopy.name())),
+        ("burst", "null".into()),
+        ("makespan", word.makespan.to_string()),
+        ("speedup", json::num(1.0)),
+        ("dma_bytes", word.dma_bytes.to_string()),
+    ])];
     let bursts: &[u32] = if smoke { &[64, 1024] } else { &[16, 64, 256, 1024, 4096] };
     let mut best: Option<Run> = None;
+    let mut best_mode = StreamMode::Dma;
     for &burst in bursts {
         for mode in [StreamMode::Dma, StreamMode::DmaDouble] {
             let r = run_stream(tiles, params, mode, burst, 1, topology);
             assert_eq!(r.checksum, word.checksum, "modes must agree");
-            println!(
+            say!(
                 "{:<12} {:>6} {:>12} {:>8.2}x {:>12}",
                 mode.name(),
                 burst,
@@ -204,8 +215,16 @@ fn main() {
                 word.makespan as f64 / r.makespan as f64,
                 r.dma_bytes
             );
+            stream_rows.push(json::obj(&[
+                ("mode", json::str(mode.name())),
+                ("burst", burst.to_string()),
+                ("makespan", r.makespan.to_string()),
+                ("speedup", json::num(word.makespan as f64 / r.makespan as f64)),
+                ("dma_bytes", r.dma_bytes.to_string()),
+            ]));
             if best.as_ref().is_none_or(|b| r.makespan < b.makespan) {
                 best = Some(r);
+                best_mode = mode;
             }
         }
     }
@@ -213,41 +232,51 @@ fn main() {
     assert!(best.makespan < word.makespan, "DMA burst streaming must beat the word-at-a-time copy");
     let best_burst = best.burst;
 
-    println!(
+    say!(
         "\nChannel scaling — double-buffered stream, single 4 KiB bursts, \
          no extra compute (transfer-bound):"
     );
-    println!(
-        "{:<8} {:>12} {:>12} {:>12} {:>10}",
-        "tiles", "1 chan", "2 chan", "4 chan", "2ch gain"
-    );
+    say!("{:<8} {:>12} {:>12} {:>12} {:>10}", "tiles", "1 chan", "2 chan", "4 chan", "2ch gain");
     let chan_params = StreamCopyParams {
         n_tasks: if smoke { 8 } else { 16 },
         task_bytes: 4096,
         compute_per_word: 0,
     };
     let chan_tiles: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let mut chan_rows = Vec::new();
     for &t in chan_tiles {
         let c1 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 1, topology).makespan;
         let c2 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 2, topology).makespan;
         let c4 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 4, topology).makespan;
-        println!("{t:<8} {c1:>12} {c2:>12} {c4:>12} {:>9.2}x", c1 as f64 / c2 as f64);
+        say!("{t:<8} {c1:>12} {c2:>12} {c4:>12} {:>9.2}x", c1 as f64 / c2 as f64);
         if t == 1 {
             assert!(c2 < c1, "2 channels must beat 1 at one tile: {c2} vs {c1}");
         }
+        chan_rows.push(json::obj(&[
+            ("tiles", t.to_string()),
+            ("chan1", c1.to_string()),
+            ("chan2", c2.to_string()),
+            ("chan4", c4.to_string()),
+        ]));
     }
-    println!("  (beyond ~2 streaming tiles the shared SDRAM port saturates: channels tie)");
+    say!("  (beyond ~2 streaming tiles the shared SDRAM port saturates: channels tie)");
 
-    println!("\nTile-to-tile vs SDRAM round trip (tile 2 -> tile 5, {} NoC):", topology.name());
-    println!(
+    say!("\nTile-to-tile vs SDRAM round trip (tile 2 -> tile 5, {} NoC):", topology.name());
+    say!(
         "{:<10} {:>12} {:>14} {:>12} {:>14} {:>8}",
-        "payload", "t2t cycles", "bytes/kcycle", "via SDRAM", "bytes/kcycle", "gain"
+        "payload",
+        "t2t cycles",
+        "bytes/kcycle",
+        "via SDRAM",
+        "bytes/kcycle",
+        "gain"
     );
     let payloads: &[u32] = if smoke { &[4 << 10] } else { &[4 << 10, 16 << 10, 64 << 10] };
+    let mut t2t_rows = Vec::new();
     for &bytes in payloads {
         let (t2t, sdram) = t2t_vs_sdram(bytes, topology);
         assert!(t2t < sdram, "tile-to-tile must sustain higher bandwidth");
-        println!(
+        say!(
             "{:<10} {:>12} {:>14.0} {:>12} {:>14.0} {:>7.2}x",
             format!("{}KiB", bytes >> 10),
             t2t,
@@ -256,23 +285,36 @@ fn main() {
             bytes as f64 * 1000.0 / sdram as f64,
             sdram as f64 / t2t as f64
         );
+        t2t_rows.push(json::obj(&[
+            ("bytes", bytes.to_string()),
+            ("t2t_cycles", t2t.to_string()),
+            ("via_sdram_cycles", sdram.to_string()),
+        ]));
     }
 
-    println!("\nPer-link NoC busy cycles (best DMA run; links sorted by occupancy —");
-    println!("posted writes share the link model, so this is total interconnect traffic):");
-    print_top_links(&best.links, 8);
+    say!("\nPer-link NoC busy cycles (best DMA run; links sorted by occupancy —");
+    say!("posted writes share the link model, so this is total interconnect traffic):");
+    if !emit_json {
+        print_top_links(&best.links, 8);
+    }
 
     // The differential contention table: identical workload and output
     // on the ring and on the mesh, different per-link traffic shape.
     let (cols, rows) = mesh_dims(tiles);
-    println!(
+    say!(
         "\nRing vs mesh — double-buffered stream (burst {best_burst}), {tiles} tiles \
          (mesh {cols}x{rows}):"
     );
-    println!(
+    say!(
         "{:<6} {:>12} {:>14} {:>14} {:>12} {:>14}",
-        "topo", "makespan", "total busy", "max link busy", "posted-only", "posted busy"
+        "topo",
+        "makespan",
+        "total busy",
+        "max link busy",
+        "posted-only",
+        "posted busy"
     );
+    let mut topo_rows = Vec::new();
     for topo in [Topology::Ring, Topology::Mesh { cols, rows }] {
         let r = run_stream(tiles, params, StreamMode::DmaDouble, best_burst, 1, topo);
         assert_eq!(
@@ -295,7 +337,7 @@ fn main() {
         assert_eq!(posted.dma_bytes, 0, "the word copy moves no DMA bytes");
         let total: u64 = r.links.iter().map(|l| l.busy).sum();
         let max = r.links.iter().map(|l| l.busy).max().unwrap_or(0);
-        println!(
+        say!(
             "{:<6} {:>12} {:>14} {:>14} {:>12} {:>14}",
             topo.name(),
             r.makespan,
@@ -304,17 +346,29 @@ fn main() {
             posted.makespan,
             posted_busy
         );
-        print_top_links(&r.links, 4);
+        topo_rows.push(json::obj(&[
+            ("topology", json::str(topo.name())),
+            ("makespan", r.makespan.to_string()),
+            ("total_busy", total.to_string()),
+            ("max_link_busy", max.to_string()),
+            ("posted_makespan", posted.makespan.to_string()),
+            ("posted_busy", posted_busy.to_string()),
+            ("top_links", top_links_json(&r.links, 4)),
+        ]));
+        if !emit_json {
+            print_top_links(&r.links, 4);
+        }
     }
-    println!("  (XY routing spreads controller-bound bursts over both mesh dimensions)");
+    say!("  (XY routing spreads controller-bound bursts over both mesh dimensions)");
 
-    println!("\nFig. 10 revisited — motion estimation staging strategies (SPM):");
+    say!("\nFig. 10 revisited — motion estimation staging strategies (SPM):");
     let me_params = if smoke {
         MotionEstParams { frame: 32, block: 16, range: 4, seed: 0x5EED_0004 }
     } else {
         MotionEstParams { frame: 96, block: 16, range: 8, seed: 0x5EED_0004 }
     };
     let mut makespans = Vec::new();
+    let mut me_rows = Vec::new();
     for variant in 0..3usize {
         let mut cfg = SocConfig { n_tiles: tiles, topology, ..SocConfig::default() };
         cfg.icache_mpki = 1;
@@ -340,11 +394,43 @@ fn main() {
             1 => "double-buffered DMA",
             _ => "2-D gather (frame rows)",
         };
-        println!("  {label:<24} makespan {:>12}", report.makespan);
+        say!("  {label:<24} makespan {:>12}", report.makespan);
         makespans.push(report.makespan);
+        me_rows.push(json::obj(&[
+            ("variant", json::str(label)),
+            ("makespan", report.makespan.to_string()),
+        ]));
     }
-    println!(
+    say!(
         "  overlap gain: {:.2}x (transfer hidden behind the full search)",
         makespans[0] as f64 / makespans[1] as f64
     );
+
+    if emit_json {
+        println!(
+            "{}",
+            json::obj(&[
+                ("figure", json::str("fig_dma")),
+                ("tiles", tiles.to_string()),
+                ("topology", json::str(topology.name())),
+                ("tasks", tasks.to_string()),
+                ("task_bytes", (kbytes * 1024).to_string()),
+                ("stream", json::arr(&stream_rows)),
+                (
+                    "best",
+                    json::obj(&[
+                        ("mode", json::str(best_mode.name())),
+                        ("burst", best_burst.to_string()),
+                        ("makespan", best.makespan.to_string()),
+                        ("top_links", top_links_json(&best.links, 8)),
+                    ]),
+                ),
+                ("channel_scaling", json::arr(&chan_rows)),
+                ("t2t_vs_sdram", json::arr(&t2t_rows)),
+                ("ring_vs_mesh", json::arr(&topo_rows)),
+                ("motion_est", json::arr(&me_rows)),
+                ("overlap_gain", json::num(makespans[0] as f64 / makespans[1] as f64),),
+            ])
+        );
+    }
 }

@@ -108,3 +108,81 @@ pub fn top_links(links: &[pmc_soc_sim::LinkReport], n: usize) -> Vec<&pmc_soc_si
     busiest.truncate(n);
     busiest
 }
+
+/// Minimal JSON emission for the figure binaries' `--json` mode (the
+/// workspace carries no serde; the documents are assembled by hand and
+/// checked against [`pmc_soc_sim::telemetry::validate_json`] in tests).
+pub mod json {
+    /// A JSON string literal, quoted and escaped.
+    pub fn str(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// A JSON number. JSON has no NaN/Infinity; those become `null`.
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".into()
+        }
+    }
+
+    /// A JSON object from rendered `(key, value)` pairs.
+    pub fn obj(pairs: &[(&str, String)]) -> String {
+        let body: Vec<String> = pairs.iter().map(|(k, v)| format!("{}:{v}", str(k))).collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// A JSON array from rendered values.
+    pub fn arr(items: &[String]) -> String {
+        format!("[{}]", items.join(","))
+    }
+}
+
+/// A [`Breakdown`] as a JSON object. Stall categories are fractions of
+/// total time (not percentages), exactly as the struct stores them.
+pub fn breakdown_json(b: &Breakdown) -> String {
+    json::obj(&[
+        ("busy", json::num(b.busy)),
+        ("priv_read", json::num(b.priv_read)),
+        ("shared_read", json::num(b.shared_read)),
+        ("write", json::num(b.write)),
+        ("icache", json::num(b.icache)),
+        ("noc", json::num(b.noc)),
+        ("dma_wait", json::num(b.dma_wait)),
+        ("utilization", json::num(b.utilization)),
+        ("flush_overhead", json::num(b.flush_overhead)),
+        ("makespan", b.makespan.to_string()),
+    ])
+}
+
+/// The `n` busiest links as a JSON array of
+/// `{link, from, to, busy, bursts}` objects (same selection and order as
+/// [`top_links`]).
+pub fn top_links_json(links: &[pmc_soc_sim::LinkReport], n: usize) -> String {
+    let items: Vec<String> = top_links(links, n)
+        .iter()
+        .map(|l| {
+            json::obj(&[
+                ("link", l.link.to_string()),
+                ("from", l.from.to_string()),
+                ("to", l.to.to_string()),
+                ("busy", l.busy.to_string()),
+                ("bursts", l.bursts.to_string()),
+            ])
+        })
+        .collect();
+    json::arr(&items)
+}

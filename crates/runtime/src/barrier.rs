@@ -3,6 +3,7 @@
 //! phase word with back-off.
 
 use pmc_soc_sim::addr;
+use pmc_soc_sim::trace::{span_begin, span_end, span_kind};
 
 use crate::ctx::PmcCtx;
 
@@ -29,19 +30,23 @@ impl Barrier {
     /// Wait until all `n` participants arrive.
     pub fn wait(&self, ctx: &PmcCtx<'_, '_>) {
         ctx.with_cpu(|cpu| {
+            // The telemetry span is the arrival→release interval; per-tile
+            // span lengths give the barrier skew.
+            cpu.trace_event(span_begin(span_kind::BARRIER_WAIT), self.count_addr, 0, 0);
             let phase = cpu.read_u32(self.phase_addr);
             let arrived = cpu.sdram_faa_u32(self.count_addr, 1) + 1;
             if arrived == self.n {
                 // Last arrival: reset the counter, advance the phase.
                 cpu.write_u32(self.count_addr, 0);
                 cpu.write_u32(self.phase_addr, phase.wrapping_add(1));
-                return;
+            } else {
+                let mut backoff = 32u64;
+                while cpu.read_u32(self.phase_addr) == phase {
+                    cpu.compute(backoff);
+                    backoff = (backoff * 2).min(512);
+                }
             }
-            let mut backoff = 32u64;
-            while cpu.read_u32(self.phase_addr) == phase {
-                cpu.compute(backoff);
-                backoff = (backoff * 2).min(512);
-            }
+            cpu.trace_event(span_end(span_kind::BARRIER_WAIT), self.count_addr, 0, 0);
         })
     }
 }

@@ -10,9 +10,9 @@
 //! [`crate::scope::RoScope`] guards that are the only way to read, write
 //! or transfer the guarded object — `Drop` performs the exit, so scopes
 //! can no longer be left open or unbalanced, and reads outside a scope
-//! no longer compile. The pre-guard `entry_x`/`exit_x` method pairs and
-//! the closure-based free functions remain as thin deprecated wrappers
-//! for one release.
+//! no longer compile. (The pre-guard `entry_x`/`exit_x` wrappers and the
+//! closure-based free functions kept for one transition release are
+//! gone; the monitor's forged-trace tests cover the raw protocol.)
 //!
 //! | annotation | uncached ("no CC") | SWCC | DSM | SPM |
 //! |---|---|---|---|---|
@@ -25,12 +25,13 @@
 
 use std::cell::RefCell;
 
+use pmc_soc_sim::trace::{span_begin, span_end, span_kind};
 use pmc_soc_sim::{addr, Cpu, DmaDescriptor, DmaDir, DmaKind, DmaSeg};
 
 use crate::pod::Pod;
 use crate::scope::DmaTicket;
 use crate::spm::StagingAlloc;
-use crate::system::{BackendKind, Obj, ObjMeta, PrivSlab, Shared, Slab, DMA_DONE_OFFSET};
+use crate::system::{BackendKind, ObjMeta, PrivSlab, Shared, DMA_DONE_OFFSET};
 
 /// Trace-event kinds (recorded when the simulator's `trace` flag is on).
 ///
@@ -148,9 +149,7 @@ pub(crate) struct CtxInner<'a, 'b> {
 /// opening a scope ([`PmcCtx::scope_x`], [`PmcCtx::scope_ro`]) borrows
 /// it *shared*, so any number of scope guards — and the
 /// [`DmaTicket`]s they issue — can be live at once (the double-buffered
-/// prefetch pattern). The deprecated entry/exit wrappers share the same
-/// interior state, so mixed old/new code keeps working for the
-/// transition release; only the guards add the compile-time discipline.
+/// prefetch pattern).
 pub struct PmcCtx<'a, 'b> {
     pub(crate) shared: &'a Shared,
     pub(crate) inner: RefCell<CtxInner<'a, 'b>>,
@@ -270,229 +269,6 @@ impl<'a, 'b> PmcCtx<'a, 'b> {
         let cores: Vec<TicketCore> = tickets.iter().map(|t| t.core).collect();
         self.inner.borrow_mut().dma_wait_any_core(&cores)
     }
-
-    // ==================================================================
-    // Deprecated pre-guard API: manually paired entry/exit calls plus
-    // scope-addressed data access. Kept for one release as thin wrappers
-    // over the same internals; misuse (unbalanced scopes, reads outside
-    // a scope, transfers outliving their scope) is only caught at run
-    // time here — the scope guards catch it at compile time.
-    // ==================================================================
-
-    /// `entry_x(X)`: acquire exclusive read/write access to `X`.
-    #[deprecated(note = "use PmcCtx::scope_x — the guard closes the scope on drop")]
-    pub fn entry_x<T>(&self, obj: Obj<T>) {
-        self.inner.borrow_mut().entry_x_id(self.shared, obj.id, false);
-    }
-
-    /// Streaming variant of `entry_x`: exclusive access *without* eager
-    /// staging (see [`PmcCtx::scope_x_stream`]).
-    #[deprecated(note = "use PmcCtx::scope_x_stream")]
-    pub fn entry_x_stream<T>(&self, obj: Obj<T>) {
-        self.inner.borrow_mut().entry_x_id(self.shared, obj.id, true);
-    }
-
-    /// `exit_x(X)`: give up exclusive access. Lazy release: under SWCC the
-    /// object's lines are flushed; under DSM the modified replica is
-    /// broadcast; under SPM the staging copy is written back.
-    #[deprecated(note = "dropping (or closing) the XScope guard exits the scope")]
-    pub fn exit_x<T>(&self, obj: Obj<T>) {
-        self.inner.borrow_mut().exit_x_id(self.shared, obj.id);
-    }
-
-    /// `entry_ro(X)`: begin non-exclusive read-only access.
-    #[deprecated(note = "use PmcCtx::scope_ro — the guard closes the scope on drop")]
-    pub fn entry_ro<T>(&self, obj: Obj<T>) {
-        self.inner.borrow_mut().entry_ro_id(self.shared, obj.id, false);
-    }
-
-    /// Streaming variant of `entry_ro` (see [`PmcCtx::scope_ro_stream`]).
-    #[deprecated(note = "use PmcCtx::scope_ro_stream")]
-    pub fn entry_ro_stream<T>(&self, obj: Obj<T>) {
-        self.inner.borrow_mut().entry_ro_id(self.shared, obj.id, true);
-    }
-
-    /// `exit_ro(X)`: end read-only access.
-    #[deprecated(note = "dropping (or closing) the RoScope guard exits the scope")]
-    pub fn exit_ro<T>(&self, obj: Obj<T>) {
-        self.inner.borrow_mut().exit_ro_id(self.shared, obj.id);
-    }
-
-    /// `flush(X)`: force modifications of `X` towards global visibility
-    /// (best effort; only legal inside an exclusive scope).
-    #[deprecated(note = "use XScope::flush")]
-    pub fn flush<T>(&self, obj: Obj<T>) {
-        self.inner.borrow_mut().flush_id(self.shared, obj.id);
-    }
-
-    /// Read a whole object (inside any scope on it).
-    #[deprecated(note = "use RoScope::read / XScope::read")]
-    pub fn read<T: Pod>(&self, obj: Obj<T>) -> T {
-        let mut buf = vec![0u8; T::SIZE as usize];
-        self.inner.borrow_mut().raw_read(self.shared, obj.id, 0, &mut buf);
-        T::from_bytes(&buf)
-    }
-
-    /// Write a whole object (inside an exclusive scope on it).
-    #[deprecated(note = "use XScope::write")]
-    pub fn write<T: Pod>(&self, obj: Obj<T>, value: T) {
-        let mut buf = vec![0u8; T::SIZE as usize];
-        value.to_bytes(&mut buf);
-        self.inner.borrow_mut().raw_write(self.shared, obj.id, 0, &buf);
-    }
-
-    /// Read element `i` of a slab (inside a scope on the slab).
-    #[deprecated(note = "use RoScope::read_at / XScope::read_at")]
-    pub fn read_at<T: Pod>(&self, slab: Slab<T>, i: u32) -> T {
-        assert!(i < slab.len);
-        let mut buf = vec![0u8; T::SIZE as usize];
-        self.inner.borrow_mut().raw_read(self.shared, slab.id, i * T::SIZE, &mut buf);
-        T::from_bytes(&buf)
-    }
-
-    /// Write element `i` of a slab (inside an exclusive scope).
-    #[deprecated(note = "use XScope::write_at")]
-    pub fn write_at<T: Pod>(&self, slab: Slab<T>, i: u32, value: T) {
-        assert!(i < slab.len);
-        let mut buf = vec![0u8; T::SIZE as usize];
-        value.to_bytes(&mut buf);
-        self.inner.borrow_mut().raw_write(self.shared, slab.id, i * T::SIZE, &buf);
-    }
-
-    /// Bulk read of `buf.len()` bytes at `byte_off` within a slab.
-    #[deprecated(note = "use RoScope::read_bytes_at / XScope::read_bytes_at")]
-    pub fn read_bytes_at<T: Pod>(&self, slab: Slab<T>, byte_off: u32, buf: &mut [u8]) {
-        assert!(byte_off + buf.len() as u32 <= slab.len * T::SIZE);
-        self.inner.borrow_mut().read_bytes_id(self.shared, slab.id, byte_off, buf);
-    }
-
-    /// Synchronous word-at-a-time fill of a streaming scope's local view.
-    #[deprecated(note = "use RoScope::stage_in_words / XScope::stage_in_words")]
-    pub fn stage_in_words<T: Pod>(&self, slab: Slab<T>, first: u32, count: u32) {
-        assert!(first + count <= slab.len, "stage_in_words range out of bounds");
-        self.inner.borrow_mut().stage_in_words_id(
-            self.shared,
-            slab.id,
-            first * T::SIZE,
-            count * T::SIZE,
-        );
-    }
-
-    /// Issue an asynchronous *get* for `count` elements starting at
-    /// `first` (see [`crate::scope::RoScope::dma_get`]).
-    #[deprecated(note = "use dma_get on the scope guard")]
-    pub fn dma_get<T: Pod>(&self, slab: Slab<T>, first: u32, count: u32) -> DmaTicket<'_, 'a, 'b> {
-        assert!(first + count <= slab.len, "dma_get range out of bounds");
-        let core = self.inner.borrow_mut().dma_xfer_ranges(
-            self.shared,
-            slab.id,
-            &[(first * T::SIZE, count * T::SIZE)],
-            DmaDir::Get,
-        );
-        DmaTicket { ctx: self, core }
-    }
-
-    /// Issue an asynchronous *put* for `count` elements starting at
-    /// `first` (see [`crate::scope::XScope::dma_put`]).
-    #[deprecated(note = "use dma_put on the XScope guard")]
-    pub fn dma_put<T: Pod>(&self, slab: Slab<T>, first: u32, count: u32) -> DmaTicket<'_, 'a, 'b> {
-        assert!(first + count <= slab.len, "dma_put range out of bounds");
-        let core = self.inner.borrow_mut().dma_xfer_ranges(
-            self.shared,
-            slab.id,
-            &[(first * T::SIZE, count * T::SIZE)],
-            DmaDir::Put,
-        );
-        DmaTicket { ctx: self, core }
-    }
-
-    /// Strided 2-D get (see [`crate::scope::RoScope::dma_get_2d`]).
-    #[deprecated(note = "use dma_get_2d on the scope guard")]
-    pub fn dma_get_2d<T: Pod>(
-        &self,
-        slab: Slab<T>,
-        first: u32,
-        row_elems: u32,
-        rows: u32,
-        stride_elems: u32,
-    ) -> DmaTicket<'_, 'a, 'b> {
-        let ranges = ranges_2d(slab.len * T::SIZE, T::SIZE, first, row_elems, rows, stride_elems);
-        let core =
-            self.inner.borrow_mut().dma_xfer_ranges(self.shared, slab.id, &ranges, DmaDir::Get);
-        DmaTicket { ctx: self, core }
-    }
-
-    /// Strided 2-D put (see [`crate::scope::XScope::dma_put_2d`]).
-    #[deprecated(note = "use dma_put_2d on the XScope guard")]
-    pub fn dma_put_2d<T: Pod>(
-        &self,
-        slab: Slab<T>,
-        first: u32,
-        row_elems: u32,
-        rows: u32,
-        stride_elems: u32,
-    ) -> DmaTicket<'_, 'a, 'b> {
-        let ranges = ranges_2d(slab.len * T::SIZE, T::SIZE, first, row_elems, rows, stride_elems);
-        let core =
-            self.inner.borrow_mut().dma_xfer_ranges(self.shared, slab.id, &ranges, DmaDir::Put);
-        DmaTicket { ctx: self, core }
-    }
-
-    /// Whole-object get (single objects rather than slabs).
-    #[deprecated(note = "use dma_get_all on the scope guard")]
-    pub fn dma_get_obj<T: Pod>(&self, obj: Obj<T>) -> DmaTicket<'_, 'a, 'b> {
-        let core = self.inner.borrow_mut().dma_xfer_ranges(
-            self.shared,
-            obj.id,
-            &[(0, T::SIZE)],
-            DmaDir::Get,
-        );
-        DmaTicket { ctx: self, core }
-    }
-
-    /// Whole-object put (single objects rather than slabs).
-    #[deprecated(note = "use dma_put_all on the XScope guard")]
-    pub fn dma_put_obj<T: Pod>(&self, obj: Obj<T>) -> DmaTicket<'_, 'a, 'b> {
-        let core = self.inner.borrow_mut().dma_xfer_ranges(
-            self.shared,
-            obj.id,
-            &[(0, T::SIZE)],
-            DmaDir::Put,
-        );
-        DmaTicket { ctx: self, core }
-    }
-
-    /// Asynchronous local-to-local copy between two open scopes (see
-    /// [`crate::scope::XScope::dma_copy_from`]).
-    #[deprecated(note = "use dma_copy_from on the destination XScope guard")]
-    pub fn dma_copy_local<T: Pod>(
-        &self,
-        src: Slab<T>,
-        src_first: u32,
-        dst: Slab<T>,
-        dst_first: u32,
-        count: u32,
-    ) -> DmaTicket<'_, 'a, 'b> {
-        assert!(src_first + count <= src.len, "dma_copy source range out of bounds");
-        assert!(dst_first + count <= dst.len, "dma_copy destination range out of bounds");
-        let core = self.inner.borrow_mut().dma_copy_range(
-            self.shared,
-            src.id,
-            src_first * T::SIZE,
-            dst.id,
-            dst_first * T::SIZE,
-            count * T::SIZE,
-        );
-        DmaTicket { ctx: self, core }
-    }
-
-    /// Whole-object local-to-local copy.
-    #[deprecated(note = "use copy_obj_from on the destination XScope guard")]
-    pub fn dma_copy_obj<T: Pod>(&self, src: Obj<T>, dst: Obj<T>) -> DmaTicket<'_, 'a, 'b> {
-        let core =
-            self.inner.borrow_mut().dma_copy_range(self.shared, src.id, 0, dst.id, 0, T::SIZE);
-        DmaTicket { ctx: self, core }
-    }
 }
 
 /// The scatter/gather row list of a strided 2-D transfer: `rows` rows of
@@ -529,6 +305,9 @@ impl<'a, 'b> CtxInner<'a, 'b> {
 
     pub(crate) fn entry_x_id(&mut self, sh: &Shared, id: u32, streaming: bool) {
         assert!(self.find_scope(id).is_none(), "nested scope on one object");
+        // The telemetry span covers the whole scope lifetime, entry cost
+        // (lock wait, staging) included — begin before acquisition.
+        self.cpu.trace_event(span_begin(span_kind::SCOPE_X), id, 0, 0);
         let meta = self.meta(sh, id);
         let (lock, size, sdram_off, version_off, dsm_off) =
             (meta.lock, meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
@@ -599,10 +378,12 @@ impl<'a, 'b> CtxInner<'a, 'b> {
             }
         }
         lock.unlock(self.cpu);
+        self.cpu.trace_event(span_end(span_kind::SCOPE_X), id, 0, 0);
     }
 
     pub(crate) fn entry_ro_id(&mut self, sh: &Shared, id: u32, streaming: bool) {
         assert!(self.find_scope(id).is_none(), "nested scope on one object");
+        self.cpu.trace_event(span_begin(span_kind::SCOPE_RO), id, 0, 0);
         let meta = self.meta(sh, id);
         let (lock, size, sdram_off, version_off, dsm_off) =
             (meta.lock, meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
@@ -703,6 +484,7 @@ impl<'a, 'b> CtxInner<'a, 'b> {
                 self.spm.free(scope.spm_off, size); // discard the local copy
             }
         }
+        self.cpu.trace_event(span_end(span_kind::SCOPE_RO), id, 0, 0);
     }
 
     pub(crate) fn flush_id(&mut self, sh: &Shared, id: u32) {
@@ -942,7 +724,10 @@ impl<'a, 'b> CtxInner<'a, 'b> {
             0,
             Self::trace_seq(ticket.chan, ticket.seq),
         );
-        self.cpu.dma_event_wait(DMA_DONE_OFFSET + 4 * ticket.chan, ticket.seq);
+        let done = DMA_DONE_OFFSET + 4 * ticket.chan;
+        self.cpu.trace_event(span_begin(span_kind::DMA_WAIT), done, 0, 0);
+        self.cpu.dma_event_wait(done, ticket.seq);
+        self.cpu.trace_event(span_end(span_kind::DMA_WAIT), done, 0, 0);
         self.pending_dma.retain(|(_, t)| t.chan != ticket.chan || t.seq > ticket.seq);
     }
 
@@ -951,7 +736,11 @@ impl<'a, 'b> CtxInner<'a, 'b> {
     pub(crate) fn dma_wait_any_core(&mut self, tickets: &[TicketCore]) -> usize {
         let watches: Vec<(u32, u32)> =
             tickets.iter().map(|t| (DMA_DONE_OFFSET + 4 * t.chan, t.seq)).collect();
+        // One wait span regardless of how many channels are watched; the
+        // first watch's completion word identifies the interval.
+        self.cpu.trace_event(span_begin(span_kind::DMA_WAIT), watches[0].0, 0, 0);
         let idx = self.cpu.dma_event_wait_any(&watches);
+        self.cpu.trace_event(span_end(span_kind::DMA_WAIT), watches[0].0, 0, 0);
         let t = tickets[idx];
         self.cpu.trace_event(trace_kind::DMA_WAIT, t.obj, 0, Self::trace_seq(t.chan, t.seq));
         self.pending_dma.retain(|(_, p)| p.chan != t.chan || p.seq > t.seq);
@@ -1152,66 +941,6 @@ fn chunked_write(cpu: &mut Cpu, line: u32, addr: u32, data: &[u8]) {
     }
 }
 
-// ======================================================================
-// Deprecated closure-based scopes and momentary-access helpers (the
-// pre-guard idiom). The typed guards subsume them: `scope_x(ctx, obj,
-// |ctx| ...)` becomes `let s = ctx.scope_x(obj); ...`, and
-// `read_ro(ctx, obj)` becomes `ctx.scope_ro(obj).read()`.
-// ======================================================================
-
-/// Closure-scoped exclusive access: `entry_x` before `f`, `exit_x` after.
-#[deprecated(note = "use PmcCtx::scope_x — the returned XScope guard is RAII and typed")]
-pub fn scope_x<T, R>(
-    ctx: &mut PmcCtx<'_, '_>,
-    obj: Obj<T>,
-    f: impl FnOnce(&mut PmcCtx<'_, '_>) -> R,
-) -> R {
-    ctx.inner.get_mut().entry_x_id(ctx.shared, obj.id, false);
-    let r = f(ctx);
-    ctx.inner.get_mut().exit_x_id(ctx.shared, obj.id);
-    r
-}
-
-/// Closure-scoped read-only access (paper Fig. 10 `ScopeRO`).
-#[deprecated(note = "use PmcCtx::scope_ro — the returned RoScope guard is RAII and typed")]
-pub fn scope_ro<T, R>(
-    ctx: &mut PmcCtx<'_, '_>,
-    obj: Obj<T>,
-    f: impl FnOnce(&mut PmcCtx<'_, '_>) -> R,
-) -> R {
-    ctx.inner.get_mut().entry_ro_id(ctx.shared, obj.id, false);
-    let r = f(ctx);
-    ctx.inner.get_mut().exit_ro_id(ctx.shared, obj.id);
-    r
-}
-
-/// Read a whole object under a momentary read-only scope
-/// (the `poll = f;` pattern of the paper's Fig. 6 lines 10–12).
-#[deprecated(note = "use `ctx.scope_ro(obj).read()` — the temporary guard closes the scope")]
-pub fn read_ro<T: Pod>(ctx: &mut PmcCtx<'_, '_>, obj: Obj<T>) -> T {
-    let inner = ctx.inner.get_mut();
-    inner.entry_ro_id(ctx.shared, obj.id, false);
-    let mut buf = vec![0u8; T::SIZE as usize];
-    inner.raw_read(ctx.shared, obj.id, 0, &mut buf);
-    inner.exit_ro_id(ctx.shared, obj.id);
-    T::from_bytes(&buf)
-}
-
-/// Write a whole object under a momentary exclusive scope, with an
-/// optional flush (the paper's Fig. 6 lines 6–9).
-#[deprecated(note = "use a momentary XScope: `let s = ctx.scope_x(obj); s.write(v); s.flush();`")]
-pub fn write_x<T: Pod>(ctx: &mut PmcCtx<'_, '_>, obj: Obj<T>, value: T, flush: bool) {
-    let inner = ctx.inner.get_mut();
-    inner.entry_x_id(ctx.shared, obj.id, false);
-    let mut buf = vec![0u8; T::SIZE as usize];
-    value.to_bytes(&mut buf);
-    inner.raw_write(ctx.shared, obj.id, 0, &buf);
-    if flush {
-        inner.flush_id(ctx.shared, obj.id);
-    }
-    inner.exit_x_id(ctx.shared, obj.id);
-}
-
 #[cfg(test)]
 mod tests {
     use crate::system::{BackendKind, LockKind, System};
@@ -1345,37 +1074,5 @@ mod tests {
             sb.close();
             sa.close();
         })]);
-    }
-
-    /// The deprecated wrapper API still drives the same machinery: a
-    /// mixed-style program produces identical memory state.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        use super::{read_ro, scope_x, write_x};
-        for backend in BackendKind::ALL {
-            let mut sys = System::new(SocConfig::small(2), backend, LockKind::Sdram);
-            let x = sys.alloc::<u32>("x");
-            sys.run(vec![
-                Box::new(move |ctx| {
-                    ctx.entry_x(x);
-                    ctx.write(x, 5);
-                    ctx.exit_x(x);
-                    scope_x(ctx, x, |ctx| {
-                        let v = ctx.read(x);
-                        ctx.write(x, v + 1);
-                    });
-                    write_x(ctx, x, 42, true);
-                }),
-                Box::new(move |ctx| {
-                    let mut backoff = 8;
-                    while read_ro(ctx, x) != 42 {
-                        ctx.compute(backoff);
-                        backoff = (backoff * 2).min(256);
-                    }
-                }),
-            ]);
-            assert_eq!(sys.read_back(x), 42, "{backend:?}");
-        }
     }
 }

@@ -10,6 +10,8 @@
 //! indexing, which is the intended semantics of the comparisons
 //! `rp < wp - N` / `wp <= rp`).
 
+use pmc_soc_sim::trace::{span_begin, span_end, span_kind};
+
 use crate::ctx::PmcCtx;
 use crate::pod::Pod;
 use crate::system::{Obj, ObjVec, System};
@@ -53,6 +55,10 @@ impl<T: Pod> MFifo<T> {
     /// Push an element (paper Fig. 9, `push()`), blocking until every
     /// reader has consumed the slot being overwritten.
     pub fn push(&self, ctx: &PmcCtx<'_, '_>, data: T) {
+        // Telemetry: the whole (possibly blocking) push, identified by
+        // the FIFO's write-pointer object.
+        let fifo_id = self.write_ptr.id;
+        ctx.with_cpu(|cpu| cpu.trace_event(span_begin(span_kind::FIFO_PUSH), fifo_id, 0, 0));
         let wp = ctx.scope_x(self.write_ptr);
         let wp_raw = wp.read();
         let slot = wp_raw % self.depth;
@@ -75,10 +81,13 @@ impl<T: Pod> MFifo<T> {
         wp.write(wp_raw + 1);
         wp.flush(); // line 22: make the new count visible
         wp.close();
+        ctx.with_cpu(|cpu| cpu.trace_event(span_end(span_kind::FIFO_PUSH), fifo_id, 0, 0));
     }
 
     /// Pop the next element for `reader` (paper Fig. 9, `pop()`).
     pub fn pop(&self, ctx: &PmcCtx<'_, '_>, reader: u32) -> T {
+        let fifo_id = self.write_ptr.id;
+        ctx.with_cpu(|cpu| cpu.trace_event(span_begin(span_kind::FIFO_POP), fifo_id, 0, 0));
         let rp_obj = self.read_ptr.at(reader);
         let rp_raw = ctx.scope_ro(rp_obj).read(); // lines 27–29
         let slot = rp_raw % self.depth;
@@ -99,6 +108,7 @@ impl<T: Pod> MFifo<T> {
         rp.write(rp_raw + 1);
         rp.flush();
         rp.close();
+        ctx.with_cpu(|cpu| cpu.trace_event(span_end(span_kind::FIFO_POP), fifo_id, 0, 0));
         data
     }
 

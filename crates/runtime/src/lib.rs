@@ -63,8 +63,6 @@ pub mod spm;
 pub mod system;
 
 pub use ctx::PmcCtx;
-#[allow(deprecated)]
-pub use ctx::{read_ro, scope_ro, scope_x, write_x};
 pub use fifo::MFifo;
 pub use pod::{Pod, Vec2};
 pub use scope::{DmaTicket, RoScope, SrcScope, XScope};

@@ -31,7 +31,7 @@ use std::sync::Mutex;
 use pmc_core::interleave::Outcome;
 use pmc_core::litmus::{Instr, Program};
 use pmc_core::{conformance, op::Value};
-use pmc_soc_sim::{RunReport, SocConfig, Topology, TraceRecord};
+use pmc_soc_sim::{RunReport, SocConfig, TelemetryConfig, TelemetryReport, Topology, TraceRecord};
 
 use crate::system::{BackendKind, LockKind, Obj, System};
 
@@ -40,10 +40,18 @@ pub struct LitmusRun {
     /// Final register values, per thread — directly comparable with the
     /// model enumerator's [`Outcome`]s.
     pub outcome: Outcome,
-    /// The recorded annotation-level trace (tracing is always enabled).
+    /// The recorded annotation-level trace (tracing is always enabled;
+    /// with telemetry on it also carries runtime span records).
     pub trace: Vec<TraceRecord>,
     /// Simulator counters and makespan.
     pub report: RunReport,
+    /// Cycle-level telemetry streams (empty unless run through
+    /// [`run_litmus_telemetry`]).
+    pub telemetry: TelemetryReport,
+    /// The exact simulator configuration the run used — what
+    /// [`pmc_soc_sim::telemetry::perfetto_json`] needs to lay out the
+    /// exported timeline.
+    pub cfg: SocConfig,
 }
 
 /// Run `program` on `backend`/`lock_kind` over the ring with
@@ -68,6 +76,29 @@ pub fn run_litmus_on(
     lock_kind: LockKind,
     topology: Topology,
 ) -> LitmusRun {
+    run_litmus_full(program, backend, lock_kind, topology, TelemetryConfig::default())
+}
+
+/// [`run_litmus_on`] with cycle-level telemetry recording enabled: the
+/// returned [`LitmusRun::telemetry`] holds the per-tile event streams
+/// and the trace carries runtime span records — everything
+/// [`pmc_soc_sim::telemetry::perfetto_json`] needs for a timeline.
+pub fn run_litmus_telemetry(
+    program: &Program,
+    backend: BackendKind,
+    lock_kind: LockKind,
+    topology: Topology,
+) -> LitmusRun {
+    run_litmus_full(program, backend, lock_kind, topology, TelemetryConfig::on())
+}
+
+fn run_litmus_full(
+    program: &Program,
+    backend: BackendKind,
+    lock_kind: LockKind,
+    topology: Topology,
+    telemetry: TelemetryConfig,
+) -> LitmusRun {
     let n_threads = program.threads.len().max(1);
     let n_tiles = match topology {
         Topology::Ring => n_threads,
@@ -86,7 +117,8 @@ pub fn run_litmus_on(
     // so the sweep also validates the multi-channel completion protocol
     // (independent per-channel waits) against the model.
     cfg.dma_channels = 2;
-    let mut sys = System::new(cfg, backend, lock_kind);
+    cfg.telemetry = telemetry;
+    let mut sys = System::new(cfg.clone(), backend, lock_kind);
 
     let n_locs = conformance::loc_count(program).max(1);
     let locs = sys.alloc_vec::<Value>("loc", n_locs);
@@ -314,7 +346,8 @@ pub fn run_litmus_on(
 
     let outcome: Outcome = results.iter().map(|m| m.lock().unwrap().clone()).collect();
     let trace = sys.soc().take_trace();
-    LitmusRun { outcome, trace, report }
+    let telemetry = sys.soc().take_telemetry();
+    LitmusRun { outcome, trace, report, telemetry, cfg }
 }
 
 #[cfg(test)]
@@ -354,5 +387,53 @@ mod tests {
         assert_eq!(run.outcome.len(), 4);
         assert!(run.outcome[0].is_empty() && run.outcome[1].is_empty());
         assert_eq!(run.outcome[2].len(), 2);
+    }
+
+    /// Golden observability pin: the Perfetto export of the annotated MP
+    /// litmus run on the SPM back-end is well-formed JSON whose span set
+    /// (scope lifetimes, lock spans, link occupancy) is byte-identical
+    /// across runs; the DMA-descriptor lifetime track is pinned the same
+    /// way on a DMA-carrying program.
+    #[test]
+    fn mp_annotated_spm_perfetto_export_is_stable() {
+        use pmc_soc_sim::telemetry::{pair_spans, perfetto_json, validate_json};
+        use pmc_soc_sim::trace::span_kind;
+        use pmc_soc_sim::EventKind;
+        let export = |prog: &pmc_core::litmus::Program| {
+            let r = run_litmus_telemetry(prog, BackendKind::Spm, LockKind::Sdram, Topology::Ring);
+            let json = perfetto_json(&r.cfg, &r.telemetry, &r.trace);
+            (r, json)
+        };
+        let (a, ja) = export(&catalogue::mp_annotated());
+        let (_b, jb) = export(&catalogue::mp_annotated());
+        assert_eq!(ja, jb, "telemetry export must be deterministic");
+        validate_json(&ja).expect("exporter emits well-formed JSON");
+        // Spans pair cleanly and the expected families are present.
+        let (spans, dangling) = pair_spans(&a.trace).expect("span stream pairs");
+        assert_eq!(dangling, 0, "no dangling span begins");
+        assert!(spans.iter().any(|s| s.kind == span_kind::SCOPE_X), "{spans:?}");
+        assert!(spans.iter().any(|s| s.kind == span_kind::SCOPE_RO), "{spans:?}");
+        assert!(spans.iter().any(|s| s.kind == span_kind::LOCK_HOLD), "{spans:?}");
+        // Link occupancy intervals reached the system stream and the
+        // timeline names the runtime tracks.
+        assert!(a.telemetry.system.iter().any(|e| matches!(e.kind, EventKind::LinkBusy { .. })));
+        assert!(ja.contains("scope_x"), "runtime track named in the export");
+        // The protocol trace is unchanged by telemetry: it still
+        // validates and the outcome is the annotated one.
+        assert_eq!(a.outcome, vec![vec![], vec![42]]);
+        assert!(validate(&a.trace).is_empty());
+        // DMA descriptor lifetimes: pinned on a program that transfers.
+        let (d1, jd1) = export(&catalogue::dma_mp_put());
+        let (_d2, jd2) = export(&catalogue::dma_mp_put());
+        assert_eq!(jd1, jd2, "DMA telemetry export must be deterministic");
+        validate_json(&jd1).expect("well-formed JSON");
+        assert!(d1
+            .telemetry
+            .system
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::DmaDescriptor { .. })));
+        let (dspans, ddangling) = pair_spans(&d1.trace).expect("span stream pairs");
+        assert_eq!(ddangling, 0);
+        assert!(dspans.iter().any(|s| s.kind == span_kind::DMA_WAIT), "{dspans:?}");
     }
 }

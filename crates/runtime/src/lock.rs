@@ -14,6 +14,7 @@
 //!   therefore spin without generating interconnect or SDRAM traffic —
 //!   the asymmetry the paper exploits.
 
+use pmc_soc_sim::trace::{span_begin, span_end, span_kind};
 use pmc_soc_sim::{addr, Cpu};
 
 /// Back-off bounds for lock retry loops (cycles).
@@ -28,11 +29,26 @@ pub enum Lock {
 }
 
 impl Lock {
+    /// Identity of this lock in telemetry spans (`addr` field of
+    /// [`pmc_soc_sim::trace::span_kind::LOCK_ACQUIRE`] /
+    /// [`pmc_soc_sim::trace::span_kind::LOCK_HOLD`] records): the lock
+    /// word's address (SDRAM) or home-tile offset (distributed).
+    fn trace_id(&self) -> u32 {
+        match self {
+            Lock::Sdram(l) => l.addr,
+            Lock::Dist(l) => l.lock_offset,
+        }
+    }
+
     pub fn lock(&self, cpu: &mut Cpu) {
+        let id = self.trace_id();
+        cpu.trace_event(span_begin(span_kind::LOCK_ACQUIRE), id, 0, 0);
         match self {
             Lock::Sdram(l) => l.lock(cpu),
             Lock::Dist(l) => l.lock(cpu),
         }
+        cpu.trace_event(span_end(span_kind::LOCK_ACQUIRE), id, 0, 0);
+        cpu.trace_event(span_begin(span_kind::LOCK_HOLD), id, 0, 0);
     }
 
     pub fn unlock(&self, cpu: &mut Cpu) {
@@ -40,6 +56,7 @@ impl Lock {
             Lock::Sdram(l) => l.unlock(cpu),
             Lock::Dist(l) => l.unlock(cpu),
         }
+        cpu.trace_event(span_end(span_kind::LOCK_HOLD), self.trace_id(), 0, 0);
     }
 
     /// Shared (read-only) acquisition. The paper's Table II says
@@ -49,10 +66,14 @@ impl Lock {
     /// lock implements this as the shared mode of a reader-writer lock.
     /// The distributed lock has no shared mode and degrades to exclusive.
     pub fn lock_shared(&self, cpu: &mut Cpu) {
+        let id = self.trace_id();
+        cpu.trace_event(span_begin(span_kind::LOCK_ACQUIRE), id, 0, 0);
         match self {
             Lock::Sdram(l) => l.lock_shared(cpu),
             Lock::Dist(l) => l.lock(cpu),
         }
+        cpu.trace_event(span_end(span_kind::LOCK_ACQUIRE), id, 0, 0);
+        cpu.trace_event(span_begin(span_kind::LOCK_HOLD), id, 0, 0);
     }
 
     pub fn unlock_shared(&self, cpu: &mut Cpu) {
@@ -60,6 +81,7 @@ impl Lock {
             Lock::Sdram(l) => l.unlock_shared(cpu),
             Lock::Dist(l) => l.unlock(cpu),
         }
+        cpu.trace_event(span_end(span_kind::LOCK_HOLD), self.trace_id(), 0, 0);
     }
 }
 

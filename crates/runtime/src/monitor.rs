@@ -30,9 +30,14 @@
 
 use std::collections::HashMap;
 
+use pmc_soc_sim::trace::span_kind_name;
 use pmc_soc_sim::TraceRecord;
 
 use crate::ctx::trace_kind as k;
+
+/// How many trailing trace records of the offending tile each
+/// [`Violation`] carries as context.
+const CONTEXT_EVENTS: usize = 8;
 
 /// A protocol violation found in a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,11 +45,35 @@ pub struct Violation {
     pub time: u64,
     pub tile: usize,
     pub message: String,
+    /// The offending tile's last few trace records (protocol *and*
+    /// telemetry spans, when recorded) up to the violation time — the
+    /// local history that led here, attached to the report.
+    pub context: Vec<TraceRecord>,
 }
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "t={} tile={}: {}", self.time, self.tile, self.message)
+        write!(f, "t={} tile={}: {}", self.time, self.tile, self.message)?;
+        for r in &self.context {
+            if r.is_span() {
+                let marker = if r.is_span_end() { "end" } else { "begin" };
+                write!(
+                    f,
+                    "\n    | t={} span {} {} addr={}",
+                    r.time,
+                    span_kind_name(r.span_kind()),
+                    marker,
+                    r.addr
+                )?;
+            } else {
+                write!(
+                    f,
+                    "\n    | t={} kind={} addr={} len={} value={:#x}",
+                    r.time, r.kind, r.addr, r.len, r.value
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -213,9 +242,14 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
     let mut outstanding: Vec<Outstanding> = Vec::new();
     let mut out = Vec::new();
     let violate = |r: &TraceRecord, msg: String, out: &mut Vec<Violation>| {
-        out.push(Violation { time: r.time, tile: r.tile, message: msg });
+        out.push(Violation { time: r.time, tile: r.tile, message: msg, context: Vec::new() });
     };
     for r in trace {
+        // Telemetry span markers share the trace channel but are not
+        // protocol events — they carry no consistency semantics.
+        if r.is_span() {
+            continue;
+        }
         match r.kind {
             k::ENTRY_X => {
                 let st = objs.entry(r.addr).or_default();
@@ -649,6 +683,19 @@ pub fn validate(trace: &[TraceRecord]) -> Vec<Violation> {
             other => violate(r, format!("unknown trace kind {other}"), &mut out),
         }
     }
+    // Attach the offending tile's trailing records (spans included) to
+    // each violation so the report shows what that tile was doing.
+    for v in &mut out {
+        let mut ctx: Vec<TraceRecord> = trace
+            .iter()
+            .rev()
+            .filter(|r| r.tile == v.tile && r.time <= v.time)
+            .take(CONTEXT_EVENTS)
+            .copied()
+            .collect();
+        ctx.reverse();
+        v.context = ctx;
+    }
     out
 }
 
@@ -1039,78 +1086,94 @@ mod tests {
         }
     }
 
-    /// The deprecated convenience wrappers produce valid annotated
-    /// programs too — the compatibility layer feeds the same machinery.
-    #[test]
-    #[allow(deprecated)]
-    fn write_x_read_ro_roundtrip() {
-        use crate::ctx::{read_ro, write_x};
-        let mut sys = System::new(traced_cfg(1), BackendKind::Swcc, LockKind::Sdram);
-        let x = sys.alloc::<u32>("x");
-        sys.run(vec![Box::new(move |ctx| {
-            write_x(ctx, x, 5, true);
-            assert_eq!(read_ro(ctx, x), 5);
-        })]);
-        assert!(validate(&sys.soc().take_trace()).is_empty());
-        assert_eq!(sys.read_back(x), 5);
-    }
-
     // ==================================================================
-    // Raw-wrapper-API regressions: the scope guards enforce the protocol
-    // statically, but the deprecated entry/exit wrappers bypass that
-    // layer — these tests prove the *dynamic* gate (runtime asserts plus
-    // the monitor) was not weakened by the redesign.
+    // Raw-protocol regressions: the scope guards enforce the annotation
+    // protocol statically, but the dynamic gate (runtime asserts plus
+    // the monitor replaying raw trace records) must hold on its own —
+    // these descend from the deleted wrapper-API tests, rewritten
+    // against the guards and forged traces.
     // ==================================================================
 
-    /// Double entry on one object through the raw API is still caught at
-    /// run time — the guard layer would not even compile it.
+    /// Opening a second scope on one object while the first guard is
+    /// alive is still caught at run time.
     #[test]
-    #[allow(deprecated)]
     #[should_panic(expected = "nested scope on one object")]
-    fn raw_api_double_entry_still_panics() {
+    fn double_scope_on_one_object_panics() {
         let mut sys = System::new(traced_cfg(1), BackendKind::Uncached, LockKind::Sdram);
         let x = sys.alloc::<u32>("x");
         sys.run(vec![Box::new(move |ctx| {
-            ctx.entry_x(x);
-            ctx.entry_x(x); // must panic
+            let _a = ctx.scope_x(x);
+            let _b = ctx.scope_x(x); // must panic
         })]);
     }
 
-    /// An unbalanced raw-API scope (entry without exit) is still caught
-    /// by the end-of-program quiescence check.
+    /// A scope whose guard never runs its exit (leaked with
+    /// `std::mem::forget`) is still caught by the end-of-program
+    /// quiescence check.
     #[test]
-    #[allow(deprecated)]
     #[should_panic(expected = "open entry/exit scopes")]
-    fn raw_api_unbalanced_scope_still_panics() {
+    fn leaked_scope_guard_still_panics() {
         let mut sys = System::new(traced_cfg(1), BackendKind::Uncached, LockKind::Sdram);
         let x = sys.alloc::<u32>("x");
         sys.run(vec![Box::new(move |ctx| {
-            ctx.entry_x(x); // never exited
+            let g = ctx.scope_x(x);
+            std::mem::forget(g); // exit never runs
         })]);
     }
 
-    /// A raw-API program reading its DMA-target range before `dma_wait`
-    /// is still flagged by the monitor on every back-end — the dynamic
-    /// range-hazard check did not move into the type system.
+    /// A forged raw trace reading its DMA-target range before `dma_wait`
+    /// is flagged — the dynamic range-hazard check did not move into the
+    /// type system; the monitor still replays raw protocol records.
     #[test]
-    #[allow(deprecated)]
-    fn raw_api_read_before_wait_still_flagged() {
-        for backend in BackendKind::ALL {
-            let mut sys = System::new(traced_cfg(1), backend, LockKind::Sdram);
-            let s = sys.alloc_slab::<u32>("s", 64);
-            sys.run(vec![Box::new(move |ctx| {
-                ctx.entry_ro_stream(s.obj());
-                let t = ctx.dma_get(s, 0, 64);
-                let _racy: u32 = ctx.read_at(s, 0); // before the wait!
-                ctx.dma_wait(t);
-                ctx.exit_ro(s.obj());
-            })]);
-            let v = validate(&sys.soc().take_trace());
-            assert!(
-                v.iter().any(|v| v.message.contains("before dma_wait")),
-                "{backend:?}: raw-API racy read must stay flagged, got {v:#?}"
-            );
-        }
+    fn forged_read_before_wait_still_flagged() {
+        use pmc_soc_sim::TraceRecord;
+        let t =
+            |time, tile, kind, addr, len, value| TraceRecord { time, tile, kind, addr, len, value };
+        let chunk = 4u32; // (offset 0, len 4)
+        let trace = vec![
+            t(0, 0, k::ENTRY_RO, 1, 0, 1 | 2), // locked + streaming
+            t(1, 0, k::DMA_GET, 1, 64, 0),     // chan 0, seq 0, off 0
+            t(2, 0, k::READ, 1, chunk, 0),     // overlaps the in-flight get
+            t(3, 0, k::DMA_WAIT, 1, 0, 0),
+            t(4, 0, k::EXIT_RO, 1, 0, 0),
+        ];
+        let v = validate(&trace);
+        assert!(
+            v.iter().any(|v| v.message.contains("before dma_wait")),
+            "forged racy read must stay flagged, got {v:#?}"
+        );
+    }
+
+    /// Telemetry span records share the trace channel but are not
+    /// protocol events: the monitor skips them (no "unknown trace kind"
+    /// violations), and a violation's report attaches the offending
+    /// tile's trailing records — spans included.
+    #[test]
+    fn spans_are_skipped_and_attached_as_context() {
+        use pmc_soc_sim::trace::{span_begin, span_end, span_kind};
+        use pmc_soc_sim::TraceRecord;
+        let t =
+            |time, tile, kind, addr, value| TraceRecord { time, tile, kind, addr, len: 0, value };
+        // A clean scope wrapped in span markers validates clean.
+        let clean = vec![
+            t(0, 0, span_begin(span_kind::SCOPE_X), 3, 0),
+            t(1, 0, k::ENTRY_X, 3, 1),
+            t(2, 0, k::EXIT_X, 3, 0),
+            t(3, 0, span_end(span_kind::SCOPE_X), 3, 0),
+        ];
+        assert!(validate(&clean).is_empty(), "{:#?}", validate(&clean));
+        // A violating trace carries the tile's history in the report.
+        let bad = vec![
+            t(0, 0, span_begin(span_kind::SCOPE_X), 3, 0),
+            t(1, 0, k::ENTRY_X, 3, 1),
+            t(2, 1, k::ENTRY_X, 3, 1), // overlap: tile 1 violates
+        ];
+        let v = validate(&bad);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].context, vec![t(2, 1, k::ENTRY_X, 3, 1)]);
+        let shown = v[0].to_string();
+        assert!(shown.contains("entry_x"), "{shown}");
+        assert!(shown.contains("kind=1"), "context records rendered: {shown}");
     }
 
     /// Forged overlapping exclusive scopes — same tile (double entry)

@@ -7,6 +7,8 @@
 //! not calibrated against the FPGA — the reproduction targets the *shape*
 //! of the paper's results, and every knob here is sweepable.
 
+use crate::telemetry::TelemetryConfig;
+
 /// Interconnect topology: how tiles are wired and how packets route.
 ///
 /// Links are *directed* and identified by a dense `usize` id so the NoC
@@ -262,6 +264,11 @@ pub struct SocConfig {
     pub time_limit: u64,
     /// Record an annotation-level event trace (for model validation).
     pub trace: bool,
+    /// Cycle-accurate telemetry recording (stall/DMA/link/port spans
+    /// and runtime-level span records; see [`crate::telemetry`]).
+    /// Disabled by default and strictly observational: toggling it
+    /// changes no counter, checksum, or trace outcome.
+    pub telemetry: TelemetryConfig,
     /// The tile the SDRAM controller is attached to: DMA bursts and
     /// posted writes traverse the links between the issuing tile and
     /// this tile, so distance (and shared links) shape bulk-transfer
@@ -292,6 +299,7 @@ impl Default for SocConfig {
             max_local_run: 8_192,
             time_limit: 2_000_000_000,
             trace: false,
+            telemetry: TelemetryConfig::default(),
             mem_tile: 0,
             topology: Topology::Ring,
             dma_channels: 1,

@@ -172,4 +172,82 @@ mod tests {
         assert_eq!(agg.instret, 5);
         assert_eq!(agg.total(), 35);
     }
+
+    /// An empty report (no cores ran) aggregates to all-zero counters
+    /// and well-defined ratios — no division by zero anywhere.
+    #[test]
+    fn empty_report_aggregates_to_zero() {
+        let r = RunReport::default();
+        let agg = r.aggregate();
+        assert_eq!(agg.total(), 0);
+        assert_eq!(agg.utilization(), 0.0);
+        assert_eq!(r.flush_overhead(), 0.0);
+        assert_eq!(r.makespan, 0);
+    }
+
+    /// A core that only ever stalled has utilization 0 but a non-zero
+    /// total; a report mixing it with an idle core still aggregates.
+    #[test]
+    fn all_stall_core_has_zero_utilization() {
+        let c = Counters {
+            stall_priv_read: 10,
+            stall_shared_read: 20,
+            stall_write: 5,
+            stall_icache: 5,
+            stall_noc: 3,
+            stall_dma_wait: 7,
+            ..Default::default()
+        };
+        assert_eq!(c.busy, 0);
+        assert_eq!(c.total(), 50);
+        assert_eq!(c.utilization(), 0.0);
+        let r = RunReport { per_core: vec![c, Counters::default()], makespan: 50 };
+        assert_eq!(r.aggregate().total(), 50);
+        assert_eq!(r.aggregate().utilization(), 0.0);
+    }
+
+    /// `add` covers every field: adding a fully populated counter twice
+    /// doubles each field (a new field missed in `add` breaks this).
+    #[test]
+    fn add_covers_every_field() {
+        let one = Counters {
+            busy: 1,
+            stall_priv_read: 2,
+            stall_shared_read: 3,
+            stall_write: 4,
+            stall_icache: 5,
+            stall_noc: 6,
+            stall_dma_wait: 7,
+            instret: 8,
+            flush_cycles: 9,
+            dcache_hits: 10,
+            dcache_misses: 11,
+            dma_transfers: 12,
+            dma_bytes: 13,
+            dma_event_waits: 14,
+            dma_spurious_wakeups: 15,
+        };
+        let mut doubled = one;
+        doubled.add(&one);
+        assert_eq!(format!("{:?}", doubled), {
+            let two = Counters {
+                busy: 2,
+                stall_priv_read: 4,
+                stall_shared_read: 6,
+                stall_write: 8,
+                stall_icache: 10,
+                stall_noc: 12,
+                stall_dma_wait: 14,
+                instret: 16,
+                flush_cycles: 18,
+                dcache_hits: 20,
+                dcache_misses: 22,
+                dma_transfers: 24,
+                dma_bytes: 26,
+                dma_event_waits: 28,
+                dma_spurious_wakeups: 30,
+            };
+            format!("{two:?}")
+        });
+    }
 }

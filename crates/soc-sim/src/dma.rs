@@ -40,6 +40,7 @@
 
 use crate::config::SocConfig;
 use crate::noc::{Noc, PacketKind};
+use crate::telemetry::EventKind;
 
 /// Transfer direction of an SDRAM transfer, from the issuing tile's point
 /// of view.
@@ -224,6 +225,7 @@ impl DmaEngine {
         if total == 0 {
             // Null transfer: completion word only.
             ch.free_at = cursor;
+            noc.telem.span(tile, now, cursor, EventKind::DmaDescriptor { chan, seq });
             noc.send(
                 cursor,
                 tile,
@@ -247,25 +249,21 @@ impl DmaEngine {
                 let len = burst.min(seg.bytes - off);
                 self.bursts += 1;
                 remaining -= len;
+                let burst_ready = cursor;
                 // Resource legs, ordered by data-flow direction. The
                 // channel pipelines bursts: the next burst may claim its
                 // first resource as soon as this one's leg drains, while
                 // later legs are still in flight.
                 let arrive = match desc.kind {
                     DmaKind::Sdram(DmaDir::Get) => {
-                        let start = cursor.max(*sdram_free);
-                        let port_done = start + cfg.sdram_service(len);
-                        *sdram_free = port_done;
+                        let port_done = noc.reserve_sdram(sdram_free, cfg, tile, cursor, len);
                         cursor = port_done;
                         noc.reserve_path(cfg, port_done, cfg.mem_tile, tile, len)
                     }
                     DmaKind::Sdram(DmaDir::Put) => {
                         let net_done = noc.reserve_path(cfg, cursor, tile, cfg.mem_tile, len);
                         cursor = net_done;
-                        let start = net_done.max(*sdram_free);
-                        let port_done = start + cfg.sdram_service(len);
-                        *sdram_free = port_done;
-                        port_done
+                        noc.reserve_sdram(sdram_free, cfg, tile, net_done, len)
                     }
                     DmaKind::Copy { dst_tile } => {
                         let arrive = noc.reserve_path(cfg, cursor, tile, dst_tile, len);
@@ -276,6 +274,7 @@ impl DmaEngine {
                         arrive
                     }
                 };
+                noc.telem.span(tile, burst_ready, arrive, EventKind::DmaBurst { len });
                 last_arrive = last_arrive.max(arrive);
                 let done = (remaining == 0).then_some((desc.done_offset, seq));
                 noc.send(
@@ -294,6 +293,9 @@ impl DmaEngine {
             }
         }
         self.channels[chan].free_at = last_arrive;
+        // Descriptor lifetime: doorbell write → final burst (whose
+        // arrival carries the completion-word write).
+        noc.telem.span(tile, now, last_arrive, EventKind::DmaDescriptor { chan, seq });
         seq
     }
 

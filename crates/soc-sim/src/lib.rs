@@ -43,6 +43,7 @@ pub mod icache;
 pub mod mem;
 pub mod noc;
 pub mod soc;
+pub mod telemetry;
 pub mod trace;
 
 pub use addr::Addr;
@@ -51,4 +52,8 @@ pub use counters::{Counters, LinkReport, MemTag, RunReport};
 pub use dma::{DmaDescriptor, DmaDir, DmaKind, DmaSeg, DmaStats};
 pub use noc::LinkStat;
 pub use soc::{CoreProgram, Cpu, Soc};
+pub use telemetry::{
+    EventKind, Histogram, MetricsRegistry, StallClass, TelemetryConfig, TelemetryEvent,
+    TelemetryReport,
+};
 pub use trace::TraceRecord;

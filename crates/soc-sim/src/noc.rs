@@ -30,6 +30,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::config::{SocConfig, Topology};
+use crate::telemetry::{EventKind, Recorder};
 
 /// The effect a packet applies when it arrives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +115,11 @@ pub struct Noc {
     /// tests).
     link_free: Vec<u64>,
     link_stats: Vec<LinkStat>,
+    /// Interconnect-side telemetry ring (link occupancy, SDRAM-port
+    /// service, DMA descriptor lifetimes). Disabled by default — the
+    /// instrumented paths then cost one branch; install an enabled
+    /// recorder with [`Noc::set_recorder`].
+    pub telem: Recorder,
 }
 
 impl Noc {
@@ -140,6 +146,11 @@ impl Noc {
     /// [`Topology`]).
     pub fn link_stats(&self) -> &[LinkStat] {
         &self.link_stats
+    }
+
+    /// Install a telemetry recorder for interconnect-side events.
+    pub fn set_recorder(&mut self, telem: Recorder) {
+        self.telem = telem;
     }
 
     /// Reserve every link on the route `from → to` for a burst of
@@ -173,11 +184,33 @@ impl Noc {
             self.link_free[link] = start + serialise;
             self.link_stats[link].busy += serialise;
             self.link_stats[link].bursts += 1;
+            self.telem.span(from, start, start + serialise, EventKind::LinkBusy { link });
             // Cut-through: the head moves on after one hop latency; the
             // tail (serialisation) overlaps across links.
             t = start + cfg.lat.noc_per_hop;
         }
         t + serialise
+    }
+
+    /// Seize the single shared SDRAM port for a transaction of `bytes`
+    /// bytes issued by `tile` that is ready at `ready`: the port is a
+    /// busy-until resource (`sdram_free`, owned by the caller), queueing
+    /// is waiting for the previous transaction to drain, and the
+    /// service interval lands in the telemetry ring as an
+    /// [`EventKind::SdramPort`] span. Returns the completion time.
+    pub fn reserve_sdram(
+        &mut self,
+        sdram_free: &mut u64,
+        cfg: &SocConfig,
+        tile: usize,
+        ready: u64,
+        bytes: u32,
+    ) -> u64 {
+        let start = ready.max(*sdram_free);
+        let done = start + cfg.sdram_service(bytes);
+        *sdram_free = done;
+        self.telem.span(tile, start, done, EventKind::SdramPort);
+        done
     }
 
     pub fn send(&mut self, arrive: u64, src: usize, dst: usize, kind: PacketKind) {

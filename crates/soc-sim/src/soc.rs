@@ -47,7 +47,8 @@ use crate::dma::{DmaDescriptor, DmaDir, DmaEngine, DmaKind, DmaStats};
 use crate::icache::ICache;
 use crate::mem::ByteMem;
 use crate::noc::{LinkStat, Noc, Packet, PacketKind};
-use crate::trace::TraceRecord;
+use crate::telemetry::{EventKind, Recorder, StallClass, TelemetryEvent, TelemetryReport};
+use crate::trace::{self, TraceRecord};
 
 /// State shared by all tiles, guarded by the scheduler lock.
 struct Global {
@@ -68,6 +69,9 @@ struct Global {
     trace: Vec<TraceRecord>,
     /// Final counters, collected as tiles finish.
     finished: Vec<Option<(Counters, u64)>>,
+    /// Per-tile telemetry streams (events + drop count), collected as
+    /// tiles finish; interconnect-side events live in `noc.telem`.
+    telem_tiles: Vec<(Vec<TelemetryEvent>, u64)>,
 }
 
 impl Global {
@@ -143,6 +147,7 @@ impl Global {
                 }
                 if let Some((done_offset, seq)) = done {
                     self.locals[p.dst].write_u32(done_offset, seq);
+                    self.noc.telem.instant(p.dst, p.arrive, EventKind::DmaCompletion { seq });
                 }
             }
             PacketKind::FetchAdd { offset, delta, reply_tile, reply_offset } => {
@@ -197,10 +202,12 @@ impl Soc {
         if let Err(e) = cfg.validate() {
             panic!("invalid SocConfig: {e}");
         }
+        let mut noc = Noc::with_topology(cfg.topology, cfg.n_tiles);
+        noc.set_recorder(Recorder::new(&cfg.telemetry));
         let global = Global {
             sdram: ByteMem::new(cfg.sdram_size),
             locals: (0..cfg.n_tiles).map(|_| ByteMem::new(cfg.local_mem_size)).collect(),
-            noc: Noc::with_topology(cfg.topology, cfg.n_tiles),
+            noc,
             dma: vec![DmaEngine::new(cfg.dma_channels); cfg.n_tiles],
             clocks: vec![0; cfg.n_tiles],
             waiting: vec![false; cfg.n_tiles],
@@ -208,6 +215,7 @@ impl Soc {
             tags: Vec::new(),
             trace: Vec::new(),
             finished: vec![None; cfg.n_tiles],
+            telem_tiles: vec![(Vec::new(), 0); cfg.n_tiles],
         };
         let cvs = (0..cfg.n_tiles).map(|_| Condvar::new()).collect();
         Soc {
@@ -285,6 +293,21 @@ impl Soc {
         std::mem::take(&mut lock_ignore_poison(&self.global).trace)
     }
 
+    /// The recorded telemetry of the last run (empty unless
+    /// `cfg.telemetry.enabled`): per-tile core-side streams plus the
+    /// interconnect-side stream, with the total ring-drop count.
+    pub fn take_telemetry(&self) -> TelemetryReport {
+        let mut g = lock_ignore_poison(&self.global);
+        let (system, mut dropped) = g.noc.telem.drain();
+        let mut per_tile = Vec::with_capacity(self.cfg.n_tiles);
+        for slot in g.telem_tiles.iter_mut() {
+            let (evs, d) = std::mem::take(slot);
+            dropped += d;
+            per_tile.push(evs);
+        }
+        TelemetryReport { per_tile, system, dropped }
+    }
+
     /// Per-directed-link occupancy counters, indexed by raw link id (see
     /// [`crate::config::Topology`] for the numbering; mesh boundary
     /// slots stay zero).
@@ -329,6 +352,7 @@ impl Soc {
                 g.clocks[t] = if t < n_programs { 0 } else { u64::MAX };
                 g.waiting[t] = false;
                 g.finished[t] = None;
+                g.telem_tiles[t] = (Vec::new(), 0);
             }
         }
         self.aborted.store(false, AtomicOrdering::SeqCst);
@@ -402,6 +426,9 @@ pub struct Cpu<'a> {
     dcache: Cache,
     icache: ICache,
     ctr: Counters,
+    /// Core-side telemetry ring (stall spans); lock-free — drained into
+    /// the global report at [`Cpu::finish`].
+    telem: Recorder,
 }
 
 impl<'a> Cpu<'a> {
@@ -414,6 +441,7 @@ impl<'a> Cpu<'a> {
             dcache: Cache::new(soc.cfg.dcache),
             icache: ICache::new(soc.cfg.icache_mpki),
             ctr: Counters::default(),
+            telem: Recorder::new(&soc.cfg.telemetry),
         }
     }
 
@@ -461,12 +489,29 @@ impl<'a> Cpu<'a> {
         if misses > 0 {
             let stall = misses * self.soc.cfg.lat.icache_miss;
             self.ctr.stall_icache += stall;
+            self.telem.span(
+                self.tile,
+                self.clock,
+                self.clock + stall,
+                EventKind::Stall(StallClass::Icache),
+            );
             self.clock += stall;
         }
         self.check_time_limit();
     }
 
     fn charge_stall(&mut self, cat: StallCat, cycles: u64) {
+        if cycles > 0 {
+            let class = match cat {
+                StallCat::PrivRead => StallClass::PrivRead,
+                StallCat::SharedRead => StallClass::SharedRead,
+                StallCat::Write => StallClass::Write,
+                StallCat::Noc => StallClass::Noc,
+                StallCat::Flush => StallClass::Flush,
+                StallCat::DmaWait => StallClass::DmaWait,
+            };
+            self.telem.span(self.tile, self.clock, self.clock + cycles, EventKind::Stall(class));
+        }
         match cat {
             StallCat::PrivRead => self.ctr.stall_priv_read += cycles,
             StallCat::SharedRead => self.ctr.stall_shared_read += cycles,
@@ -536,6 +581,7 @@ impl<'a> Cpu<'a> {
         let soc = self.soc;
         let mut g = lock_ignore_poison(&soc.global);
         g.finished[self.tile] = Some((self.ctr, self.clock));
+        g.telem_tiles[self.tile] = self.telem.drain();
         g.clocks[self.tile] = u64::MAX;
         if let Some(m) = g.min_tile() {
             if g.waiting[m] {
@@ -576,10 +622,8 @@ impl<'a> Cpu<'a> {
             }
             Region::SdramUncached { offset } => {
                 let bytes = out.len() as u32;
-                let (tag, stall) = self.turn(|g, cfg, now, _| {
-                    let start = now.max(g.sdram_free);
-                    let done = start + cfg.sdram_service(bytes);
-                    g.sdram_free = done;
+                let (tag, stall) = self.turn(|g, cfg, now, me| {
+                    let done = g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, now, bytes);
                     g.sdram.read(offset, out);
                     (g.tag_of(offset), done - now)
                 });
@@ -636,8 +680,7 @@ impl<'a> Cpu<'a> {
                     // controller (contending with DMA bursts) and the
                     // transaction then occupies the SDRAM port.
                     let at_ctrl = g.noc.reserve_path(cfg, now, me, cfg.mem_tile, bytes);
-                    let start = at_ctrl.max(g.sdram_free);
-                    g.sdram_free = start + cfg.sdram_service(bytes);
+                    g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, at_ctrl, bytes);
                     g.sdram.write(offset, data);
                 });
                 let stall = self.soc.cfg.lat.posted_write;
@@ -687,18 +730,19 @@ impl<'a> Cpu<'a> {
         }
         g.drain_packets(clock, &self.soc.cfg);
         // Line fetch, then victim write-back occupying the SDRAM port.
-        let start = clock.max(g.sdram_free);
-        let mut done = start + self.soc.cfg.sdram_service(line_size);
+        let gm = &mut *g;
+        let mut done =
+            gm.noc.reserve_sdram(&mut gm.sdram_free, &self.soc.cfg, tile, clock, line_size);
         let mut line_buf = vec![0u8; line_size as usize];
-        g.sdram.read(line, &mut line_buf);
+        gm.sdram.read(line, &mut line_buf);
         if let Some(wb) = self.dcache.fill(line, &line_buf) {
-            g.sdram.write(wb.offset, &wb.data);
+            gm.sdram.write(wb.offset, &wb.data);
             // The victim line is a posted write-back: it crosses the
             // ring to the controller before occupying the port.
-            let at_ctrl = g.noc.reserve_path(&self.soc.cfg, done, tile, mem_tile, line_size);
-            done = at_ctrl + self.soc.cfg.sdram_service(line_size);
+            let at_ctrl = gm.noc.reserve_path(&self.soc.cfg, done, tile, mem_tile, line_size);
+            done =
+                gm.noc.reserve_sdram(&mut gm.sdram_free, &self.soc.cfg, tile, at_ctrl, line_size);
         }
-        g.sdram_free = done;
         let tag = g.tag_of(offset);
         if let Some(m) = g.min_tile() {
             if m != tile && g.waiting[m] {
@@ -759,10 +803,8 @@ impl<'a> Cpu<'a> {
             }
             Region::SdramUncached { offset } => {
                 let bytes = out.len() as u32;
-                let (tag, stall) = self.turn(|g, cfg, now, _| {
-                    let start = now.max(g.sdram_free);
-                    let done = start + cfg.sdram_service(bytes);
-                    g.sdram_free = done;
+                let (tag, stall) = self.turn(|g, cfg, now, me| {
+                    let done = g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, now, bytes);
                     g.sdram.read(offset, out);
                     (g.tag_of(offset), done - now)
                 });
@@ -791,8 +833,7 @@ impl<'a> Cpu<'a> {
                 let bytes = data.len() as u32;
                 self.turn(|g, cfg, now, me| {
                     let at_ctrl = g.noc.reserve_path(cfg, now, me, cfg.mem_tile, bytes);
-                    let start = at_ctrl.max(g.sdram_free);
-                    g.sdram_free = start + cfg.sdram_service(bytes);
+                    g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, at_ctrl, bytes);
                     g.sdram.write(offset, data);
                 });
                 let stall = self.soc.cfg.lat.posted_write + words / 4;
@@ -832,8 +873,7 @@ impl<'a> Cpu<'a> {
                     // Posted write-back: the line crosses the ring to the
                     // controller, then takes the port.
                     let at_ctrl = g.noc.reserve_path(cfg, now, me, cfg.mem_tile, line_size);
-                    let start = at_ctrl.max(g.sdram_free);
-                    g.sdram_free = start + cfg.sdram_service(line_size);
+                    g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, at_ctrl, line_size);
                     g.sdram.write(wb.offset, &wb.data);
                 });
                 let stall = self.soc.cfg.lat.posted_write;
@@ -1112,9 +1152,18 @@ impl<'a> Cpu<'a> {
     // ------------------------------------------------------------------
 
     /// Record a producer-defined trace event at the current virtual time
-    /// (no cost; only with `cfg.trace`).
+    /// (no cost). Protocol records (`kind` without
+    /// [`crate::trace::SPAN_FLAG`]) require `cfg.trace`; span records
+    /// require `cfg.telemetry.enabled` — the two families are gated
+    /// independently so enabling telemetry never perturbs the monitor's
+    /// protocol trace and vice versa.
     pub fn trace_event(&mut self, kind: u16, addr: u32, len: u32, value: u64) {
-        if !self.soc.cfg.trace {
+        let wanted = if kind & trace::SPAN_FLAG != 0 {
+            self.soc.cfg.telemetry.enabled
+        } else {
+            self.soc.cfg.trace
+        };
+        if !wanted {
             return;
         }
         let tile = self.tile;
@@ -1728,6 +1777,112 @@ mod tests {
         let mut cfg = SocConfig::small(4);
         cfg.mem_tile = 9;
         Soc::new(cfg);
+    }
+
+    /// The telemetry workload used by the determinism and neutrality
+    /// pins: caches, uncached traffic, DMA and cross-tile contention.
+    fn telemetry_workload(telemetry_on: bool) -> (RunReport, crate::telemetry::TelemetryReport) {
+        let mut cfg = SocConfig::small(4);
+        cfg.telemetry.enabled = telemetry_on;
+        let s = Soc::new(cfg);
+        s.tag_region(0, 4096, MemTag::Shared);
+        let r = s.run(
+            (0..4usize)
+                .map(|t| -> CoreProgram<'static> {
+                    Box::new(move |cpu: &mut Cpu| {
+                        let base = local_base(t);
+                        let seq = cpu.dma_issue(
+                            0,
+                            DmaDescriptor::contiguous(
+                                DmaKind::Sdram(DmaDir::Get),
+                                4096 + t as u32 * 1024,
+                                1024,
+                                512,
+                                128,
+                                0,
+                            ),
+                        );
+                        for i in 0..32u32 {
+                            let a = SDRAM_UNCACHED_BASE + ((t as u32 * 97 + i * 13) % 512) * 4;
+                            cpu.write_u32(a, i);
+                            let _ = cpu.read_u32(a);
+                            cpu.write_u32(SDRAM_CACHED_BASE + 8192 + (i % 64) * 4, i);
+                        }
+                        cpu.flush_dcache_range(SDRAM_CACHED_BASE + 8192, 256);
+                        cpu.dma_event_wait(0, seq);
+                        assert!(cpu.read_u32(base) >= seq);
+                    })
+                })
+                .collect(),
+        );
+        (r, s.take_telemetry())
+    }
+
+    /// Two identical seeded runs produce byte-identical telemetry
+    /// streams — the observability layer inherits the simulator's
+    /// bit-identical determinism.
+    #[test]
+    fn telemetry_streams_are_deterministic() {
+        let (r1, t1) = telemetry_workload(true);
+        let (r2, t2) = telemetry_workload(true);
+        assert_eq!(format!("{:?}", r1.per_core), format!("{:?}", r2.per_core));
+        assert_eq!(t1, t2, "telemetry must be bit-identical across runs");
+        assert!(!t1.system.is_empty(), "link/port/DMA events must be recorded");
+        assert!(t1.per_tile.iter().any(|s| !s.is_empty()), "stall spans must be recorded");
+    }
+
+    /// Toggling telemetry changes no counter and no makespan — recording
+    /// is strictly observational.
+    #[test]
+    fn telemetry_is_timing_and_counter_neutral() {
+        let (r_off, t_off) = telemetry_workload(false);
+        let (r_on, t_on) = telemetry_workload(true);
+        assert_eq!(r_off.makespan, r_on.makespan);
+        assert_eq!(format!("{:?}", r_off.per_core), format!("{:?}", r_on.per_core));
+        assert!(t_off.system.is_empty() && t_off.per_tile.iter().all(Vec::is_empty));
+        assert_eq!(t_off.dropped, 0);
+        assert!(!t_on.system.is_empty());
+    }
+
+    /// The recorded spans are consistent with the counters: per tile,
+    /// the summed stall-span lengths equal the stall-cycle buckets.
+    #[test]
+    fn stall_spans_sum_to_stall_counters() {
+        let (r, t) = telemetry_workload(true);
+        for (tile, stream) in t.per_tile.iter().enumerate() {
+            let span_sum: u64 = stream
+                .iter()
+                .filter(|e| matches!(e.kind, crate::telemetry::EventKind::Stall(_)))
+                .map(|e| e.end - e.start)
+                .sum();
+            let c = &r.per_core[tile];
+            let ctr_sum = c.total() - c.busy;
+            assert_eq!(span_sum, ctr_sum, "tile {tile}: spans must cover every stall cycle");
+        }
+    }
+
+    /// Span trace records require `telemetry.enabled`, protocol records
+    /// require `trace` — each family is gated independently.
+    #[test]
+    fn trace_event_gates_span_and_protocol_records_independently() {
+        let run_with = |trace_on: bool, telem_on: bool| {
+            let mut cfg = SocConfig::small(1);
+            cfg.trace = trace_on;
+            cfg.telemetry.enabled = telem_on;
+            let s = Soc::new(cfg);
+            s.run(vec![Box::new(|cpu: &mut Cpu| {
+                cpu.trace_event(7, 0, 4, 0); // protocol (READ-style)
+                cpu.trace_event(crate::trace::span_begin(1), 0, 0, 0);
+                cpu.trace_event(crate::trace::span_end(1), 0, 0, 0);
+            })]);
+            let tr = s.take_trace();
+            let spans = tr.iter().filter(|r| r.is_span()).count();
+            (tr.len() - spans, spans)
+        };
+        assert_eq!(run_with(true, false), (1, 0));
+        assert_eq!(run_with(false, true), (0, 2));
+        assert_eq!(run_with(true, true), (1, 2));
+        assert_eq!(run_with(false, false), (0, 0));
     }
 
     #[test]

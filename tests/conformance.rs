@@ -27,9 +27,10 @@ use std::collections::BTreeSet;
 
 use pmc::model::conformance::{self, render_outcomes, sweep_limits, verify_golden};
 use pmc::model::interleave::{outcomes_with, Outcome};
-use pmc::runtime::litmus_exec::run_litmus_on;
+use pmc::runtime::litmus_exec::{run_litmus_on, run_litmus_telemetry};
 use pmc::runtime::monitor::validate;
 use pmc::runtime::{BackendKind, LockKind, System};
+use pmc::sim::telemetry::perfetto_json;
 use pmc::sim::{SocConfig, Topology};
 
 const LOCK_KINDS: [LockKind; 2] = [LockKind::Sdram, LockKind::Distributed];
@@ -69,8 +70,9 @@ fn sweep_case(case: &conformance::Case) -> Vec<String> {
         for lock in LOCK_KINDS {
             for &(topo_name, topo) in &topologies {
                 let run = run_litmus_on(&case.program, backend, lock, topo);
+                let mut config_errors = Vec::new();
                 if !allowed.contains(&run.outcome) {
-                    errors.push(format!(
+                    config_errors.push(format!(
                         "{}/{}/{lock:?}/{topo_name}: simulator outcome {:?} outside the \
                          model's allowed set:\n{}",
                         case.name,
@@ -81,11 +83,29 @@ fn sweep_case(case: &conformance::Case) -> Vec<String> {
                 }
                 let violations = validate(&run.trace);
                 if !violations.is_empty() {
-                    errors.push(format!(
+                    config_errors.push(format!(
                         "{}/{}/{lock:?}/{topo_name}: monitor violations: {violations:#?}",
                         case.name,
                         backend.name(),
                     ));
+                }
+                if !config_errors.is_empty() {
+                    // Re-run the exact failing configuration with
+                    // telemetry and drop a Perfetto timeline next to the
+                    // failure report, so CI uploads an openable trace.
+                    let telem = run_litmus_telemetry(&case.program, backend, lock, topo);
+                    let path = format!(
+                        "target/conformance-{}-{}-{lock:?}-{topo_name}.trace.json",
+                        case.name,
+                        backend.name(),
+                    );
+                    let json = perfetto_json(&telem.cfg, &telem.telemetry, &telem.trace);
+                    if std::fs::write(&path, json).is_ok() {
+                        for e in &mut config_errors {
+                            e.push_str(&format!("\n(trace artifact: {path})"));
+                        }
+                    }
+                    errors.extend(config_errors);
                 }
             }
         }

@@ -26,8 +26,11 @@
 //! On a divergence the failing program is delta-debugged with
 //! [`fuzz::shrink`] (re-running the exact failing back-end/lock/topology
 //! configuration as the oracle), rendered, and written to
-//! `target/fuzz-divergence-<seed>.txt` so CI can upload it as an
-//! artifact; the panic message carries the seed and the shrunk program.
+//! `target/fuzz-divergence-<seed>.txt` — together with a Perfetto
+//! timeline of the failing configuration
+//! (`target/fuzz-divergence-<seed>.trace.json`) — so CI can upload both
+//! as artifacts; the panic message carries the seed and the shrunk
+//! program.
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,9 +40,10 @@ use pmc::model::conformance::{self, render_outcomes};
 use pmc::model::fuzz::{self, GenConfig};
 use pmc::model::interleave::{outcomes_with, Limits, Outcome};
 use pmc::model::litmus::Program;
-use pmc::runtime::litmus_exec::run_litmus_on;
+use pmc::runtime::litmus_exec::{run_litmus_on, run_litmus_telemetry};
 use pmc::runtime::monitor::validate;
 use pmc::runtime::{BackendKind, LockKind};
+use pmc::sim::telemetry::perfetto_json;
 use pmc::sim::Topology;
 
 const LOCK_KINDS: [LockKind; 2] = [LockKind::Sdram, LockKind::Distributed];
@@ -170,7 +174,16 @@ fn fuzz_one(seed: u64, cfg: &GenConfig) -> Result<bool, String> {
                 );
                 let path = format!("target/fuzz-divergence-{seed:#x}.txt");
                 let _ = std::fs::write(&path, &report);
-                return Err(format!("{report}\n(artifact: {path})"));
+                // Also export a Perfetto timeline of the failing
+                // configuration (telemetry re-run; the simulator is
+                // deterministic per configuration) for the CI artifact.
+                let telem = run_litmus_telemetry(&program, backend, lock, topo);
+                let trace_path = format!("target/fuzz-divergence-{seed:#x}.trace.json");
+                let _ = std::fs::write(
+                    &trace_path,
+                    perfetto_json(&telem.cfg, &telem.telemetry, &telem.trace),
+                );
+                return Err(format!("{report}\n(artifacts: {path}, {trace_path})"));
             }
         }
     }
