@@ -24,4 +24,4 @@ pub mod stream;
 pub mod volrend;
 pub mod workload;
 
-pub use workload::{run_workload, AppReport, Workload, WorkloadParams};
+pub use workload::{run_workload, AppReport, SessionWorkload, Workload, WorkloadParams};

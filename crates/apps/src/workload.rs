@@ -2,10 +2,8 @@
 //! (workload, back-end) pair. This is the engine behind the Fig. 8
 //! harness, the portability tests and the Criterion benches.
 
-use pmc_runtime::{BackendKind, LockKind, Program, System};
-use pmc_soc_sim::{
-    LinkReport, RunReport, SocConfig, TelemetryConfig, TelemetryReport, Topology, TraceRecord,
-};
+use pmc_runtime::{BackendKind, Program, RunConfig, Session, System};
+use pmc_soc_sim::{EngineStats, LinkReport, RunReport, SocConfig, TelemetryReport, TraceRecord};
 
 use crate::motion_est::{MotionEst, MotionEstParams};
 use crate::radiosity::{Radiosity, RadiosityParams};
@@ -69,86 +67,73 @@ pub struct AppReport {
     /// the run's topology (posted writes, write-backs, atomics and DMA
     /// bursts all route through the link model).
     pub links: Vec<LinkReport>,
-    /// Cycle-level telemetry streams (empty unless run through
-    /// [`run_workload_telemetry`]).
+    /// Cycle-level telemetry streams (empty unless the session enabled
+    /// telemetry: `RunConfig::telemetry(true)`).
     pub telemetry: TelemetryReport,
-    /// Annotation trace with runtime span records (empty unless run
-    /// through [`run_workload_telemetry`]).
+    /// Annotation trace with runtime span records (empty unless the
+    /// session enabled telemetry or tracing).
     pub trace: Vec<TraceRecord>,
     /// The exact simulator configuration the run used — what
     /// [`pmc_soc_sim::telemetry::perfetto_json`] needs to lay out the
     /// exported timeline.
     pub cfg: SocConfig,
+    /// Discrete-event scheduler counters (`None` under the threaded
+    /// engine): heap events, task handoffs, peak queue depth — the state
+    /// counts the scale benchmark pins.
+    pub engine_stats: Option<EngineStats>,
 }
 
-/// Build the SoC configuration for a workload run (ring interconnect).
-pub fn soc_config(n_tiles: usize, workload: Workload) -> SocConfig {
-    soc_config_on(n_tiles, workload, Topology::Ring)
+/// The workload half of the unified [`RunConfig`]/[`Session`] surface.
+/// An extension trait because [`Session`] lives in `pmc-runtime`, which
+/// cannot know about the applications built on top of it.
+pub trait SessionWorkload {
+    /// Run `workload` on this session's axes — back-end, lock, topology,
+    /// telemetry, engine — and return the checksummed [`AppReport`].
+    /// Workload runs need a tile count: either `RunConfig::n_tiles(..)`
+    /// or a mesh topology (whose area is the count). Deterministic: the
+    /// same session axes and arguments ⇒ a bit-identical report.
+    fn workload(&self, workload: Workload, params: WorkloadParams) -> AppReport;
 }
 
-/// Build the SoC configuration for a workload run on an explicit
-/// interconnect topology.
-pub fn soc_config_on(n_tiles: usize, workload: Workload, topology: Topology) -> SocConfig {
-    let mut cfg = SocConfig { n_tiles, topology, ..SocConfig::default() };
-    cfg.icache_mpki = workload.icache_mpki();
-    cfg
+impl SessionWorkload for Session {
+    fn workload(&self, workload: Workload, params: WorkloadParams) -> AppReport {
+        run_workload_session(self, workload, params)
+    }
 }
 
-/// Run `workload` on `backend` with `n_tiles` cores over the ring.
-/// Deterministic: same arguments ⇒ bit-identical `AppReport`.
+/// Run `workload` on `backend` with `n_tiles` cores over the ring — the
+/// common case of the unified surface, kept as a convenience wrapper.
+/// For the other axes (topology, telemetry, engine) build the
+/// [`RunConfig`] yourself and use [`SessionWorkload::workload`].
+///
+/// ```
+/// use pmc_apps::workload::{run_workload, Workload, WorkloadParams};
+/// use pmc_runtime::BackendKind;
+///
+/// let r = run_workload(Workload::MotionEst, BackendKind::Swcc, 2, WorkloadParams::Tiny);
+/// assert!(r.report.makespan > 0);
+/// ```
 pub fn run_workload(
     workload: Workload,
     backend: BackendKind,
     n_tiles: usize,
     params: WorkloadParams,
 ) -> AppReport {
-    run_workload_on(workload, backend, n_tiles, params, Topology::Ring)
+    RunConfig::new(backend).n_tiles(n_tiles).session().workload(workload, params)
 }
 
-/// [`run_workload`] on an explicit interconnect [`Topology`] — the
-/// whole-application end of the topology axis: the same annotated
-/// program produces the same output on the ring and the mesh, while the
-/// per-link contention profile shifts with the routing.
-pub fn run_workload_on(
+fn run_workload_session(
+    session: &Session,
     workload: Workload,
-    backend: BackendKind,
-    n_tiles: usize,
     params: WorkloadParams,
-    topology: Topology,
 ) -> AppReport {
-    run_workload_full(workload, backend, n_tiles, params, topology, TelemetryConfig::default())
-}
-
-/// [`run_workload_on`] with cycle-level telemetry and annotation tracing
-/// enabled: the returned [`AppReport`] additionally carries the per-tile
-/// event streams, the span-bearing trace and the run's `SocConfig` —
-/// everything [`pmc_soc_sim::telemetry::perfetto_json`] needs for a
-/// timeline. Recording is observation-only: counters, makespan and
-/// checksum are bit-identical to the untraced run.
-pub fn run_workload_telemetry(
-    workload: Workload,
-    backend: BackendKind,
-    n_tiles: usize,
-    params: WorkloadParams,
-    topology: Topology,
-) -> AppReport {
-    run_workload_full(workload, backend, n_tiles, params, topology, TelemetryConfig::on())
-}
-
-fn run_workload_full(
-    workload: Workload,
-    backend: BackendKind,
-    n_tiles: usize,
-    params: WorkloadParams,
-    topology: Topology,
-    telemetry: TelemetryConfig,
-) -> AppReport {
-    let mut cfg = soc_config_on(n_tiles, workload, topology);
-    cfg.telemetry = telemetry;
-    // Protocol records ride along with the spans so the exported
-    // timeline carries entry/exit/flush instants, not just durations.
-    cfg.trace = telemetry.enabled;
-    let mut sys = System::new(cfg.clone(), backend, LockKind::Sdram);
+    let n_tiles = session
+        .n_tiles()
+        .expect("workload runs need a tile count: RunConfig::n_tiles(..) or a mesh topology");
+    let mut cfg = session.soc_config(n_tiles);
+    cfg.icache_mpki = workload.icache_mpki();
+    let backend = session.backend();
+    let mut sys = System::new(cfg.clone(), backend, session.lock());
     let (report, checksum) = match workload {
         Workload::Radiosity => {
             let p = match params {
@@ -222,7 +207,8 @@ fn run_workload_full(
     let links = sys.soc().link_report();
     let trace = if cfg.trace { sys.soc().take_trace() } else { Vec::new() };
     let telemetry = sys.soc().take_telemetry();
-    AppReport { workload, backend, report, checksum, links, telemetry, trace, cfg }
+    let engine_stats = sys.soc().engine_stats();
+    AppReport { workload, backend, report, checksum, links, telemetry, trace, cfg, engine_stats }
 }
 
 /// Fig. 8 row: the stall breakdown of a run as fractions of total time.
@@ -291,10 +277,12 @@ mod tests {
     /// the mesh's link report shows traffic on real mesh links.
     #[test]
     fn outputs_are_topology_independent() {
-        let mesh = Topology::Mesh { cols: 2, rows: 2 };
+        let mesh = pmc_soc_sim::Topology::Mesh { cols: 2, rows: 2 };
         let ring = run_workload(Workload::Volrend, BackendKind::Swcc, 4, WorkloadParams::Tiny);
-        let meshed =
-            run_workload_on(Workload::Volrend, BackendKind::Swcc, 4, WorkloadParams::Tiny, mesh);
+        let meshed = RunConfig::new(BackendKind::Swcc)
+            .topology(mesh)
+            .session()
+            .workload(Workload::Volrend, WorkloadParams::Tiny);
         assert_eq!(ring.checksum, meshed.checksum, "output must not depend on the topology");
         assert!(
             meshed.links.iter().map(|l| l.busy).sum::<u64>() > 0,

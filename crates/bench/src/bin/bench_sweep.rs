@@ -15,14 +15,50 @@
 //! bench_sweep --smoke    # capped state budget, for CI sanity ticks
 //! ```
 //!
+//! The report also carries a `scale` section: one 16×16-mesh (256-tile)
+//! workload run on the discrete-event engine, pinning its wall time and
+//! scheduler state counts (heap events, task handoffs, peak queue
+//! depth). The thread-per-tile turnstile cannot reach this design point
+//! — 256 OS threads contending on one mutex — so this entry starts the
+//! perf trajectory for the event-driven core at MemPool-class scale.
+//!
 //! The JSON is hand-rolled (no serde in the workspace): one object per
 //! case with `{states, ms}` per mode, plus totals.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use pmc_apps::workload::{SessionWorkload, Workload, WorkloadParams};
 use pmc_core::conformance;
 use pmc_core::interleave::{outcomes_counted, Limits};
+use pmc_runtime::{BackendKind, RunConfig};
+use pmc_soc_sim::{EngineKind, Topology};
+
+/// The 256-tile scale smoke: MOTION-EST (tiny inputs) on a 16×16 mesh
+/// under the discrete-event engine. Returns the rendered JSON object.
+fn scale_entry() -> String {
+    let (cols, rows) = (16usize, 16usize);
+    let t0 = Instant::now();
+    let r = RunConfig::new(BackendKind::Swcc)
+        .topology(Topology::Mesh { cols, rows })
+        .engine(EngineKind::DiscreteEvent)
+        .session()
+        .workload(Workload::MotionEst, WorkloadParams::Tiny);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = r.engine_stats.expect("discrete-event runs report scheduler stats");
+    assert!(r.report.makespan > 0 && stats.events > 0);
+    format!(
+        "{{\"workload\": \"{}\", \"backend\": \"swcc\", \"engine\": \"des\", \
+         \"tiles\": {}, \"topology\": \"mesh{cols}x{rows}\", \"makespan\": {}, \
+         \"events\": {}, \"handoffs\": {}, \"peak_queue\": {}, \"ms\": {ms:.2}}}",
+        r.workload.name(),
+        cols * rows,
+        r.report.makespan,
+        stats.events,
+        stats.handoffs,
+        stats.peak_queue,
+    )
+}
 
 type ModeLimits = fn() -> Limits;
 
@@ -77,7 +113,7 @@ fn main() {
         }
         json.push_str(if ci + 1 < cases.len() { "},\n" } else { "}\n" });
     }
-    json.push_str("  ],\n  \"totals\": {");
+    let _ = write!(json, "  ],\n  \"scale\": {},\n  \"totals\": {{", scale_entry());
     for (mi, (mode, _)) in MODES.iter().enumerate() {
         let (states, ms) = totals[mi];
         let sep = if mi == 0 { "" } else { ", " };

@@ -7,10 +7,11 @@
 //!
 //! ```text
 //! pmc-trace --litmus NAME [--backend uncached|swcc|dsm|spm]
-//!           [--lock sdram|dist] [--topology ring|mesh] [--out PATH]
+//!           [--lock sdram|dist] [--topology ring|mesh]
+//!           [--engine threaded|des] [--out PATH]
 //! pmc-trace --app radiosity|raytrace|volrend|motion-est
 //!           [--backend ...] [--tiles N] [--full] [--topology ring|mesh]
-//!           [--out PATH]
+//!           [--engine threaded|des] [--out PATH]
 //! pmc-trace --list    # print the litmus catalogue names
 //! pmc-trace --smoke   # CI check: export two fixed traces, validate them
 //! ```
@@ -21,11 +22,10 @@
 //! begins), so a malformed trace fails the run instead of producing an
 //! artifact Perfetto rejects.
 
-use pmc_apps::workload::{run_workload_telemetry, Workload, WorkloadParams};
-use pmc_bench::{arg_flag, arg_str, arg_topology, arg_u32};
+use pmc_apps::workload::{SessionWorkload, Workload, WorkloadParams};
+use pmc_bench::{arg_engine, arg_flag, arg_str, arg_topology, arg_u32};
 use pmc_core::conformance;
-use pmc_runtime::litmus_exec::run_litmus_telemetry;
-use pmc_runtime::{BackendKind, LockKind};
+use pmc_runtime::{BackendKind, LockKind, RunConfig};
 use pmc_soc_sim::telemetry::{pair_spans, perfetto_json, validate_json, MetricsRegistry};
 use pmc_soc_sim::{SocConfig, TelemetryReport, Topology, TraceRecord};
 
@@ -90,7 +90,13 @@ fn run_litmus_export(name: &str, backend: BackendKind, lock: LockKind, out: &str
         .find(|c| c.name == name)
         .unwrap_or_else(|| panic!("unknown litmus case `{name}` (try --list)"));
     let topo = litmus_topology(case.program.threads.len().max(1));
-    let run = run_litmus_telemetry(&case.program, backend, lock, topo);
+    let run = RunConfig::new(backend)
+        .lock(lock)
+        .topology(topo)
+        .engine(arg_engine())
+        .telemetry(true)
+        .session()
+        .litmus(&case.program);
     export(
         &format!("litmus {name} on {}", backend.name()),
         &run.cfg,
@@ -110,7 +116,13 @@ fn run_app_export(name: &str, backend: BackendKind, out: &str) {
     };
     let tiles = arg_u32("--tiles", 8) as usize;
     let params = if arg_flag("--full") { WorkloadParams::Full } else { WorkloadParams::Tiny };
-    let r = run_workload_telemetry(workload, backend, tiles, params, arg_topology(tiles));
+    let r = RunConfig::new(backend)
+        .n_tiles(tiles)
+        .topology(arg_topology(tiles))
+        .engine(arg_engine())
+        .telemetry(true)
+        .session()
+        .workload(workload, params);
     export(&format!("app {name} on {}", backend.name()), &r.cfg, &r.telemetry, &r.trace, out);
 }
 

@@ -58,6 +58,7 @@ pub mod lock;
 pub mod monitor;
 pub mod pod;
 pub mod queue;
+pub mod run;
 pub mod scope;
 pub mod spm;
 pub mod system;
@@ -65,6 +66,7 @@ pub mod system;
 pub use ctx::PmcCtx;
 pub use fifo::MFifo;
 pub use pod::{Pod, Vec2};
+pub use run::{RunConfig, Session};
 pub use scope::{DmaTicket, RoScope, SrcScope, XScope};
 pub use system::{BackendKind, LockKind, Obj, ObjVec, PrivSlab, Slab, System};
 

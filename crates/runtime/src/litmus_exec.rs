@@ -31,8 +31,9 @@ use std::sync::Mutex;
 use pmc_core::interleave::Outcome;
 use pmc_core::litmus::{Instr, Program};
 use pmc_core::{conformance, op::Value};
-use pmc_soc_sim::{RunReport, SocConfig, TelemetryConfig, TelemetryReport, Topology, TraceRecord};
+use pmc_soc_sim::{RunReport, SocConfig, TelemetryReport, TraceRecord};
 
+use crate::run::{RunConfig, Session};
 use crate::system::{BackendKind, LockKind, Obj, System};
 
 /// Result of one litmus execution on a back-end.
@@ -45,8 +46,8 @@ pub struct LitmusRun {
     pub trace: Vec<TraceRecord>,
     /// Simulator counters and makespan.
     pub report: RunReport,
-    /// Cycle-level telemetry streams (empty unless run through
-    /// [`run_litmus_telemetry`]).
+    /// Cycle-level telemetry streams (empty unless the session enabled
+    /// telemetry: `RunConfig::telemetry(true)`).
     pub telemetry: TelemetryReport,
     /// The exact simulator configuration the run used — what
     /// [`pmc_soc_sim::telemetry::perfetto_json`] needs to lay out the
@@ -54,71 +55,39 @@ pub struct LitmusRun {
     pub cfg: SocConfig,
 }
 
-/// Run `program` on `backend`/`lock_kind` over the ring with
-/// `n_threads` tiles and return the observed outcome plus the trace.
+/// Run `program` on `backend`/`lock_kind` over the ring, sized to the
+/// program's thread count — the common case of the unified
+/// [`RunConfig`]/[`Session`] surface, kept as a convenience wrapper.
+/// For the other axes (topology, telemetry, engine) build the session
+/// yourself.
 ///
 /// Panics if the program deadlocks on the simulator (the SoC watchdog
 /// fires) or holds a lock across a `WaitEq` (which could never
 /// terminate: the awaited location cannot change while held).
+///
+/// ```
+/// use pmc_core::litmus::catalogue;
+/// use pmc_runtime::litmus_exec::run_litmus;
+/// use pmc_runtime::{BackendKind, LockKind};
+///
+/// let run = run_litmus(&catalogue::mp_annotated(), BackendKind::Swcc, LockKind::Sdram);
+/// assert_eq!(run.outcome, vec![vec![], vec![42]]);
+/// ```
 pub fn run_litmus(program: &Program, backend: BackendKind, lock_kind: LockKind) -> LitmusRun {
-    run_litmus_on(program, backend, lock_kind, Topology::Ring)
+    RunConfig::new(backend).lock(lock_kind).session().litmus(program)
 }
 
-/// [`run_litmus`] on an explicit interconnect [`Topology`] — the
-/// topology axis of the differential conformance sweep. A mesh must
-/// cover at least one tile per thread; surplus mesh tiles idle (their
-/// local memories still serve distributed-lock homes and DSM replicas),
-/// so the same program runs unchanged while every posted write, flush
-/// write-back, remote atomic and DMA burst routes over the new links.
-pub fn run_litmus_on(
-    program: &Program,
-    backend: BackendKind,
-    lock_kind: LockKind,
-    topology: Topology,
-) -> LitmusRun {
-    run_litmus_full(program, backend, lock_kind, topology, TelemetryConfig::default())
-}
-
-/// [`run_litmus_on`] with cycle-level telemetry recording enabled: the
-/// returned [`LitmusRun::telemetry`] holds the per-tile event streams
-/// and the trace carries runtime span records — everything
-/// [`pmc_soc_sim::telemetry::perfetto_json`] needs for a timeline.
-pub fn run_litmus_telemetry(
-    program: &Program,
-    backend: BackendKind,
-    lock_kind: LockKind,
-    topology: Topology,
-) -> LitmusRun {
-    run_litmus_full(program, backend, lock_kind, topology, TelemetryConfig::on())
-}
-
-fn run_litmus_full(
-    program: &Program,
-    backend: BackendKind,
-    lock_kind: LockKind,
-    topology: Topology,
-    telemetry: TelemetryConfig,
-) -> LitmusRun {
+/// [`Session::litmus`]: lower `program` onto the annotation API and run
+/// it on the session's axes. A mesh must cover at least one tile per
+/// thread; surplus tiles idle (their local memories still serve
+/// distributed-lock homes and DSM replicas), so the same program runs
+/// unchanged while every posted write, flush write-back, remote atomic
+/// and DMA burst routes over the extra links.
+pub(crate) fn run_litmus_session(session: &Session, program: &Program) -> LitmusRun {
     let n_threads = program.threads.len().max(1);
-    let n_tiles = match topology {
-        Topology::Ring => n_threads,
-        Topology::Mesh { cols, rows } => {
-            assert!(
-                cols * rows >= n_threads,
-                "mesh {cols}x{rows} too small for {n_threads} litmus threads"
-            );
-            cols * rows
-        }
-    };
-    let mut cfg = SocConfig::small(n_tiles);
-    cfg.topology = topology;
-    cfg.trace = true;
-    // Two engine channels: the executor's transfers rotate round-robin,
-    // so the sweep also validates the multi-channel completion protocol
-    // (independent per-channel waits) against the model.
-    cfg.dma_channels = 2;
-    cfg.telemetry = telemetry;
-    let mut sys = System::new(cfg.clone(), backend, lock_kind);
+    let n_tiles = session.tiles_for(n_threads);
+    let cfg = session.litmus_soc_config(n_tiles);
+    let mut sys = System::new(cfg.clone(), session.backend(), session.lock());
 
     let n_locs = conformance::loc_count(program).max(1);
     let locs = sys.alloc_vec::<Value>("loc", n_locs);
@@ -371,10 +340,13 @@ mod tests {
     /// distributed lock, whose mailbox round trips cross mesh links.
     #[test]
     fn executor_runs_annotated_mp_on_a_mesh() {
-        let topo = Topology::Mesh { cols: 2, rows: 2 };
+        let topo = pmc_soc_sim::Topology::Mesh { cols: 2, rows: 2 };
         for backend in [BackendKind::Dsm, BackendKind::Spm] {
-            let run =
-                run_litmus_on(&catalogue::mp_annotated(), backend, LockKind::Distributed, topo);
+            let run = RunConfig::new(backend)
+                .lock(LockKind::Distributed)
+                .topology(topo)
+                .session()
+                .litmus(&catalogue::mp_annotated());
             assert_eq!(run.outcome, vec![vec![], vec![42]], "{backend:?}");
             assert!(validate(&run.trace).is_empty(), "{backend:?}");
         }
@@ -400,7 +372,7 @@ mod tests {
         use pmc_soc_sim::trace::span_kind;
         use pmc_soc_sim::EventKind;
         let export = |prog: &pmc_core::litmus::Program| {
-            let r = run_litmus_telemetry(prog, BackendKind::Spm, LockKind::Sdram, Topology::Ring);
+            let r = RunConfig::new(BackendKind::Spm).telemetry(true).session().litmus(prog);
             let json = perfetto_json(&r.cfg, &r.telemetry, &r.trace);
             (r, json)
         };

@@ -170,6 +170,49 @@ impl Topology {
     }
 }
 
+/// Execution engine driving the simulated tiles.
+///
+/// Both engines commit globally visible actions in identical
+/// `(virtual_time, tile)` order, so counters, traces, telemetry and
+/// outcomes are bit-identical between them — the threaded engine stays
+/// alive as a differential cross-check (`tests/engine.rs`, and the
+/// `PMC_ENGINE` axis of the conformance sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// One OS thread per simulated core, serialised by a scheduler
+    /// mutex + per-tile condvars (the original PDES "turnstile").
+    /// Every action pays an O(n_tiles) published-clock scan and a
+    /// condvar round trip, which caps realistic configs at a few dozen
+    /// tiles.
+    Threaded,
+    /// Single-threaded discrete-event engine: a min-heap of timestamped
+    /// component events drives global time; core programs run as
+    /// suspended coroutine tasks resumed one at a time
+    /// ([`crate::engine`]). Scales to hundreds of tiles (parked tasks
+    /// cost nothing; scheduling is O(log n)).
+    #[default]
+    DiscreteEvent,
+}
+
+impl EngineKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Threaded => "threaded",
+            EngineKind::DiscreteEvent => "des",
+        }
+    }
+
+    /// Parse a CLI/env spelling (`threaded` / `des`; also accepts
+    /// `discrete-event` and `event`).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "threaded" => Some(EngineKind::Threaded),
+            "des" | "discrete-event" | "event" => Some(EngineKind::DiscreteEvent),
+            _ => None,
+        }
+    }
+}
+
 /// Data-cache geometry (per core).
 #[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
@@ -285,6 +328,9 @@ pub struct SocConfig {
     /// and contend only for the shared SDRAM port and NoC links.
     /// Completion words and sequence numbers are per-channel.
     pub dma_channels: usize,
+    /// Execution engine ([`EngineKind::DiscreteEvent`] by default; both
+    /// engines are bit-identical, see [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 impl Default for SocConfig {
@@ -303,6 +349,7 @@ impl Default for SocConfig {
             mem_tile: 0,
             topology: Topology::Ring,
             dma_channels: 1,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -325,9 +372,11 @@ impl SocConfig {
     }
 
     /// Check the configuration for inconsistencies that would otherwise
-    /// surface as index panics deep inside a run: a mesh whose shape
-    /// does not cover `n_tiles`, or a memory controller placed on a
-    /// tile that does not exist.
+    /// surface as index panics or silent deadlocks deep inside a run: a
+    /// mesh whose shape does not cover `n_tiles`, a memory controller
+    /// placed on a tile that does not exist, a DMA subsystem with no
+    /// channels, or scheduler/telemetry parameters the engines cannot
+    /// honour.
     pub fn validate(&self) -> Result<(), String> {
         if self.n_tiles == 0 {
             return Err("n_tiles must be at least 1".to_string());
@@ -344,6 +393,36 @@ impl SocConfig {
                     "mesh topology {cols}x{rows} does not cover n_tiles {}: \
                      cols * rows must equal the tile count",
                     self.n_tiles
+                ));
+            }
+        }
+        if self.dma_channels == 0 {
+            return Err("dma_channels must be at least 1 (every tile has a DMA engine)".to_string());
+        }
+        if self.time_limit == 0 {
+            return Err("time_limit must be non-zero: it is the livelock watchdog, and the \
+                 discrete-event engine relies on it to bound runaway tasks"
+                .to_string());
+        }
+        if self.max_local_run == 0 {
+            return Err("max_local_run must be at least 1: a zero local-run budget would force a \
+                 scheduler sync on every cycle of pure compute"
+                .to_string());
+        }
+        if self.telemetry.enabled && self.telemetry.ring_capacity == 0 {
+            return Err("telemetry ring_capacity must be at least 1 when telemetry is enabled \
+                 (every event would be dropped at recording time)"
+                .to_string());
+        }
+        if self.telemetry.enabled {
+            // One ring per tile plus the interconnect ring: reject
+            // configurations whose telemetry footprint cannot be
+            // allocated (a 4096-tile mesh with the default capacity is
+            // fine; usize overflow of the total is not).
+            if self.telemetry.ring_capacity.checked_mul(self.n_tiles + 1).is_none() {
+                return Err(format!(
+                    "telemetry ring_capacity {} x {} tiles overflows the total ring budget",
+                    self.telemetry.ring_capacity, self.n_tiles
                 ));
             }
         }
@@ -480,6 +559,63 @@ mod tests {
         assert!(err.contains("mem_tile 4"), "{err}");
         cfg.mem_tile = 3;
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_dma_channels() {
+        let mut cfg = SocConfig::small(4);
+        cfg.dma_channels = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("dma_channels must be at least 1"), "{err}");
+        cfg.dma_channels = 1;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_time_limit() {
+        let mut cfg = SocConfig::small(4);
+        cfg.time_limit = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("time_limit must be non-zero"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_local_run_budget() {
+        let mut cfg = SocConfig::small(4);
+        cfg.max_local_run = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("max_local_run must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_enabled_telemetry_with_empty_rings() {
+        let mut cfg = SocConfig::small(4);
+        cfg.telemetry.enabled = true;
+        cfg.telemetry.ring_capacity = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("ring_capacity must be at least 1"), "{err}");
+        // A disabled recorder does not care about its capacity.
+        cfg.telemetry.enabled = false;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_telemetry_budget() {
+        let mut cfg = SocConfig::small(4);
+        cfg.telemetry.enabled = true;
+        cfg.telemetry.ring_capacity = usize::MAX / 2;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("overflows the total ring budget"), "{err}");
+    }
+
+    #[test]
+    fn engine_kind_parses_cli_spellings() {
+        assert_eq!(EngineKind::parse("threaded"), Some(EngineKind::Threaded));
+        assert_eq!(EngineKind::parse("des"), Some(EngineKind::DiscreteEvent));
+        assert_eq!(EngineKind::parse("discrete-event"), Some(EngineKind::DiscreteEvent));
+        assert_eq!(EngineKind::parse("turbo"), None);
+        assert_eq!(EngineKind::Threaded.name(), "threaded");
+        assert_eq!(EngineKind::DiscreteEvent.name(), "des");
     }
 
     #[test]

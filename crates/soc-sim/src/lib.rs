@@ -39,6 +39,7 @@ pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod dma;
+pub mod engine;
 pub mod icache;
 pub mod mem;
 pub mod noc;
@@ -47,9 +48,10 @@ pub mod telemetry;
 pub mod trace;
 
 pub use addr::Addr;
-pub use config::{CacheConfig, Latencies, SocConfig, Topology};
+pub use config::{CacheConfig, EngineKind, Latencies, SocConfig, Topology};
 pub use counters::{Counters, LinkReport, MemTag, RunReport};
 pub use dma::{DmaDescriptor, DmaDir, DmaKind, DmaSeg, DmaStats};
+pub use engine::{Component, Engine, EngineStats};
 pub use noc::LinkStat;
 pub use soc::{CoreProgram, Cpu, Soc};
 pub use telemetry::{

@@ -3,17 +3,26 @@
 //!
 //! ## Scheduling model
 //!
-//! Every simulated core runs on its own OS thread, but *globally visible*
-//! actions (SDRAM traffic, local-memory accesses, NoC packets, cache-line
-//! writebacks, trace records) are committed one at a time, in strict
-//! `(virtual_time, tile_id)` order, under a single scheduler lock — a
-//! PDES "turnstile". Core-private actions (data-cache hits, compute,
-//! clean invalidations) run on a lock-free fast path and only defer the
-//! publication of the core's clock; they are invisible to other tiles, so
-//! commit order is unaffected. A forced synchronisation every
-//! `max_local_run` cycles bounds how stale a published clock can get.
-//! Same configuration + same programs ⇒ bit-identical runs, counters
-//! included.
+//! *Globally visible* actions (SDRAM traffic, local-memory accesses, NoC
+//! packets, cache-line writebacks, trace records) are committed one at a
+//! time, in strict `(virtual_time, tile_id)` order. Core-private actions
+//! (data-cache hits, compute, clean invalidations) run on a lock-free
+//! fast path and only defer the publication of the core's clock; they
+//! are invisible to other tiles, so commit order is unaffected. Two
+//! engines realise that order ([`crate::config::EngineKind`]):
+//!
+//! * **DiscreteEvent** (default): a single-threaded min-heap event loop
+//!   ([`crate::engine`]) resumes suspended core tasks one at a time at
+//!   exactly their next action times — O(log n) scheduling, parked
+//!   tasks cost nothing, hundreds of tiles are practical.
+//! * **Threaded**: one OS thread per simulated core serialised by a
+//!   scheduler lock and per-tile condvars — the original PDES
+//!   "turnstile", kept as a differential cross-check.
+//!
+//! A forced synchronisation every `max_local_run` cycles bounds how
+//! stale a core's published clock can get. Same configuration + same
+//! programs ⇒ bit-identical runs, counters included — on either engine,
+//! and identically *between* the engines.
 //!
 //! ## Memory system semantics
 //!
@@ -41,9 +50,10 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 use crate::addr::{self, Addr, Region};
 use crate::cache::Cache;
-use crate::config::SocConfig;
+use crate::config::{EngineKind, SocConfig};
 use crate::counters::{Counters, LinkReport, MemTag, RunReport};
 use crate::dma::{DmaDescriptor, DmaDir, DmaEngine, DmaKind, DmaStats};
+use crate::engine::{CoreTask, Engine, EngineStats, TaskPort, TaskYield};
 use crate::icache::ICache;
 use crate::mem::ByteMem;
 use crate::noc::{LinkStat, Noc, Packet, PacketKind};
@@ -195,6 +205,9 @@ pub struct Soc {
     /// The first panic payload (re-raised after all tiles unwound, so the
     /// caller sees the original message rather than a secondary abort).
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Scheduler statistics of the last run (`None` until a
+    /// discrete-event run completes; the threaded engine has no heap).
+    engine_stats: Mutex<Option<EngineStats>>,
 }
 
 impl Soc {
@@ -225,6 +238,7 @@ impl Soc {
             makespan: AtomicU64::new(0),
             aborted: std::sync::atomic::AtomicBool::new(false),
             panic_payload: Mutex::new(None),
+            engine_stats: Mutex::new(None),
         }
     }
 
@@ -341,6 +355,9 @@ impl Soc {
     /// Run one program per tile (programs beyond `n_tiles` are an error;
     /// tiles without a program idle at `done`). Returns per-core counters
     /// and the makespan. Panics propagate from core closures.
+    ///
+    /// The execution engine is selected by `cfg.engine`
+    /// ([`EngineKind`]); both engines produce bit-identical reports.
     pub fn run<'env>(&'env self, programs: Vec<CoreProgram<'env>>) -> RunReport {
         assert!(programs.len() <= self.cfg.n_tiles, "more programs than tiles");
         {
@@ -356,6 +373,31 @@ impl Soc {
             }
         }
         self.aborted.store(false, AtomicOrdering::SeqCst);
+        *lock_ignore_poison(&self.engine_stats) = None;
+        match self.cfg.engine {
+            EngineKind::Threaded => self.run_threaded(programs),
+            EngineKind::DiscreteEvent => self.run_event(programs),
+        }
+        if let Some(payload) = lock_ignore_poison(&self.panic_payload).take() {
+            std::panic::resume_unwind(payload);
+        }
+        let g = lock_ignore_poison(&self.global);
+        let per_core: Vec<Counters> =
+            g.finished.iter().map(|f| f.map(|(c, _)| c).unwrap_or_default()).collect();
+        let makespan = g.finished.iter().flatten().map(|&(_, clock)| clock).max().unwrap_or(0);
+        self.makespan.store(makespan, AtomicOrdering::Relaxed);
+        RunReport { per_core, makespan }
+    }
+
+    /// Scheduler statistics of the last [`Soc::run`] on the
+    /// discrete-event engine (`None` for threaded runs).
+    pub fn engine_stats(&self) -> Option<EngineStats> {
+        *lock_ignore_poison(&self.engine_stats)
+    }
+
+    /// The turnstile driver: one OS thread per program, serialised by
+    /// the scheduler lock + condvars.
+    fn run_threaded<'env>(&'env self, programs: Vec<CoreProgram<'env>>) {
         std::thread::scope(|scope| {
             for (tile, program) in programs.into_iter().enumerate() {
                 let soc = &*self;
@@ -387,15 +429,67 @@ impl Soc {
                     .expect("spawn tile thread");
             }
         });
-        if let Some(payload) = lock_ignore_poison(&self.panic_payload).take() {
-            std::panic::resume_unwind(payload);
-        }
-        let g = lock_ignore_poison(&self.global);
-        let per_core: Vec<Counters> =
-            g.finished.iter().map(|f| f.map(|(c, _)| c).unwrap_or_default()).collect();
-        let makespan = g.finished.iter().flatten().map(|&(_, clock)| clock).max().unwrap_or(0);
-        self.makespan.store(makespan, AtomicOrdering::Relaxed);
-        RunReport { per_core, makespan }
+    }
+
+    /// The discrete-event driver ([`crate::engine`]): programs run as
+    /// suspended coroutine tasks on small parked threads; a
+    /// single-threaded min-heap loop resumes exactly one at a time in
+    /// `(virtual_time, tile)` order. Scheduling is O(log n) per action
+    /// (vs. the turnstile's O(n) published-clock scan under a contended
+    /// lock), so 256+-tile configurations are practical.
+    fn run_event<'env>(&'env self, programs: Vec<CoreProgram<'env>>) {
+        // Task stacks are small: tile programs are shallow closures over
+        // heap-allocated state, and hundreds of tiles must coexist.
+        const TASK_STACK: usize = 1 << 20;
+        std::thread::scope(|scope| {
+            let mut tasks: Vec<CoreTask<'_>> = Vec::new();
+            for (tile, program) in programs.into_iter().enumerate() {
+                let (go_tx, go_rx) = std::sync::mpsc::sync_channel(1);
+                let (yield_tx, yield_rx) = std::sync::mpsc::sync_channel(1);
+                let soc = &*self;
+                std::thread::Builder::new()
+                    .name(format!("tile{tile}"))
+                    .stack_size(TASK_STACK)
+                    .spawn_scoped(scope, move || {
+                        let mut cpu =
+                            Cpu::new_event(soc, tile, TaskPort::new(go_rx, yield_tx.clone()));
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            program(&mut cpu)
+                        }));
+                        match result {
+                            Ok(()) => {
+                                cpu.finish();
+                                let _ = yield_tx.send(TaskYield::Done);
+                            }
+                            Err(payload) => {
+                                let mut slot = lock_ignore_poison(&soc.panic_payload);
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                drop(slot);
+                                // `abort` marks the run and retires the
+                                // tile; the engine unwinds parked peers
+                                // at their next scheduled event.
+                                soc.abort(tile);
+                                let _ = yield_tx.send(TaskYield::Panicked);
+                            }
+                        }
+                    })
+                    .expect("spawn core task");
+                tasks.push(CoreTask::new(go_tx, yield_rx, &self.aborted));
+            }
+            // Every task announces its first action (or completes)
+            // before the event loop starts; tile order fixes ids.
+            for task in &mut tasks {
+                task.collect_first();
+            }
+            let mut engine = Engine::new();
+            for task in tasks {
+                engine.add(Box::new(task));
+            }
+            let stats = engine.run();
+            *lock_ignore_poison(&self.engine_stats) = Some(stats);
+        });
     }
 }
 
@@ -415,6 +509,18 @@ enum StallCat {
     DmaWait,
 }
 
+/// How this core waits for (and hands over) its turn at the global
+/// commit point: the only place the two execution engines differ.
+enum Sched {
+    /// Condvar turnstile: publish the clock, wait until it is the
+    /// minimum, notify the next minimum afterwards.
+    Threaded,
+    /// Discrete-event coroutine: yield to the event loop until this
+    /// tile's `(clock, tile)` is scheduled (see
+    /// [`crate::engine::TaskPort`]).
+    Event(TaskPort),
+}
+
 /// The per-core execution context handed to tile programs: the only way
 /// application / runtime code touches the simulated machine.
 pub struct Cpu<'a> {
@@ -423,6 +529,7 @@ pub struct Cpu<'a> {
     /// Local clock (may run ahead of the published clock).
     clock: u64,
     published: u64,
+    sched: Sched,
     dcache: Cache,
     icache: ICache,
     ctr: Counters,
@@ -438,11 +545,16 @@ impl<'a> Cpu<'a> {
             tile,
             clock: 0,
             published: 0,
+            sched: Sched::Threaded,
             dcache: Cache::new(soc.cfg.dcache),
             icache: ICache::new(soc.cfg.icache_mpki),
             ctr: Counters::default(),
             telem: Recorder::new(&soc.cfg.telemetry),
         }
+    }
+
+    fn new_event(soc: &'a Soc, tile: usize, port: TaskPort) -> Self {
+        Cpu { sched: Sched::Event(port), ..Cpu::new(soc, tile) }
     }
 
     pub fn tile(&self) -> usize {
@@ -527,40 +639,74 @@ impl<'a> Cpu<'a> {
         self.check_time_limit();
     }
 
+    /// Wait (engine-specific) until this tile holds the global commit
+    /// turn for an action at `self.clock`, then return the scheduler
+    /// lock with arrived packets drained. Pair with
+    /// [`Cpu::release_turn`].
+    fn acquire_turn(&mut self) -> MutexGuard<'a, Global> {
+        let soc = self.soc;
+        let mut g = match &mut self.sched {
+            Sched::Threaded => {
+                let mut g = lock_ignore_poison(&soc.global);
+                g.clocks[self.tile] = self.clock;
+                // Wait for our turn in (clock, tile) order.
+                while !g.is_turn(self.tile) {
+                    if soc.aborted.load(AtomicOrdering::SeqCst) {
+                        drop(g);
+                        panic!("tile {}: simulation aborted by a panic on another tile", self.tile);
+                    }
+                    // Someone else is min; if they are parked, wake them.
+                    if let Some(m) = g.min_tile() {
+                        if g.waiting[m] {
+                            soc.cvs[m].notify_one();
+                        }
+                    }
+                    g.waiting[self.tile] = true;
+                    g = soc.cvs[self.tile]
+                        .wait(g)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    g.waiting[self.tile] = false;
+                }
+                g
+            }
+            Sched::Event(port) => {
+                // Yield to the event loop (or keep running below the
+                // horizon); the lock is uncontended — at most one task
+                // is runnable at a time.
+                port.ensure_turn(self.clock, self.tile);
+                let mut g = lock_ignore_poison(&soc.global);
+                g.clocks[self.tile] = self.clock;
+                g
+            }
+        };
+        self.published = self.clock;
+        g.drain_packets(self.clock, &soc.cfg);
+        g
+    }
+
+    /// Commit the action and hand the turn over (threaded: wake the next
+    /// minimum tile; event: nothing — the engine schedules by heap).
+    fn release_turn(&mut self, g: MutexGuard<'a, Global>) {
+        if let Sched::Threaded = self.sched {
+            if let Some(m) = g.min_tile() {
+                if m != self.tile && g.waiting[m] {
+                    self.soc.cvs[m].notify_one();
+                }
+            }
+        }
+        drop(g);
+    }
+
     /// Run a globally visible action at the right point in virtual time.
     /// `f` sees the global state at `self.clock` (packets drained) and
     /// returns its result; any latency must be charged by the caller
     /// afterwards via `charge_stall`.
     fn turn<R>(&mut self, f: impl FnOnce(&mut Global, &SocConfig, u64, usize) -> R) -> R {
-        let soc = self.soc;
-        let mut g = lock_ignore_poison(&soc.global);
-        g.clocks[self.tile] = self.clock;
-        self.published = self.clock;
-        // Wait for our turn in (clock, tile) order.
-        while !g.is_turn(self.tile) {
-            if soc.aborted.load(AtomicOrdering::SeqCst) {
-                drop(g);
-                panic!("tile {}: simulation aborted by a panic on another tile", self.tile);
-            }
-            // Someone else is min; if they are parked, wake them.
-            if let Some(m) = g.min_tile() {
-                if g.waiting[m] {
-                    soc.cvs[m].notify_one();
-                }
-            }
-            g.waiting[self.tile] = true;
-            g = soc.cvs[self.tile].wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
-            g.waiting[self.tile] = false;
-        }
-        g.drain_packets(self.clock, &soc.cfg);
-        let r = f(&mut g, &soc.cfg, self.clock, self.tile);
+        let mut g = self.acquire_turn();
+        let r = f(&mut g, &self.soc.cfg, self.clock, self.tile);
         // The action itself does not advance the clock (the caller
-        // charges latency), but hand the turn to the next tile.
-        if let Some(m) = g.min_tile() {
-            if m != self.tile && g.waiting[m] {
-                soc.cvs[m].notify_one();
-            }
-        }
+        // charges latency).
+        self.release_turn(g);
         r
     }
 
@@ -711,24 +857,7 @@ impl<'a> Cpu<'a> {
         let tile = self.tile;
         let mem_tile = self.soc.cfg.mem_tile;
         let clock = self.clock;
-        let mut g = lock_ignore_poison(&self.soc.global);
-        g.clocks[tile] = clock;
-        self.published = clock;
-        while !g.is_turn(tile) {
-            if self.soc.aborted.load(AtomicOrdering::SeqCst) {
-                drop(g);
-                panic!("tile {tile}: simulation aborted by a panic on another tile");
-            }
-            if let Some(m) = g.min_tile() {
-                if g.waiting[m] {
-                    self.soc.cvs[m].notify_one();
-                }
-            }
-            g.waiting[tile] = true;
-            g = self.soc.cvs[tile].wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
-            g.waiting[tile] = false;
-        }
-        g.drain_packets(clock, &self.soc.cfg);
+        let mut g = self.acquire_turn();
         // Line fetch, then victim write-back occupying the SDRAM port.
         let gm = &mut *g;
         let mut done =
@@ -744,11 +873,7 @@ impl<'a> Cpu<'a> {
                 gm.noc.reserve_sdram(&mut gm.sdram_free, &self.soc.cfg, tile, at_ctrl, line_size);
         }
         let tag = g.tag_of(offset);
-        if let Some(m) = g.min_tile() {
-            if m != tile && g.waiting[m] {
-                self.soc.cvs[m].notify_one();
-            }
-        }
+        self.release_turn(g);
         (tag, done - clock)
     }
 

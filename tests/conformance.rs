@@ -18,6 +18,12 @@
 //! `PMC_TOPOLOGY=ring` or `PMC_TOPOLOGY=mesh` to restrict the sweep to
 //! one topology (the CI matrix does); by default both are swept.
 //!
+//! The **engine axis** is the same gate for the execution core: the
+//! discrete-event engine and the thread-per-tile turnstile must drive
+//! every case to a model-allowed outcome with a clean trace. Set
+//! `PMC_ENGINE=threaded` or `PMC_ENGINE=des` to restrict the sweep (the
+//! CI matrix does); by default both are swept.
+//!
 //! Golden snapshots of the model-level outcome sets (the paper's
 //! Figs. 1–6 ground truth) are pinned in [`conformance::cases`] and
 //! re-verified here, so any model drift fails the same suite that checks
@@ -27,11 +33,10 @@ use std::collections::BTreeSet;
 
 use pmc::model::conformance::{self, render_outcomes, sweep_limits, verify_golden};
 use pmc::model::interleave::{outcomes_with, Outcome};
-use pmc::runtime::litmus_exec::{run_litmus_on, run_litmus_telemetry};
 use pmc::runtime::monitor::validate;
-use pmc::runtime::{BackendKind, LockKind, System};
+use pmc::runtime::{BackendKind, LockKind, RunConfig, System};
 use pmc::sim::telemetry::perfetto_json;
-use pmc::sim::{SocConfig, Topology};
+use pmc::sim::{EngineKind, SocConfig, Topology};
 
 const LOCK_KINDS: [LockKind; 2] = [LockKind::Sdram, LockKind::Distributed];
 
@@ -51,10 +56,20 @@ fn topologies_for(threads: usize) -> Vec<(&'static str, Topology)> {
         .collect()
 }
 
-/// Sweep one case over 4 back-ends × 2 lock kinds × the topology axis,
-/// returning every divergence as a message instead of panicking (the
-/// sweep runs cases on worker threads and wants all failures, not the
-/// first).
+/// The engines to sweep, honouring the `PMC_ENGINE` filter
+/// (`threaded` / `des`; unset or anything else sweeps both).
+fn engines() -> Vec<(&'static str, EngineKind)> {
+    let filter = std::env::var("PMC_ENGINE").unwrap_or_default();
+    [("threaded", EngineKind::Threaded), ("des", EngineKind::DiscreteEvent)]
+        .into_iter()
+        .filter(|(name, _)| !matches!(filter.as_str(), "threaded" | "des") || filter == *name)
+        .collect()
+}
+
+/// Sweep one case over 4 back-ends × 2 lock kinds × the topology axis ×
+/// the engine axis, returning every divergence as a message instead of
+/// panicking (the sweep runs cases on worker threads and wants all
+/// failures, not the first).
 fn sweep_case(case: &conformance::Case) -> Vec<String> {
     let mut errors = Vec::new();
     let lowered = conformance::lower(&case.program);
@@ -66,46 +81,60 @@ fn sweep_case(case: &conformance::Case) -> Vec<String> {
         return vec![format!("{}: empty model outcome set", case.name)];
     }
     let topologies = topologies_for(case.program.threads.len().max(1));
+    let engines = engines();
     for backend in BackendKind::ALL {
         for lock in LOCK_KINDS {
             for &(topo_name, topo) in &topologies {
-                let run = run_litmus_on(&case.program, backend, lock, topo);
-                let mut config_errors = Vec::new();
-                if !allowed.contains(&run.outcome) {
-                    config_errors.push(format!(
-                        "{}/{}/{lock:?}/{topo_name}: simulator outcome {:?} outside the \
-                         model's allowed set:\n{}",
-                        case.name,
-                        backend.name(),
-                        run.outcome,
-                        render_outcomes(&allowed),
-                    ));
-                }
-                let violations = validate(&run.trace);
-                if !violations.is_empty() {
-                    config_errors.push(format!(
-                        "{}/{}/{lock:?}/{topo_name}: monitor violations: {violations:#?}",
-                        case.name,
-                        backend.name(),
-                    ));
-                }
-                if !config_errors.is_empty() {
-                    // Re-run the exact failing configuration with
-                    // telemetry and drop a Perfetto timeline next to the
-                    // failure report, so CI uploads an openable trace.
-                    let telem = run_litmus_telemetry(&case.program, backend, lock, topo);
-                    let path = format!(
-                        "target/conformance-{}-{}-{lock:?}-{topo_name}.trace.json",
-                        case.name,
-                        backend.name(),
-                    );
-                    let json = perfetto_json(&telem.cfg, &telem.telemetry, &telem.trace);
-                    if std::fs::write(&path, json).is_ok() {
-                        for e in &mut config_errors {
-                            e.push_str(&format!("\n(trace artifact: {path})"));
-                        }
+                for &(engine_name, engine) in &engines {
+                    let session =
+                        RunConfig::new(backend).lock(lock).topology(topo).engine(engine).session();
+                    let run = session.litmus(&case.program);
+                    let mut config_errors = Vec::new();
+                    if !allowed.contains(&run.outcome) {
+                        config_errors.push(format!(
+                            "{}/{}/{lock:?}/{topo_name}/{engine_name}: simulator outcome {:?} \
+                             outside the model's allowed set:\n{}",
+                            case.name,
+                            backend.name(),
+                            run.outcome,
+                            render_outcomes(&allowed),
+                        ));
                     }
-                    errors.extend(config_errors);
+                    let violations = validate(&run.trace);
+                    if !violations.is_empty() {
+                        config_errors.push(format!(
+                            "{}/{}/{lock:?}/{topo_name}/{engine_name}: monitor violations: \
+                             {violations:#?}",
+                            case.name,
+                            backend.name(),
+                        ));
+                    }
+                    if !config_errors.is_empty() {
+                        // Re-run the exact failing configuration with
+                        // telemetry and drop a Perfetto timeline next to
+                        // the failure report, so CI uploads an openable
+                        // trace.
+                        let telem = RunConfig::new(backend)
+                            .lock(lock)
+                            .topology(topo)
+                            .engine(engine)
+                            .telemetry(true)
+                            .session()
+                            .litmus(&case.program);
+                        let path = format!(
+                            "target/conformance-{}-{}-{lock:?}-{topo_name}-{engine_name}\
+                             .trace.json",
+                            case.name,
+                            backend.name(),
+                        );
+                        let json = perfetto_json(&telem.cfg, &telem.telemetry, &telem.trace);
+                        if std::fs::write(&path, json).is_ok() {
+                            for e in &mut config_errors {
+                                e.push_str(&format!("\n(trace artifact: {path})"));
+                            }
+                        }
+                        errors.extend(config_errors);
+                    }
                 }
             }
         }
@@ -114,8 +143,9 @@ fn sweep_case(case: &conformance::Case) -> Vec<String> {
 }
 
 /// The tentpole sweep: catalogue × 4 back-ends × 2 lock kinds × 2
-/// topologies. Every simulator outcome inside the model set, every
-/// trace clean — on the mesh exactly as on the ring. Cases are
+/// topologies × 2 engines. Every simulator outcome inside the model
+/// set, every trace clean — on the mesh exactly as on the ring, under
+/// the event heap exactly as under the turnstile. Cases are
 /// independent (each run builds its own `System`), so they are spread
 /// over worker threads and all divergences are reported together.
 #[test]
@@ -165,9 +195,20 @@ fn unfenced_mp_never_escapes_model_set() {
     for backend in BackendKind::ALL {
         for lock in LOCK_KINDS {
             for (topo_name, topo) in topologies_for(threads) {
-                let run = run_litmus_on(&case.program, backend, lock, topo);
-                assert!(allowed.contains(&run.outcome), "{}/{lock:?}/{topo_name}", backend.name());
-                observed.insert(run.outcome);
+                for (engine_name, engine) in engines() {
+                    let run = RunConfig::new(backend)
+                        .lock(lock)
+                        .topology(topo)
+                        .engine(engine)
+                        .session()
+                        .litmus(&case.program);
+                    assert!(
+                        allowed.contains(&run.outcome),
+                        "{}/{lock:?}/{topo_name}/{engine_name}",
+                        backend.name()
+                    );
+                    observed.insert(run.outcome);
+                }
             }
         }
     }

@@ -1,10 +1,10 @@
 //! Differential fuzzing of the portability claim: seeded random litmus
 //! programs ([`pmc::model::fuzz`]) are enumerated by the PMC model and
 //! then executed on every simulated back-end × both lock kinds × both
-//! topologies. Every simulator outcome must fall inside the model's
-//! allowed set and every trace must pass [`monitor::validate`] — the
-//! same two gates as the hand-written conformance catalogue, but over an
-//! unbounded family of programs.
+//! topologies × both execution engines. Every simulator outcome must
+//! fall inside the model's allowed set and every trace must pass
+//! [`monitor::validate`] — the same two gates as the hand-written
+//! conformance catalogue, but over an unbounded family of programs.
 //!
 //! Knobs (all optional, defaults give a fast deterministic smoke tier):
 //!
@@ -15,6 +15,8 @@
 //!   nightly CI tier runs hundreds with the run id as seed).
 //! * `PMC_TOPOLOGY`   — `ring` / `mesh` restricts the topology axis,
 //!   exactly as in `tests/conformance.rs`.
+//! * `PMC_ENGINE`     — `threaded` / `des` restricts the engine axis;
+//!   by default every case runs on both engines.
 //!
 //! Each program is enumerated twice — memoized and POR+memoized — and
 //! the two outcome sets are asserted equal, so partial-order reduction
@@ -40,11 +42,10 @@ use pmc::model::conformance::{self, render_outcomes};
 use pmc::model::fuzz::{self, GenConfig};
 use pmc::model::interleave::{outcomes_with, Limits, Outcome};
 use pmc::model::litmus::Program;
-use pmc::runtime::litmus_exec::{run_litmus_on, run_litmus_telemetry};
 use pmc::runtime::monitor::validate;
-use pmc::runtime::{BackendKind, LockKind};
+use pmc::runtime::{BackendKind, LockKind, RunConfig};
 use pmc::sim::telemetry::perfetto_json;
-use pmc::sim::Topology;
+use pmc::sim::{EngineKind, Topology};
 
 const LOCK_KINDS: [LockKind; 2] = [LockKind::Sdram, LockKind::Distributed];
 
@@ -84,6 +85,34 @@ fn topologies_for(threads: usize) -> Vec<(&'static str, Topology)> {
         .collect()
 }
 
+/// The engines to sweep (`PMC_ENGINE` filter, same policy as
+/// `tests/conformance.rs`).
+fn engines() -> Vec<(&'static str, EngineKind)> {
+    let filter = std::env::var("PMC_ENGINE").unwrap_or_default();
+    [("threaded", EngineKind::Threaded), ("des", EngineKind::DiscreteEvent)]
+        .into_iter()
+        .filter(|(name, _)| !matches!(filter.as_str(), "threaded" | "des") || filter == *name)
+        .collect()
+}
+
+/// One simulator run of a fuzz program on an explicit axis tuple.
+fn run_on(
+    p: &Program,
+    backend: BackendKind,
+    lock: LockKind,
+    topo: Topology,
+    engine: EngineKind,
+    telemetry: bool,
+) -> pmc::runtime::litmus_exec::LitmusRun {
+    RunConfig::new(backend)
+        .lock(lock)
+        .topology(topo)
+        .engine(engine)
+        .telemetry(telemetry)
+        .session()
+        .litmus(p)
+}
+
 /// Model-allowed outcome set of a (raw, un-lowered) fuzz program, or
 /// `None` if enumeration exceeds the budget.
 fn model_allowed(p: &Program, limits: Limits) -> Option<BTreeSet<Outcome>> {
@@ -100,13 +129,14 @@ fn diverges(
     backend: BackendKind,
     lock: LockKind,
     topo: Topology,
+    engine: EngineKind,
     limits: Limits,
 ) -> bool {
     let Some(allowed) = model_allowed(p, limits) else {
         return false; // un-enumerable candidates are useless as witnesses
     };
     for _ in 0..4 {
-        let run = run_litmus_on(p, backend, lock, topo);
+        let run = run_on(p, backend, lock, topo, engine, false);
         if !allowed.contains(&run.outcome) || !validate(&run.trace).is_empty() {
             return true;
         }
@@ -139,51 +169,56 @@ fn fuzz_one(seed: u64, cfg: &GenConfig) -> Result<bool, String> {
     assert!(!allowed.is_empty(), "seed {seed:#x}: empty model outcome set");
 
     let topologies = topologies_for(program.threads.len());
+    let engines = engines();
     for backend in BackendKind::ALL {
         for lock in LOCK_KINDS {
             for &(topo_name, topo) in &topologies {
-                let run = run_litmus_on(&program, backend, lock, topo);
-                let violations = validate(&run.trace);
-                if allowed.contains(&run.outcome) && violations.is_empty() {
-                    continue;
+                for &(engine_name, engine) in &engines {
+                    let run = run_on(&program, backend, lock, topo, engine, false);
+                    let violations = validate(&run.trace);
+                    if allowed.contains(&run.outcome) && violations.is_empty() {
+                        continue;
+                    }
+                    // Divergence: shrink against the exact failing
+                    // config, render, persist an artifact, and report the
+                    // seed.
+                    let shrunk = fuzz::shrink(&program, SHRINK_CHECKS, |cand| {
+                        diverges(cand, backend, lock, topo, engine, reduced)
+                    });
+                    let shrunk_allowed = model_allowed(&shrunk, reduced)
+                        .map(|s| render_outcomes(&s))
+                        .unwrap_or_else(|| "<enumeration exhausted>".into());
+                    let report = format!(
+                        "seed {seed:#x} diverges on {}/{lock:?}/{topo_name}/{engine_name}:\n\
+                         outcome {:?}, {} monitor violation(s)\n\
+                         allowed:\n{}\n\
+                         original program:\n{}\n\
+                         shrunk program:\n{}\n\
+                         shrunk allowed outcomes:\n{}\n\
+                         reproduce with: PMC_FUZZ_SEED={seed:#x} PMC_FUZZ_CASES=1 \
+                         cargo test --test fuzz",
+                        backend.name(),
+                        run.outcome,
+                        violations.len(),
+                        render_outcomes(&allowed),
+                        fuzz::render_program(&program),
+                        fuzz::render_program(&shrunk),
+                        shrunk_allowed,
+                    );
+                    let path = format!("target/fuzz-divergence-{seed:#x}.txt");
+                    let _ = std::fs::write(&path, &report);
+                    // Also export a Perfetto timeline of the failing
+                    // configuration (telemetry re-run; the simulator is
+                    // deterministic per configuration) for the CI
+                    // artifact.
+                    let telem = run_on(&program, backend, lock, topo, engine, true);
+                    let trace_path = format!("target/fuzz-divergence-{seed:#x}.trace.json");
+                    let _ = std::fs::write(
+                        &trace_path,
+                        perfetto_json(&telem.cfg, &telem.telemetry, &telem.trace),
+                    );
+                    return Err(format!("{report}\n(artifacts: {path}, {trace_path})"));
                 }
-                // Divergence: shrink against the exact failing config,
-                // render, persist an artifact, and report the seed.
-                let shrunk = fuzz::shrink(&program, SHRINK_CHECKS, |cand| {
-                    diverges(cand, backend, lock, topo, reduced)
-                });
-                let shrunk_allowed = model_allowed(&shrunk, reduced)
-                    .map(|s| render_outcomes(&s))
-                    .unwrap_or_else(|| "<enumeration exhausted>".into());
-                let report = format!(
-                    "seed {seed:#x} diverges on {}/{lock:?}/{topo_name}:\n\
-                     outcome {:?}, {} monitor violation(s)\n\
-                     allowed:\n{}\n\
-                     original program:\n{}\n\
-                     shrunk program:\n{}\n\
-                     shrunk allowed outcomes:\n{}\n\
-                     reproduce with: PMC_FUZZ_SEED={seed:#x} PMC_FUZZ_CASES=1 \
-                     cargo test --test fuzz",
-                    backend.name(),
-                    run.outcome,
-                    violations.len(),
-                    render_outcomes(&allowed),
-                    fuzz::render_program(&program),
-                    fuzz::render_program(&shrunk),
-                    shrunk_allowed,
-                );
-                let path = format!("target/fuzz-divergence-{seed:#x}.txt");
-                let _ = std::fs::write(&path, &report);
-                // Also export a Perfetto timeline of the failing
-                // configuration (telemetry re-run; the simulator is
-                // deterministic per configuration) for the CI artifact.
-                let telem = run_litmus_telemetry(&program, backend, lock, topo);
-                let trace_path = format!("target/fuzz-divergence-{seed:#x}.trace.json");
-                let _ = std::fs::write(
-                    &trace_path,
-                    perfetto_json(&telem.cfg, &telem.telemetry, &telem.trace),
-                );
-                return Err(format!("{report}\n(artifacts: {path}, {trace_path})"));
             }
         }
     }
@@ -192,7 +227,8 @@ fn fuzz_one(seed: u64, cfg: &GenConfig) -> Result<bool, String> {
 
 /// The fuzz tier: `PMC_FUZZ_CASES` seeded programs, each model-enumerated
 /// (memoized and POR+memoized, differentially) and swept over 4 back-ends
-/// × 2 lock kinds × the topology axis. Cases are distributed over worker
+/// × 2 lock kinds × the topology axis × the engine axis. Cases are
+/// distributed over worker
 /// threads; any divergence fails the test with a shrunk, reproducible
 /// counterexample.
 #[test]
