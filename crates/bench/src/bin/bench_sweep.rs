@@ -22,17 +22,26 @@
 //! — 256 OS threads contending on one mutex — so this entry starts the
 //! perf trajectory for the event-driven core at MemPool-class scale.
 //!
+//! A `controller_scaling` section sweeps the scale-out memory system:
+//! a transfer-bound DMA stream with 1/2/4 interleaved SDRAM controllers
+//! on the mesh and the torus at 16 and 256 tiles. Aggregate SDRAM
+//! bandwidth (payload bytes per kilocycle of makespan) must improve
+//! with the controller count at 256 tiles — the single shared port is
+//! the bottleneck the interleaving exists to remove.
+//!
 //! The JSON is hand-rolled (no serde in the workspace): one object per
 //! case with `{states, ms}` per mode, plus totals.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use pmc_apps::stream::{StreamCopy, StreamCopyParams, StreamMode};
 use pmc_apps::workload::{SessionWorkload, Workload, WorkloadParams};
+use pmc_bench::spread_controllers;
 use pmc_core::conformance;
 use pmc_core::interleave::{outcomes_counted, Limits};
-use pmc_runtime::{BackendKind, RunConfig};
-use pmc_soc_sim::{EngineKind, Topology};
+use pmc_runtime::{BackendKind, LockKind, RunConfig, System};
+use pmc_soc_sim::{EngineKind, SocConfig, Topology};
 
 /// The 256-tile scale smoke: MOTION-EST (tiny inputs) on a 16×16 mesh
 /// under the discrete-event engine. Returns the rendered JSON object.
@@ -58,6 +67,74 @@ fn scale_entry() -> String {
         stats.handoffs,
         stats.peak_queue,
     )
+}
+
+/// One controller-scaling cell: a transfer-bound double-buffered DMA
+/// stream on `tiles` tiles with `k` interleaved controllers. Returns
+/// `(makespan, dma_bytes, per-port busy cycles)`.
+fn stream_cell(topology: Topology, tiles: usize, k: usize) -> (u64, u64, Vec<u64>) {
+    let mut cfg = SocConfig { n_tiles: tiles, topology, ..SocConfig::default() };
+    cfg.mem_controllers = spread_controllers(tiles, k);
+    let mut sys = System::new(cfg, BackendKind::Spm, LockKind::Sdram);
+    sys.set_dma_burst(1024);
+    sys.set_dma_channels(2);
+    let params =
+        StreamCopyParams { n_tasks: 2 * tiles as u32, task_bytes: 4096, compute_per_word: 0 };
+    let app = StreamCopy::build(&mut sys, params);
+    let app_ref = &app;
+    let report = sys.run(
+        (0..tiles)
+            .map(|_| -> pmc_runtime::Program<'_> {
+                Box::new(move |ctx| app_ref.worker(ctx, StreamMode::DmaDouble))
+            })
+            .collect(),
+    );
+    let ports = sys.soc().port_report().iter().map(|p| p.busy).collect();
+    (report.makespan, report.aggregate().dma_bytes, ports)
+}
+
+/// The `controller_scaling` section: 1/2/4 controllers × mesh/torus at
+/// 16 (and, unless smoking, 256) tiles. Returns the rendered JSON array
+/// and asserts the headline claim: at the largest tile count, aggregate
+/// SDRAM bandwidth grows with the controller count.
+fn controller_scaling_entry(smoke: bool) -> String {
+    let grids: &[usize] = if smoke { &[4] } else { &[4, 16] };
+    let mut rows = Vec::new();
+    for &side in grids {
+        let tiles = side * side;
+        for topology in
+            [Topology::Mesh { cols: side, rows: side }, Topology::Torus { cols: side, rows: side }]
+        {
+            let mut bw = Vec::new();
+            for k in [1usize, 2, 4] {
+                let t0 = Instant::now();
+                let (makespan, bytes, ports) = stream_cell(topology, tiles, k);
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                let kbw = bytes as f64 * 1000.0 / makespan as f64;
+                bw.push(kbw);
+                assert!(
+                    ports.iter().filter(|&&b| b > 0).count() == k.min(ports.len()),
+                    "stripes must exercise every configured controller: {ports:?}"
+                );
+                rows.push(format!(
+                    "{{\"topology\": \"{}{side}x{side}\", \"tiles\": {tiles}, \
+                     \"controllers\": {k}, \"makespan\": {makespan}, \"dma_bytes\": {bytes}, \
+                     \"bytes_per_kcycle\": {kbw:.1}, \"port_busy\": [{}], \"ms\": {ms:.2}}}",
+                    topology.name(),
+                    ports.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(", "),
+                ));
+            }
+            if tiles >= 64 {
+                assert!(
+                    bw[2] > bw[0],
+                    "aggregate SDRAM bandwidth must improve with the controller count at \
+                     {tiles} tiles on the {}: {bw:?}",
+                    topology.name()
+                );
+            }
+        }
+    }
+    format!("[\n    {}\n  ]", rows.join(",\n    "))
 }
 
 type ModeLimits = fn() -> Limits;
@@ -113,7 +190,12 @@ fn main() {
         }
         json.push_str(if ci + 1 < cases.len() { "},\n" } else { "}\n" });
     }
-    let _ = write!(json, "  ],\n  \"scale\": {},\n  \"totals\": {{", scale_entry());
+    let _ = write!(
+        json,
+        "  ],\n  \"scale\": {},\n  \"controller_scaling\": {},\n  \"totals\": {{",
+        scale_entry(),
+        controller_scaling_entry(smoke)
+    );
     for (mi, (mode, _)) in MODES.iter().enumerate() {
         let (states, ms) = totals[mi];
         let sep = if mi == 0 { "" } else { ", " };

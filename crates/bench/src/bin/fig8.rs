@@ -8,7 +8,7 @@
 //! ~70 %); RAYTRACE and VOLREND lose almost all shared-read stalls; time
 //! spent in flush instructions is 0.66 % / 0.00 % / 0.01 %.
 //!
-//! Usage: `fig8 [--tiles N] [--topology ring|mesh]
+//! Usage: `fig8 [--tiles N] [--topology ring|mesh|torus]
 //! [--engine threaded|des] [--tiny] [--smoke] [--json]`
 //! (`--smoke` = tiny workloads on 8 tiles: the CI figure-pipeline check;
 //! `--json` = machine-readable output on stdout instead of the tables —
@@ -16,8 +16,9 @@
 //!
 //! `--topology` selects the interconnect every run routes over (posted
 //! writes and write-backs to the memory controller cross its links); a
-//! ring-vs-mesh contention table at the end runs one workload on both
-//! and checks the outputs agree — Fig. 8 is interconnect-portable.
+//! ring-vs-mesh-vs-torus contention table at the end runs one workload
+//! on all three and checks the outputs agree — Fig. 8 is
+//! interconnect-portable.
 
 use pmc_apps::workload::{SessionWorkload, Workload, WorkloadParams};
 use pmc_bench::{
@@ -86,15 +87,17 @@ fn main() {
     let mean = improvements.iter().sum::<f64>() / improvements.len() as f64;
     say!("mean execution-time improvement: {mean:.1}%  (paper: 22%)");
 
-    // Ring-vs-mesh contention: the same SWCC workload on both
-    // topologies produces the same output; the busiest links shift from
-    // the controller-adjacent ring arcs to the XY funnel of the mesh.
+    // Topology contention: the same SWCC workload on the ring, the mesh
+    // and the torus produces the same output; the busiest links shift
+    // from the controller-adjacent ring arcs to the XY funnel of the
+    // mesh, and the torus's wraparound links shorten the far-half
+    // routes.
     let (cols, rows) = mesh_dims(tiles);
-    say!("\nRing vs mesh — VOLREND (SWCC), {tiles} cores (mesh {cols}x{rows}):");
+    say!("\nRing vs mesh vs torus — VOLREND (SWCC), {tiles} cores (grid {cols}x{rows}):");
     say!("{:<6} {:>12} {:>14} {:>14}  busiest links", "topo", "makespan", "total busy", "max busy");
     let mut checksums = Vec::new();
     let mut topo_rows = Vec::new();
-    for topo in [Topology::Ring, Topology::Mesh { cols, rows }] {
+    for topo in [Topology::Ring, Topology::Mesh { cols, rows }, Topology::Torus { cols, rows }] {
         let r = run(Workload::Volrend, BackendKind::Swcc, topo, params);
         let total: u64 = r.links.iter().map(|l| l.busy).sum();
         let max = r.links.iter().map(|l| l.busy).max().unwrap_or(0);
@@ -120,7 +123,10 @@ fn main() {
             ("top_links", top_links_json(&r.links, 3)),
         ]));
     }
-    assert_eq!(checksums[0], checksums[1], "Fig. 8 output must not depend on the topology");
+    assert!(
+        checksums.iter().all(|c| *c == checksums[0]),
+        "Fig. 8 output must not depend on the topology"
+    );
 
     if emit_json {
         println!(

@@ -18,28 +18,34 @@
 //!    same payload staged out to SDRAM and fetched back;
 //! 4. per-directed-link busy cycles for the most contended links — bulk
 //!    traffic funnels towards the SDRAM controller at tile 0;
-//! 5. a **ring-vs-mesh contention table**: the same stream on both
-//!    topologies, same checksum, different link profile — and a
+//! 5. a **topology contention table**: the same stream on the ring, the
+//!    mesh and the torus, same checksum, different link profile — and a
 //!    posted-only (word-copy) row proving ordinary posted writes are
-//!    NoC-accounted on both;
-//! 6. motion estimation (Fig. 10) with the plain staging worker vs the
+//!    NoC-accounted on each;
+//! 6. a **memory-controller scaling table**: the same stream with 1/2/4
+//!    interleaved SDRAM controllers — stripes spread the port queueing,
+//!    so aggregate SDRAM bandwidth grows with the controller count;
+//! 7. motion estimation (Fig. 10) with the plain staging worker vs the
 //!    double-buffered DMA worker vs the strided 2-D gather worker.
 //!
 //! Usage: `fig_dma [--tiles N] [--tasks K] [--kbytes S]
-//! [--topology ring|mesh] [--smoke] [--json]`
+//! [--topology ring|mesh|torus] [--smoke] [--json]`
 //!
 //! `--topology` selects the interconnect for every experiment
-//! (mesh = most nearly square factorisation of the tile count); the
-//! ring-vs-mesh table always runs both. `--json` swaps the tables on
-//! stdout for one machine-readable document (the source of the
+//! (mesh/torus = most nearly square factorisation of the tile count);
+//! the topology table always runs all three. `--json` swaps the tables
+//! on stdout for one machine-readable document (the source of the
 //! committed `BENCH_figs.json` snapshot); every assertion still runs.
 
 use pmc_apps::motion_est::{MotionEst, MotionEstParams};
 use pmc_apps::stream::{StreamCopy, StreamCopyParams, StreamMode};
-use pmc_bench::{arg_flag, arg_topology, arg_u32, json, mesh_dims, top_links, top_links_json};
+use pmc_bench::{
+    arg_flag, arg_topology, arg_u32, json, mesh_dims, spread_controllers, top_links, top_links_json,
+};
 use pmc_runtime::{BackendKind, LockKind, System};
 use pmc_soc_sim::{
-    addr, CoreProgram, Cpu, DmaDescriptor, DmaDir, DmaKind, LinkReport, Soc, SocConfig, Topology,
+    addr, CoreProgram, Cpu, DmaDescriptor, DmaDir, DmaKind, LinkReport, PortReport, Soc, SocConfig,
+    Topology,
 };
 
 struct Run {
@@ -48,17 +54,22 @@ struct Run {
     dma_bytes: u64,
     burst: u32,
     links: Vec<LinkReport>,
+    ports: Vec<PortReport>,
 }
 
 /// Re-shape `kind` for a system of `n` tiles (the channel-scaling table
-/// runs systems smaller than `--tiles`, and a mesh must cover exactly
-/// the tile count).
+/// runs systems smaller than `--tiles`, and a mesh or torus must cover
+/// exactly the tile count).
 fn topo_for(kind: Topology, n: usize) -> Topology {
     match kind {
         Topology::Ring => Topology::Ring,
         Topology::Mesh { .. } => {
             let (cols, rows) = mesh_dims(n);
             Topology::Mesh { cols, rows }
+        }
+        Topology::Torus { .. } => {
+            let (cols, rows) = mesh_dims(n);
+            Topology::Torus { cols, rows }
         }
     }
 }
@@ -70,11 +81,13 @@ fn run_stream(
     burst: u32,
     channels: usize,
     topology: Topology,
+    mem_controllers: &[usize],
 ) -> Run {
     let n_tiles = tiles.max(2);
     let topology = topo_for(topology, n_tiles);
     let mut cfg = SocConfig { n_tiles, topology, ..SocConfig::default() };
     cfg.icache_mpki = 1;
+    cfg.mem_controllers = mem_controllers.to_vec();
     let mut sys = System::new(cfg, BackendKind::Spm, LockKind::Sdram);
     sys.set_dma_burst(burst);
     sys.set_dma_channels(channels);
@@ -88,7 +101,8 @@ fn run_stream(
     let checksum = app.checksum(&sys);
     let dma_bytes = report.aggregate().dma_bytes;
     let links = sys.soc().link_report();
-    Run { makespan: report.makespan, checksum, dma_bytes, burst, links }
+    let ports = sys.soc().port_report();
+    Run { makespan: report.makespan, checksum, dma_bytes, burst, links, ports }
 }
 
 /// Tile-to-tile copy vs SDRAM round trip for one payload; returns
@@ -184,7 +198,7 @@ fn main() {
     );
 
     say!("{:<12} {:>6} {:>12} {:>9} {:>12}", "mode", "burst", "makespan", "vs word", "dma-bytes");
-    let word = run_stream(tiles, params, StreamMode::WordCopy, 256, 1, topology);
+    let word = run_stream(tiles, params, StreamMode::WordCopy, 256, 1, topology, &[]);
     say!(
         "{:<12} {:>6} {:>12} {:>8.2}x {:>12}",
         StreamMode::WordCopy.name(),
@@ -205,7 +219,7 @@ fn main() {
     let mut best_mode = StreamMode::Dma;
     for &burst in bursts {
         for mode in [StreamMode::Dma, StreamMode::DmaDouble] {
-            let r = run_stream(tiles, params, mode, burst, 1, topology);
+            let r = run_stream(tiles, params, mode, burst, 1, topology, &[]);
             assert_eq!(r.checksum, word.checksum, "modes must agree");
             say!(
                 "{:<12} {:>6} {:>12} {:>8.2}x {:>12}",
@@ -245,9 +259,9 @@ fn main() {
     let chan_tiles: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
     let mut chan_rows = Vec::new();
     for &t in chan_tiles {
-        let c1 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 1, topology).makespan;
-        let c2 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 2, topology).makespan;
-        let c4 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 4, topology).makespan;
+        let c1 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 1, topology, &[]).makespan;
+        let c2 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 2, topology, &[]).makespan;
+        let c4 = run_stream(t, chan_params, StreamMode::DmaDouble, 4096, 4, topology, &[]).makespan;
         say!("{t:<8} {c1:>12} {c2:>12} {c4:>12} {:>9.2}x", c1 as f64 / c2 as f64);
         if t == 1 {
             assert!(c2 < c1, "2 channels must beat 1 at one tile: {c2} vs {c1}");
@@ -299,11 +313,12 @@ fn main() {
     }
 
     // The differential contention table: identical workload and output
-    // on the ring and on the mesh, different per-link traffic shape.
+    // on the ring, the mesh and the torus, different per-link traffic
+    // shape.
     let (cols, rows) = mesh_dims(tiles);
     say!(
-        "\nRing vs mesh — double-buffered stream (burst {best_burst}), {tiles} tiles \
-         (mesh {cols}x{rows}):"
+        "\nRing vs mesh vs torus — double-buffered stream (burst {best_burst}), {tiles} tiles \
+         (grid {cols}x{rows}):"
     );
     say!(
         "{:<6} {:>12} {:>14} {:>14} {:>12} {:>14}",
@@ -315,8 +330,8 @@ fn main() {
         "posted busy"
     );
     let mut topo_rows = Vec::new();
-    for topo in [Topology::Ring, Topology::Mesh { cols, rows }] {
-        let r = run_stream(tiles, params, StreamMode::DmaDouble, best_burst, 1, topo);
+    for topo in [Topology::Ring, Topology::Mesh { cols, rows }, Topology::Torus { cols, rows }] {
+        let r = run_stream(tiles, params, StreamMode::DmaDouble, best_burst, 1, topo, &[]);
         assert_eq!(
             r.checksum, word.checksum,
             "the stream's output must be identical on every topology"
@@ -329,7 +344,7 @@ fn main() {
         let posted = if topo_for(topo, tiles) == topo_for(topology, tiles) {
             &word
         } else {
-            rerun = run_stream(tiles, params, StreamMode::WordCopy, 256, 1, topo);
+            rerun = run_stream(tiles, params, StreamMode::WordCopy, 256, 1, topo, &[]);
             &rerun
         };
         let posted_busy: u64 = posted.links.iter().map(|l| l.busy).sum();
@@ -360,6 +375,55 @@ fn main() {
         }
     }
     say!("  (XY routing spreads controller-bound bursts over both mesh dimensions)");
+
+    // Memory-controller scaling: the same stream with the SDRAM offset
+    // space interleaved over 1/2/4 controllers. Extra ports split the
+    // queueing, so aggregate bandwidth (bytes per makespan cycle) grows
+    // until the NoC, not the port, is the bottleneck.
+    say!(
+        "\nMemory-controller scaling — double-buffered stream (burst {best_burst}), \
+         {tiles} tiles, {} NoC:",
+        topology.name()
+    );
+    say!(
+        "{:<6} {:>14} {:>12} {:>14} {:>14}",
+        "ctrls",
+        "tiles",
+        "makespan",
+        "bytes/kcycle",
+        "port busy"
+    );
+    let mut ctrl_rows = Vec::new();
+    for k in [1usize, 2, 4] {
+        let ctrls = spread_controllers(tiles.max(2), k);
+        let r = run_stream(tiles, params, StreamMode::DmaDouble, best_burst, 1, topology, &ctrls);
+        assert_eq!(r.checksum, word.checksum, "interleaving must not change the output");
+        let served: Vec<u64> = r.ports.iter().map(|p| p.busy).collect();
+        assert_eq!(served.len(), k, "one port per configured controller");
+        if k > 1 {
+            assert!(
+                served.iter().filter(|&&b| b > 0).count() > 1,
+                "4 KiB stripes must spread traffic over the controllers: {served:?}"
+            );
+        }
+        let bw = r.dma_bytes as f64 * 1000.0 / r.makespan as f64;
+        say!(
+            "{:<6} {:>14} {:>12} {:>14.0} {:>14}",
+            k,
+            format!("{ctrls:?}"),
+            r.makespan,
+            bw,
+            format!("{served:?}")
+        );
+        ctrl_rows.push(json::obj(&[
+            ("controllers", k.to_string()),
+            ("tiles", json::arr(&ctrls.iter().map(|t| t.to_string()).collect::<Vec<_>>())),
+            ("makespan", r.makespan.to_string()),
+            ("bytes_per_kcycle", json::num(bw)),
+            ("port_busy", json::arr(&served.iter().map(|b| b.to_string()).collect::<Vec<_>>())),
+        ]));
+    }
+    say!("  (gains grow with the streaming tile count; bench_sweep scales this to 256 tiles)");
 
     say!("\nFig. 10 revisited — motion estimation staging strategies (SPM):");
     let me_params = if smoke {
@@ -426,6 +490,7 @@ fn main() {
                     ]),
                 ),
                 ("channel_scaling", json::arr(&chan_rows)),
+                ("controller_scaling", json::arr(&ctrl_rows)),
                 ("t2t_vs_sdram", json::arr(&t2t_rows)),
                 ("ring_vs_mesh", json::arr(&topo_rows)),
                 ("motion_est", json::arr(&me_rows)),

@@ -75,10 +75,10 @@ pub fn arg_str(name: &str, default: &str) -> String {
         .unwrap_or_else(|| default.to_string())
 }
 
-/// Parse a `--topology` argument (`ring` | `mesh`) into a topology for
-/// `n_tiles` tiles. Meshes use the most nearly square factorisation of
-/// the tile count (8 → 2×4, 16 → 4×4; primes degenerate to a 1×n
-/// line).
+/// Parse a `--topology` argument (`ring` | `mesh` | `torus`) into a
+/// topology for `n_tiles` tiles. Meshes and tori use the most nearly
+/// square factorisation of the tile count (8 → 2×4, 16 → 4×4; primes
+/// degenerate to a 1×n line).
 pub fn arg_topology(n_tiles: usize) -> pmc_soc_sim::Topology {
     match arg_str("--topology", "ring").as_str() {
         "ring" => pmc_soc_sim::Topology::Ring,
@@ -86,8 +86,20 @@ pub fn arg_topology(n_tiles: usize) -> pmc_soc_sim::Topology {
             let (cols, rows) = mesh_dims(n_tiles);
             pmc_soc_sim::Topology::Mesh { cols, rows }
         }
-        other => panic!("--topology must be `ring` or `mesh`, got `{other}`"),
+        "torus" => {
+            let (cols, rows) = mesh_dims(n_tiles);
+            pmc_soc_sim::Topology::Torus { cols, rows }
+        }
+        other => panic!("--topology must be `ring`, `mesh` or `torus`, got `{other}`"),
     }
+}
+
+/// `k` memory-controller tiles spread evenly over `n_tiles` (`k = 1` →
+/// tile 0, the single-controller default). The spread keeps the average
+/// tile-to-controller distance flat as controllers are added, so
+/// controller-scaling tables measure port parallelism, not placement.
+pub fn spread_controllers(n_tiles: usize, k: usize) -> Vec<usize> {
+    (0..k.max(1)).map(|i| i * n_tiles / k.max(1)).collect()
 }
 
 /// Parse an `--engine` argument (`threaded` | `des`) into an

@@ -52,6 +52,7 @@ pub struct RunConfig {
     trace: Option<bool>,
     engine: EngineKind,
     dma_channels: Option<usize>,
+    mem_controllers: Option<Vec<usize>>,
 }
 
 impl RunConfig {
@@ -65,6 +66,7 @@ impl RunConfig {
             trace: None,
             engine: EngineKind::default(),
             dma_channels: None,
+            mem_controllers: None,
         }
     }
 
@@ -74,7 +76,7 @@ impl RunConfig {
         self
     }
 
-    /// Interconnect topology. A mesh fixes the tile count to
+    /// Interconnect topology. A mesh or torus fixes the tile count to
     /// `cols × rows` unless [`RunConfig::n_tiles`] names it explicitly
     /// (in which case the two must agree).
     pub fn topology(mut self, topology: Topology) -> Self {
@@ -118,16 +120,29 @@ impl RunConfig {
         self
     }
 
+    /// Memory-controller tiles, with the SDRAM offset space interleaved
+    /// across them in 4 KiB stripes (`pmc_soc_sim::addr::controller_for`).
+    /// Unset (or an empty list) keeps the simulator's single-controller
+    /// default; entries must be distinct, in-range tiles
+    /// (`SocConfig::validate` checks when the simulator is built).
+    pub fn mem_controllers(mut self, tiles: Vec<usize>) -> Self {
+        self.mem_controllers = Some(tiles);
+        self
+    }
+
     /// Freeze the builder into a [`Session`]. Panics on axis combinations
     /// that can never run (a mesh whose area contradicts an explicit tile
     /// count); per-run limits are checked by `SocConfig::validate` when
     /// the simulator is built.
     pub fn session(self) -> Session {
-        if let (Some(n), Topology::Mesh { cols, rows }) = (self.n_tiles, self.topology) {
+        if let (Some(n), Topology::Mesh { cols, rows } | Topology::Torus { cols, rows }) =
+            (self.n_tiles, self.topology)
+        {
             assert_eq!(
                 cols * rows,
                 n,
-                "mesh {cols}x{rows} topology fixes the tile count to {}, not {n}",
+                "{} {cols}x{rows} topology fixes the tile count to {}, not {n}",
+                self.topology.name(),
                 cols * rows
             );
         }
@@ -161,11 +176,11 @@ impl Session {
     }
 
     /// The explicit tile count, if the config named one; otherwise the
-    /// mesh area, if the topology fixes one.
+    /// mesh/torus area, if the topology fixes one.
     pub fn n_tiles(&self) -> Option<usize> {
         self.cfg.n_tiles.or(match self.cfg.topology {
             Topology::Ring => None,
-            Topology::Mesh { cols, rows } => Some(cols * rows),
+            Topology::Mesh { cols, rows } | Topology::Torus { cols, rows } => Some(cols * rows),
         })
     }
 
@@ -192,6 +207,9 @@ impl Session {
         cfg.trace = self.cfg.trace.unwrap_or(self.cfg.telemetry);
         if let Some(n) = self.cfg.dma_channels {
             cfg.dma_channels = n;
+        }
+        if let Some(ctrls) = &self.cfg.mem_controllers {
+            cfg.mem_controllers = ctrls.clone();
         }
         cfg
     }
@@ -286,6 +304,47 @@ mod tests {
         let outcome = |engine| {
             RunConfig::new(BackendKind::Swcc)
                 .engine(engine)
+                .session()
+                .litmus(&catalogue::mp_annotated())
+                .outcome
+        };
+        assert_eq!(outcome(EngineKind::DiscreteEvent), outcome(EngineKind::Threaded));
+    }
+
+    /// The scale-out axes reach the resolved `SocConfig`: a torus fixes
+    /// the tile count like a mesh, and the controller list lands intact.
+    #[test]
+    fn torus_and_controllers_reach_the_soc_config() {
+        let s = RunConfig::new(BackendKind::Swcc)
+            .topology(Topology::Torus { cols: 2, rows: 2 })
+            .mem_controllers(vec![0, 2])
+            .session();
+        assert_eq!(s.n_tiles(), Some(4), "torus area fixes the tile count");
+        let cfg = s.soc_config(4);
+        assert_eq!(cfg.topology, Topology::Torus { cols: 2, rows: 2 });
+        assert_eq!(cfg.mem_controllers, vec![0, 2]);
+        assert_eq!(cfg.controllers(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus 2x2 topology fixes the tile count")]
+    fn torus_area_must_agree_with_explicit_tiles() {
+        let _ = RunConfig::new(BackendKind::Swcc)
+            .topology(Topology::Torus { cols: 2, rows: 2 })
+            .n_tiles(5)
+            .session();
+    }
+
+    /// Both engines agree on the scale-out configuration too: a torus
+    /// with two interleaved controllers runs the litmus to the same
+    /// outcome under both execution engines.
+    #[test]
+    fn engines_agree_on_torus_with_two_controllers() {
+        let outcome = |engine| {
+            RunConfig::new(BackendKind::Swcc)
+                .engine(engine)
+                .topology(Topology::Torus { cols: 2, rows: 2 })
+                .mem_controllers(vec![0, 3])
                 .session()
                 .litmus(&catalogue::mp_annotated())
                 .outcome

@@ -72,6 +72,24 @@ pub fn sdram_offset(addr: Addr) -> u32 {
     }
 }
 
+/// The SDRAM interleaving stripe, as a shift: consecutive
+/// `1 << CTRL_STRIPE_SHIFT`-byte (4 KiB) blocks of the physical SDRAM
+/// offset space rotate round-robin across the memory controllers. A
+/// power of two keeps the map a shift-and-mask, and 4 KiB is coarse
+/// enough that a DMA burst or cache line never straddles controllers
+/// while fine enough that bulk transfers touch every controller.
+pub const CTRL_STRIPE_SHIFT: u32 = 12;
+
+/// Which controller (an index into `SocConfig::controllers()`) owns the
+/// physical SDRAM offset `offset`, under `n_controllers`-way power-of-two
+/// striping. Every offset maps to exactly one controller — the stripes
+/// partition the address space — and the map is pure, so repeated
+/// lookups are stable.
+pub fn controller_for(offset: u32, n_controllers: usize) -> usize {
+    debug_assert!(n_controllers > 0, "at least one memory controller");
+    (offset >> CTRL_STRIPE_SHIFT) as usize % n_controllers
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +114,22 @@ mod tests {
     #[should_panic(expected = "bus error")]
     fn low_addresses_fault() {
         decode(0x10);
+    }
+
+    #[test]
+    fn controller_striping_rotates_on_4k_blocks() {
+        // One controller owns everything.
+        assert_eq!(controller_for(0, 1), 0);
+        assert_eq!(controller_for(u32::MAX, 1), 0);
+        // Two controllers alternate on 4 KiB stripes.
+        assert_eq!(controller_for(0, 2), 0);
+        assert_eq!(controller_for(4095, 2), 0);
+        assert_eq!(controller_for(4096, 2), 1);
+        assert_eq!(controller_for(8192, 2), 0);
+        // Within a stripe the owner never changes (a burst can't
+        // straddle controllers unless it crosses a 4 KiB boundary).
+        for off in (0..4096).step_by(64) {
+            assert_eq!(controller_for(12288 + off, 4), controller_for(12288, 4));
+        }
     }
 }

@@ -26,6 +26,13 @@ use crate::telemetry::TelemetryConfig;
 ///   `2n + t`, north `t → t-cols` at id `3n + t`. Routes are
 ///   deterministic dimension-ordered **XY**: the full X leg first, then
 ///   the Y leg — cycle-free and exactly Manhattan-distance long.
+/// * **Torus** (`4 * n_tiles` ids): the mesh numbering with wraparound —
+///   the east link of a rightmost tile exists and lands on column 0 of
+///   the same row (and so on for each direction), so every tile owns
+///   all four links unless a dimension is degenerate (`cols == 1` makes
+///   east/west self-loops, which are invalid ids; likewise `rows == 1`
+///   for south/north). Routes are wrap-aware XY: each leg takes the
+///   shorter way around its dimension, east/south on ties.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Topology {
     /// Bidirectional ring (the original stand-in for the paper's
@@ -36,6 +43,11 @@ pub enum Topology {
     /// routing. `cols * rows` must equal `SocConfig::n_tiles`
     /// ([`SocConfig::validate`]).
     Mesh { cols: usize, rows: usize },
+    /// 2-D torus of `cols × rows` tiles: the mesh with wraparound links
+    /// in both dimensions and wrap-aware XY routing, halving the worst-
+    /// case hop count. `cols * rows` must equal `SocConfig::n_tiles`
+    /// ([`SocConfig::validate`]).
+    Torus { cols: usize, rows: usize },
 }
 
 impl Topology {
@@ -43,6 +55,7 @@ impl Topology {
         match self {
             Topology::Ring => "ring",
             Topology::Mesh { .. } => "mesh",
+            Topology::Torus { .. } => "torus",
         }
     }
 
@@ -51,7 +64,7 @@ impl Topology {
     pub fn link_count(self, n_tiles: usize) -> usize {
         match self {
             Topology::Ring => 2 * n_tiles,
-            Topology::Mesh { .. } => 4 * n_tiles,
+            Topology::Mesh { .. } | Topology::Torus { .. } => 4 * n_tiles,
         }
     }
 
@@ -73,6 +86,18 @@ impl Topology {
                     1 => x > 0,        // west
                     2 => y + 1 < rows, // south
                     _ => y > 0,        // north
+                }
+            }
+            Topology::Torus { cols, rows } => {
+                let n = cols * rows;
+                if link >= 4 * n {
+                    return false;
+                }
+                // Wraparound gives every tile all four links; only a
+                // degenerate dimension (a self-loop) is not a link.
+                match link / n {
+                    0 | 1 => cols > 1, // east / west
+                    _ => rows > 1,     // south / north
                 }
             }
         }
@@ -101,14 +126,31 @@ impl Topology {
                     _ => (t, t - cols),
                 }
             }
+            Topology::Torus { cols, rows } => {
+                let n = cols * rows;
+                let (dir, t) = (link / n, link % n);
+                let (x, y) = (t % cols, t / cols);
+                match dir {
+                    0 => (t, y * cols + (x + 1) % cols),
+                    1 => (t, y * cols + (x + cols - 1) % cols),
+                    2 => (t, (y + 1) % rows * cols + x),
+                    _ => (t, (y + rows - 1) % rows * cols + x),
+                }
+            }
         }
     }
 
     /// Directed link ids along the route `from → to`. Deterministic,
     /// cycle-free, and minimal: the shortest arc on the ring (clockwise
-    /// on ties), the XY path (X leg then Y leg) on the mesh.
+    /// on ties), the XY path (X leg then Y leg) on the mesh, the
+    /// wrap-aware XY path (shorter way around each dimension, east/south
+    /// on ties) on the torus.
+    ///
+    /// Endpoint ranges are checked by [`SocConfig::validate`] before a
+    /// run starts (every routed endpoint is a tile or a configured
+    /// memory controller), so this hot path only `debug_assert!`s them.
     pub fn route(self, n_tiles: usize, from: usize, to: usize) -> Vec<usize> {
-        assert!(from < n_tiles && to < n_tiles, "route endpoints out of range");
+        debug_assert!(from < n_tiles && to < n_tiles, "route endpoints out of range");
         if from == to {
             return Vec::new();
         }
@@ -147,11 +189,47 @@ impl Topology {
                 }
                 links
             }
+            Topology::Torus { cols, rows } => {
+                let n = cols * rows;
+                let (mut x, mut y) = (from % cols, from / cols);
+                let (tx, ty) = (to % cols, to / cols);
+                let mut links = Vec::new();
+                // X leg: the shorter way around the row ring, east on
+                // ties.
+                let east = (tx + cols - x) % cols;
+                if east <= cols - east {
+                    for _ in 0..east {
+                        links.push(y * cols + x); // east of (x, y)
+                        x = (x + 1) % cols;
+                    }
+                } else {
+                    for _ in 0..cols - east {
+                        links.push(n + y * cols + x); // west of (x, y)
+                        x = (x + cols - 1) % cols;
+                    }
+                }
+                // Y leg: the shorter way around the column ring, south
+                // on ties.
+                let south = (ty + rows - y) % rows;
+                if south <= rows - south {
+                    for _ in 0..south {
+                        links.push(2 * n + y * cols + x); // south of (x, y)
+                        y = (y + 1) % rows;
+                    }
+                } else {
+                    for _ in 0..rows - south {
+                        links.push(3 * n + y * cols + x); // north of (x, y)
+                        y = (y + rows - 1) % rows;
+                    }
+                }
+                links
+            }
         }
     }
 
     /// Hop count of the route `from → to` (shortest arc on the ring,
-    /// Manhattan distance on the mesh).
+    /// Manhattan distance on the mesh, wrap-aware Manhattan distance on
+    /// the torus).
     pub fn hops(self, n_tiles: usize, from: usize, to: usize) -> u64 {
         match self {
             Topology::Ring => {
@@ -165,6 +243,11 @@ impl Topology {
                 let dx = (from % cols).abs_diff(to % cols);
                 let dy = (from / cols).abs_diff(to / cols);
                 (dx + dy) as u64
+            }
+            Topology::Torus { cols, rows } => {
+                let dx = (from % cols).abs_diff(to % cols);
+                let dy = (from / cols).abs_diff(to / cols);
+                (dx.min(cols - dx) + dy.min(rows - dy)) as u64
             }
         }
     }
@@ -315,8 +398,17 @@ pub struct SocConfig {
     /// The tile the SDRAM controller is attached to: DMA bursts and
     /// posted writes traverse the links between the issuing tile and
     /// this tile, so distance (and shared links) shape bulk-transfer
-    /// bandwidth.
+    /// bandwidth. When [`SocConfig::mem_controllers`] is non-empty it
+    /// takes precedence and this field is ignored.
     pub mem_tile: usize,
+    /// The tiles the SDRAM controllers are attached to. Empty (the
+    /// default) means the single controller at [`SocConfig::mem_tile`];
+    /// with N > 1 entries the SDRAM address space is striped across the
+    /// controllers ([`crate::addr::controller_for`]) and each controller
+    /// serialises its own port, so aggregate SDRAM bandwidth scales with
+    /// the controller count. Entries must be distinct in-range tiles
+    /// ([`SocConfig::validate`]).
+    pub mem_controllers: Vec<usize>,
     /// Interconnect topology ([`Topology::Ring`] by default). Everything
     /// that reserves link bandwidth routes through
     /// [`Topology::route`], so the consistency machinery above is
@@ -347,6 +439,7 @@ impl Default for SocConfig {
             trace: false,
             telemetry: TelemetryConfig::default(),
             mem_tile: 0,
+            mem_controllers: Vec::new(),
             topology: Topology::Ring,
             dma_channels: 1,
             engine: EngineKind::default(),
@@ -371,12 +464,29 @@ impl SocConfig {
         SocConfig { topology: Topology::Mesh { cols, rows }, ..Self::small(cols * rows) }
     }
 
+    /// A small torus configuration for unit tests (`cols × rows` tiles).
+    pub fn small_torus(cols: usize, rows: usize) -> Self {
+        SocConfig { topology: Topology::Torus { cols, rows }, ..Self::small(cols * rows) }
+    }
+
+    /// The resolved SDRAM controller placement: `mem_controllers` when
+    /// non-empty, else the single controller at `mem_tile`. Index `i` of
+    /// the returned list is controller id `i` in the interleaving map
+    /// ([`crate::addr::controller_for`]).
+    pub fn controllers(&self) -> Vec<usize> {
+        if self.mem_controllers.is_empty() {
+            vec![self.mem_tile]
+        } else {
+            self.mem_controllers.clone()
+        }
+    }
+
     /// Check the configuration for inconsistencies that would otherwise
     /// surface as index panics or silent deadlocks deep inside a run: a
-    /// mesh whose shape does not cover `n_tiles`, a memory controller
-    /// placed on a tile that does not exist, a DMA subsystem with no
-    /// channels, or scheduler/telemetry parameters the engines cannot
-    /// honour.
+    /// mesh or torus whose shape has a zero dimension or does not cover
+    /// `n_tiles`, a memory controller placed on a tile that does not
+    /// exist (or listed twice), a DMA subsystem with no channels, or
+    /// scheduler/telemetry parameters the engines cannot honour.
     pub fn validate(&self) -> Result<(), String> {
         if self.n_tiles == 0 {
             return Err("n_tiles must be at least 1".to_string());
@@ -387,12 +497,36 @@ impl SocConfig {
                 self.mem_tile, self.n_tiles
             ));
         }
-        if let Topology::Mesh { cols, rows } = self.topology {
-            if cols == 0 || rows == 0 || cols * rows != self.n_tiles {
+        if let Topology::Mesh { cols, rows } | Topology::Torus { cols, rows } = self.topology {
+            let name = self.topology.name();
+            if cols == 0 || rows == 0 {
+                // Checked before the area: a 0x0 shape on an n_tiles == 0
+                // config would otherwise pass `cols * rows == n_tiles`
+                // and panic deep inside `route`.
                 return Err(format!(
-                    "mesh topology {cols}x{rows} does not cover n_tiles {}: \
+                    "{name} topology {cols}x{rows} has a zero dimension: \
+                     cols and rows must both be at least 1"
+                ));
+            }
+            if cols * rows != self.n_tiles {
+                return Err(format!(
+                    "{name} topology {cols}x{rows} does not cover n_tiles {}: \
                      cols * rows must equal the tile count",
                     self.n_tiles
+                ));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &c in &self.mem_controllers {
+            if c >= self.n_tiles {
+                return Err(format!(
+                    "mem_controllers entry {c} out of range: the platform has {} tiles",
+                    self.n_tiles
+                ));
+            }
+            if !seen.insert(c) {
+                return Err(format!(
+                    "mem_controllers lists tile {c} twice: controllers must be distinct tiles"
                 ));
             }
         }
@@ -540,6 +674,45 @@ mod tests {
     }
 
     #[test]
+    fn torus_route_wraps_the_shorter_way() {
+        // 4×4 torus, tile t = y*4 + x, n = 16.
+        let t = Topology::Torus { cols: 4, rows: 4 };
+        // 0 (0,0) → 3 (3,0): one west hop around the wraparound, not
+        // three east hops.
+        assert_eq!(t.route(16, 0, 3), vec![16]);
+        assert_eq!(t.hops(16, 0, 3), 1);
+        // 0 (0,0) → 12 (0,3): one north hop around the wraparound.
+        assert_eq!(t.route(16, 0, 12), vec![3 * 16]);
+        // 0 → 15 (3,3): wraps both dimensions — west of (0,0), then
+        // north of (3,0).
+        assert_eq!(t.route(16, 0, 15), vec![16, 3 * 16 + 3]);
+        assert_eq!(t.hops(16, 0, 15), 2);
+        // Interior routes match the mesh: 0 → 10 goes east, east, south,
+        // south (antipodal ties go east/south).
+        assert_eq!(t.route(16, 0, 10), vec![0, 1, 2 * 16 + 2, 2 * 16 + 6]);
+        assert_eq!(t.route(16, 9, 9), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn torus_links_wrap_and_degenerate_dims_are_invalid() {
+        let t = Topology::Torus { cols: 3, rows: 2 };
+        // Tile 2 = (2,0): its east link wraps to (0,0) = tile 0, its
+        // north link wraps to (2,1) = tile 5.
+        assert!(t.is_valid_link(6, 2));
+        assert_eq!(t.link_endpoints(6, 2), (2, 0));
+        assert!(t.is_valid_link(6, 3 * 6 + 2));
+        assert_eq!(t.link_endpoints(6, 3 * 6 + 2), (2, 5));
+        assert!(!t.is_valid_link(6, 4 * 6));
+        // A 1-wide torus has no east/west links (self-loops), but keeps
+        // south/north.
+        let narrow = Topology::Torus { cols: 1, rows: 4 };
+        assert!(!narrow.is_valid_link(4, 0));
+        assert!(!narrow.is_valid_link(4, 4));
+        assert!(narrow.is_valid_link(4, 2 * 4));
+        assert_eq!(narrow.route(4, 0, 3), vec![3 * 4]);
+    }
+
+    #[test]
     fn validate_rejects_mesh_shape_mismatch() {
         let mut cfg = SocConfig::small(8);
         cfg.topology = Topology::Mesh { cols: 3, rows: 2 };
@@ -559,6 +732,47 @@ mod tests {
         assert!(err.contains("mem_tile 4"), "{err}");
         cfg.mem_tile = 3;
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_dim_shapes() {
+        // A zero dimension is its own clear error, not an area mismatch
+        // (a 0x0 shape would otherwise only be caught by the area check,
+        // which an n_tiles == 0 config sails past into `route` panics).
+        let mut cfg = SocConfig::small(4);
+        cfg.topology = Topology::Mesh { cols: 0, rows: 4 };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("mesh topology 0x4 has a zero dimension"), "{err}");
+        cfg.topology = Topology::Torus { cols: 4, rows: 0 };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("torus topology 4x0 has a zero dimension"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_torus_shape_mismatch() {
+        let mut cfg = SocConfig::small(8);
+        cfg.topology = Topology::Torus { cols: 3, rows: 2 };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("torus topology 3x2") && err.contains('8'), "{err}");
+        cfg.topology = Topology::Torus { cols: 4, rows: 2 };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_controller_lists() {
+        let mut cfg = SocConfig::small(4);
+        cfg.mem_controllers = vec![0, 4];
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("mem_controllers entry 4 out of range"), "{err}");
+        cfg.mem_controllers = vec![1, 3, 1];
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("lists tile 1 twice"), "{err}");
+        cfg.mem_controllers = vec![1, 3];
+        assert!(cfg.validate().is_ok());
+        // Empty means the single mem_tile controller.
+        cfg.mem_controllers = Vec::new();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.controllers(), vec![cfg.mem_tile]);
     }
 
     #[test]
@@ -627,5 +841,16 @@ mod tests {
         // hops follows the topology: 0 → 15 is 6 mesh hops, not 1 ring
         // wrap.
         assert_eq!(cfg.hops(0, 15), 6);
+    }
+
+    #[test]
+    fn small_torus_builds_a_valid_config() {
+        let cfg = SocConfig::small_torus(4, 4);
+        assert_eq!(cfg.n_tiles, 16);
+        assert_eq!(cfg.topology, Topology::Torus { cols: 4, rows: 4 });
+        assert!(cfg.validate().is_ok());
+        // The wraparound halves the corner-to-corner distance: 2 torus
+        // hops where the mesh needs 6.
+        assert_eq!(cfg.hops(0, 15), 2);
     }
 }

@@ -120,6 +120,24 @@ pub struct LinkReport {
     pub bursts: u64,
 }
 
+/// One SDRAM controller port's occupancy (built by
+/// [`crate::mem::SdramPorts::report`], surfaced as
+/// [`crate::soc::Soc::port_report`]): how many cycles and transactions
+/// each controller served, in controller-id order. With interleaved
+/// multi-controller configurations the spread across entries shows
+/// whether the stripes balanced the load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortReport {
+    /// Controller id (the index into `SocConfig::controllers()`).
+    pub ctrl: usize,
+    /// The tile the controller's port is attached to.
+    pub tile: usize,
+    /// Cycles the port spent servicing transactions.
+    pub busy: u64,
+    /// Transactions the port serviced.
+    pub bursts: u64,
+}
+
 /// Aggregate counters over all cores plus the run's makespan.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {

@@ -12,15 +12,17 @@
 //!
 //! 1. the owning channel (transfers on one channel serialise in issue
 //!    order; transfers on different channels overlap);
-//! 2. for SDRAM transfers, the shared SDRAM port (the same queue CPU
-//!    misses use) — concurrent channels' bursts are granted the port in
+//! 2. for SDRAM transfers, the SDRAM port of the controller owning the
+//!    burst's stripe ([`crate::mem::SdramPorts`] — the same queues CPU
+//!    misses use) — concurrent channels' bursts are granted a port in
 //!    issue order, which under the turnstile's global time order acts as
 //!    the round-robin arbitration of a real multi-channel engine;
 //! 3. every directed NoC link on the transfer's route
 //!    ([`crate::noc::Noc::reserve_path`]; the route follows the
 //!    configured [`crate::config::Topology`] — shortest arc on the ring,
-//!    XY on the mesh). SDRAM transfers route between the tile and the
-//!    controller ([`crate::config::SocConfig::mem_tile`]);
+//!    XY on the mesh and torus). SDRAM transfers route between the tile
+//!    and the controller owning each burst's stripe
+//!    ([`crate::mem::SdramPorts::tile_for`]);
 //!    **tile-to-tile transfers** ([`DmaKind::Copy`]) route directly
 //!    between the two scratchpads and never touch the memory controller —
 //!    the local-to-local path that makes producer/consumer staging cheap.
@@ -39,6 +41,7 @@
 //! deterministic state: runs remain bit-identical.
 
 use crate::config::SocConfig;
+use crate::mem::SdramPorts;
 use crate::noc::{Noc, PacketKind};
 use crate::telemetry::EventKind;
 
@@ -201,7 +204,7 @@ impl DmaEngine {
         &mut self,
         cfg: &SocConfig,
         noc: &mut Noc,
-        sdram_free: &mut u64,
+        ports: &mut SdramPorts,
         now: u64,
         tile: usize,
         chan: usize,
@@ -254,16 +257,20 @@ impl DmaEngine {
                 // channel pipelines bursts: the next burst may claim its
                 // first resource as soon as this one's leg drains, while
                 // later legs are still in flight.
+                let sdram_offset = seg.far_offset + off;
                 let arrive = match desc.kind {
                     DmaKind::Sdram(DmaDir::Get) => {
-                        let port_done = noc.reserve_sdram(sdram_free, cfg, tile, cursor, len);
+                        let port_done =
+                            noc.reserve_sdram(ports, cfg, tile, sdram_offset, cursor, len);
                         cursor = port_done;
-                        noc.reserve_path(cfg, port_done, cfg.mem_tile, tile, len)
+                        let ctrl = ports.tile_for(sdram_offset);
+                        noc.reserve_path(cfg, port_done, ctrl, tile, len)
                     }
                     DmaKind::Sdram(DmaDir::Put) => {
-                        let net_done = noc.reserve_path(cfg, cursor, tile, cfg.mem_tile, len);
+                        let ctrl = ports.tile_for(sdram_offset);
+                        let net_done = noc.reserve_path(cfg, cursor, tile, ctrl, len);
                         cursor = net_done;
-                        noc.reserve_sdram(sdram_free, cfg, tile, net_done, len)
+                        noc.reserve_sdram(ports, cfg, tile, sdram_offset, net_done, len)
                     }
                     DmaKind::Copy { dst_tile } => {
                         let arrive = noc.reserve_path(cfg, cursor, tile, dst_tile, len);
@@ -312,24 +319,28 @@ mod tests {
         DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Get), 0, 0, bytes, burst, 64)
     }
 
+    fn one_port() -> SdramPorts {
+        SdramPorts::new(vec![0])
+    }
+
     fn issue(
         engine: &mut DmaEngine,
         noc: &mut Noc,
-        sdram_free: &mut u64,
+        ports: &mut SdramPorts,
         bytes: u32,
         burst: u32,
     ) -> u32 {
         let cfg = SocConfig::small(4);
-        engine.issue(&cfg, noc, sdram_free, 0, 1, 0, &get_desc(bytes, burst))
+        engine.issue(&cfg, noc, ports, 0, 1, 0, &get_desc(bytes, burst))
     }
 
     #[test]
     fn sequences_are_monotone_and_bursts_split() {
         let mut e = DmaEngine::new(1);
         let mut noc = Noc::with_ring(4);
-        let mut sdram_free = 0u64;
-        assert_eq!(issue(&mut e, &mut noc, &mut sdram_free, 256, 64), 1);
-        assert_eq!(issue(&mut e, &mut noc, &mut sdram_free, 256, 64), 2);
+        let mut ports = one_port();
+        assert_eq!(issue(&mut e, &mut noc, &mut ports, 256, 64), 1);
+        assert_eq!(issue(&mut e, &mut noc, &mut ports, 256, 64), 2);
         assert_eq!(e.stats(), DmaStats { transfers: 2, bytes: 512, bursts: 8 });
         // 8 data packets in flight.
         assert_eq!(noc.in_flight(), 8);
@@ -340,10 +351,10 @@ mod tests {
         let cfg = SocConfig::small(4);
         let mut e = DmaEngine::new(2);
         let mut noc = Noc::with_ring(4);
-        let mut sdram_free = 0u64;
-        assert_eq!(e.issue(&cfg, &mut noc, &mut sdram_free, 0, 1, 0, &get_desc(64, 64)), 1);
-        assert_eq!(e.issue(&cfg, &mut noc, &mut sdram_free, 0, 1, 1, &get_desc(64, 64)), 1);
-        assert_eq!(e.issue(&cfg, &mut noc, &mut sdram_free, 0, 1, 0, &get_desc(64, 64)), 2);
+        let mut ports = one_port();
+        assert_eq!(e.issue(&cfg, &mut noc, &mut ports, 0, 1, 0, &get_desc(64, 64)), 1);
+        assert_eq!(e.issue(&cfg, &mut noc, &mut ports, 0, 1, 1, &get_desc(64, 64)), 1);
+        assert_eq!(e.issue(&cfg, &mut noc, &mut ports, 0, 1, 0, &get_desc(64, 64)), 2);
         assert_eq!(e.stats().transfers, 3);
     }
 
@@ -356,10 +367,10 @@ mod tests {
         let finish_two = |channels: usize| {
             let mut e = DmaEngine::new(channels);
             let mut noc = Noc::with_ring(8);
-            let mut sdram_free = 0u64;
-            e.issue(&cfg, &mut noc, &mut sdram_free, 0, 4, 0, &get_desc(1024, 256));
+            let mut ports = one_port();
+            e.issue(&cfg, &mut noc, &mut ports, 0, 4, 0, &get_desc(1024, 256));
             let c2 = if channels > 1 { 1 } else { 0 };
-            e.issue(&cfg, &mut noc, &mut sdram_free, 0, 4, c2, &get_desc(1024, 256));
+            e.issue(&cfg, &mut noc, &mut ports, 0, 4, c2, &get_desc(1024, 256));
             e.channels.iter().map(|c| c.free_at).max().unwrap()
         };
         assert!(
@@ -378,8 +389,8 @@ mod tests {
         let finish = |burst: u32| {
             let mut e = DmaEngine::new(1);
             let mut noc = Noc::with_ring(4);
-            let mut sdram_free = 0u64;
-            issue(&mut e, &mut noc, &mut sdram_free, 1024, burst);
+            let mut ports = one_port();
+            issue(&mut e, &mut noc, &mut ports, 1024, burst);
             e.channels[0].free_at
         };
         assert!(finish(256) < finish(64));
@@ -392,11 +403,11 @@ mod tests {
         let cfg = SocConfig::small(4);
         let mut e = DmaEngine::new(1);
         let mut noc = Noc::with_ring(4);
-        let mut sdram_free = 0u64;
-        let seq = e.issue(&cfg, &mut noc, &mut sdram_free, 100, 2, 0, &DmaDescriptor::null(8));
+        let mut ports = one_port();
+        let seq = e.issue(&cfg, &mut noc, &mut ports, 100, 2, 0, &DmaDescriptor::null(8));
         assert_eq!(seq, 1);
         assert_eq!(e.channels[0].free_at, 100 + cfg.lat.dma_setup);
-        assert_eq!(sdram_free, 0, "null transfers never touch the port");
+        assert_eq!(ports.report()[0].bursts, 0, "null transfers never touch the port");
         assert_eq!(noc.in_flight(), 1, "only the completion-word packet");
     }
 
@@ -428,9 +439,9 @@ mod tests {
         let cfg = SocConfig::small_mesh(4, 4);
         let mut e = DmaEngine::new(1);
         let mut noc = Noc::with_topology(cfg.topology, cfg.n_tiles);
-        let mut sdram_free = 0u64;
+        let mut ports = SdramPorts::new(cfg.controllers());
         // Tile 10 gets 256 B in 64 B bursts: 4 bursts over route 0 → 10.
-        e.issue(&cfg, &mut noc, &mut sdram_free, 0, 10, 0, &get_desc(256, 64));
+        e.issue(&cfg, &mut noc, &mut ports, 0, 10, 0, &get_desc(256, 64));
         let route = cfg.topology.route(cfg.n_tiles, cfg.mem_tile, 10);
         assert_eq!(route, vec![0, 1, 34, 38]);
         for (i, s) in noc.link_stats().iter().enumerate() {
@@ -441,7 +452,34 @@ mod tests {
                 assert_eq!(s.bursts, 0, "off-route link {i}");
             }
         }
-        assert!(sdram_free > 0, "SDRAM gets occupy the port on every topology");
+        assert!(ports.report()[0].busy > 0, "SDRAM gets occupy the port on every topology");
+    }
+
+    /// With two interleaved controllers, a burst routes to and occupies
+    /// the controller owning its 4 KiB stripe — not `mem_tile`.
+    #[test]
+    fn interleaved_get_routes_to_the_owning_controller() {
+        let mut cfg = SocConfig::small_mesh(4, 4);
+        cfg.mem_controllers = vec![0, 5];
+        let mut e = DmaEngine::new(1);
+        let mut noc = Noc::with_topology(cfg.topology, cfg.n_tiles);
+        let mut ports = SdramPorts::new(cfg.controllers());
+        // far_offset 4096 lands in stripe 1 → controller 1 at tile 5.
+        let desc = DmaDescriptor::contiguous(DmaKind::Sdram(DmaDir::Get), 4096, 0, 64, 64, 8);
+        e.issue(&cfg, &mut noc, &mut ports, 0, 10, 0, &desc);
+        let rep = ports.report();
+        assert_eq!((rep[0].bursts, rep[1].bursts), (0, 1), "stripe 1 owns offset 4096");
+        // The data leg runs 5 → 10, not 0 → 10.
+        let route = cfg.topology.route(cfg.n_tiles, 5, 10);
+        let stats = noc.link_stats();
+        for l in &route {
+            assert!(stats[*l].bursts > 0, "owning controller's route link {l}");
+        }
+        for l in cfg.topology.route(cfg.n_tiles, 0, 10) {
+            if !route.contains(&l) {
+                assert_eq!(stats[l].bursts, 0, "mem_tile's route link {l} must stay idle");
+            }
+        }
     }
 
     /// A tile-to-tile copy never touches the SDRAM port and reserves only
@@ -451,10 +489,10 @@ mod tests {
         let cfg = SocConfig::small(8);
         let mut e = DmaEngine::new(1);
         let mut noc = Noc::with_ring(8);
-        let mut sdram_free = 0u64;
+        let mut ports = one_port();
         let desc = DmaDescriptor::contiguous(DmaKind::Copy { dst_tile: 3 }, 0, 0, 512, 128, 64);
-        e.issue(&cfg, &mut noc, &mut sdram_free, 0, 1, 0, &desc);
-        assert_eq!(sdram_free, 0, "copies must not occupy the SDRAM port");
+        e.issue(&cfg, &mut noc, &mut ports, 0, 1, 0, &desc);
+        assert_eq!(ports.report()[0].bursts, 0, "copies must not occupy the SDRAM port");
         // Route 1 → 3 crosses links 1 and 2 and nothing else.
         let stats = noc.link_stats();
         assert!(stats[1].bursts > 0 && stats[2].bursts > 0);

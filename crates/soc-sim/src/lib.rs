@@ -49,9 +49,10 @@ pub mod trace;
 
 pub use addr::Addr;
 pub use config::{CacheConfig, EngineKind, Latencies, SocConfig, Topology};
-pub use counters::{Counters, LinkReport, MemTag, RunReport};
+pub use counters::{Counters, LinkReport, MemTag, PortReport, RunReport};
 pub use dma::{DmaDescriptor, DmaDir, DmaKind, DmaSeg, DmaStats};
 pub use engine::{Component, Engine, EngineStats};
+pub use mem::SdramPorts;
 pub use noc::LinkStat;
 pub use soc::{CoreProgram, Cpu, Soc};
 pub use telemetry::{

@@ -192,23 +192,23 @@ impl Noc {
         t + serialise
     }
 
-    /// Seize the single shared SDRAM port for a transaction of `bytes`
-    /// bytes issued by `tile` that is ready at `ready`: the port is a
-    /// busy-until resource (`sdram_free`, owned by the caller), queueing
-    /// is waiting for the previous transaction to drain, and the
+    /// Seize the SDRAM port owning physical offset `offset` for a
+    /// transaction of `bytes` bytes issued by `tile` that is ready at
+    /// `ready`: each controller's port is a busy-until resource
+    /// ([`crate::mem::SdramPorts`], owned by the caller), queueing is
+    /// waiting for that port's previous transaction to drain, and the
     /// service interval lands in the telemetry ring as an
     /// [`EventKind::SdramPort`] span. Returns the completion time.
     pub fn reserve_sdram(
         &mut self,
-        sdram_free: &mut u64,
+        ports: &mut crate::mem::SdramPorts,
         cfg: &SocConfig,
         tile: usize,
+        offset: u32,
         ready: u64,
         bytes: u32,
     ) -> u64 {
-        let start = ready.max(*sdram_free);
-        let done = start + cfg.sdram_service(bytes);
-        *sdram_free = done;
+        let (start, done) = ports.reserve(offset, ready, cfg.sdram_service(bytes));
         self.telem.span(tile, start, done, EventKind::SdramPort);
         done
     }

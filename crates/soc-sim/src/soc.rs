@@ -51,11 +51,11 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 use crate::addr::{self, Addr, Region};
 use crate::cache::Cache;
 use crate::config::{EngineKind, SocConfig};
-use crate::counters::{Counters, LinkReport, MemTag, RunReport};
+use crate::counters::{Counters, LinkReport, MemTag, PortReport, RunReport};
 use crate::dma::{DmaDescriptor, DmaDir, DmaEngine, DmaKind, DmaStats};
 use crate::engine::{CoreTask, Engine, EngineStats, TaskPort, TaskYield};
 use crate::icache::ICache;
-use crate::mem::ByteMem;
+use crate::mem::{ByteMem, SdramPorts};
 use crate::noc::{LinkStat, Noc, Packet, PacketKind};
 use crate::telemetry::{EventKind, Recorder, StallClass, TelemetryEvent, TelemetryReport};
 use crate::trace::{self, TraceRecord};
@@ -71,8 +71,9 @@ struct Global {
     clocks: Vec<u64>,
     /// Whether the tile is parked waiting for its turn.
     waiting: Vec<bool>,
-    /// SDRAM port busy-until time (queueing model).
-    sdram_free: u64,
+    /// Per-controller SDRAM ports (queueing model), with the physical
+    /// offset space striped across them.
+    ports: SdramPorts,
     /// Region tags for stall attribution: sorted, disjoint
     /// `(sdram_start, sdram_end, tag)`.
     tags: Vec<(u32, u32, MemTag)>,
@@ -224,7 +225,7 @@ impl Soc {
             dma: vec![DmaEngine::new(cfg.dma_channels); cfg.n_tiles],
             clocks: vec![0; cfg.n_tiles],
             waiting: vec![false; cfg.n_tiles],
-            sdram_free: 0,
+            ports: SdramPorts::new(cfg.controllers()),
             tags: Vec::new(),
             trace: Vec::new(),
             finished: vec![None; cfg.n_tiles],
@@ -345,6 +346,14 @@ impl Soc {
                 LinkReport { link: i, from, to, busy: s.busy, bursts: s.bursts }
             })
             .collect()
+    }
+
+    /// Per-controller SDRAM port occupancy, in controller-id order: one
+    /// [`PortReport`] per configured memory controller. With interleaved
+    /// multi-controller configurations the spread across entries shows
+    /// how well the 4 KiB stripes balanced the load.
+    pub fn port_report(&self) -> Vec<PortReport> {
+        lock_ignore_poison(&self.global).ports.report()
     }
 
     /// Per-tile DMA-engine totals.
@@ -769,7 +778,7 @@ impl<'a> Cpu<'a> {
             Region::SdramUncached { offset } => {
                 let bytes = out.len() as u32;
                 let (tag, stall) = self.turn(|g, cfg, now, me| {
-                    let done = g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, now, bytes);
+                    let done = g.noc.reserve_sdram(&mut g.ports, cfg, me, offset, now, bytes);
                     g.sdram.read(offset, out);
                     (g.tag_of(offset), done - now)
                 });
@@ -822,11 +831,12 @@ impl<'a> Cpu<'a> {
                 let bytes = data.len() as u32;
                 self.turn(|g, cfg, now, me| {
                     // Posted: the store buffer absorbs the latency; the
-                    // payload crosses the ring links to the memory
-                    // controller (contending with DMA bursts) and the
-                    // transaction then occupies the SDRAM port.
-                    let at_ctrl = g.noc.reserve_path(cfg, now, me, cfg.mem_tile, bytes);
-                    g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, at_ctrl, bytes);
+                    // payload crosses the NoC links to the controller
+                    // owning the stripe (contending with DMA bursts) and
+                    // the transaction then occupies that SDRAM port.
+                    let ctrl = g.ports.tile_for(offset);
+                    let at_ctrl = g.noc.reserve_path(cfg, now, me, ctrl, bytes);
+                    g.noc.reserve_sdram(&mut g.ports, cfg, me, offset, at_ctrl, bytes);
                     g.sdram.write(offset, data);
                 });
                 let stall = self.soc.cfg.lat.posted_write;
@@ -855,22 +865,29 @@ impl<'a> Cpu<'a> {
         let line = self.dcache.line_of(offset);
         let line_size = self.soc.cfg.dcache.line_size;
         let tile = self.tile;
-        let mem_tile = self.soc.cfg.mem_tile;
         let clock = self.clock;
         let mut g = self.acquire_turn();
         // Line fetch, then victim write-back occupying the SDRAM port.
         let gm = &mut *g;
         let mut done =
-            gm.noc.reserve_sdram(&mut gm.sdram_free, &self.soc.cfg, tile, clock, line_size);
+            gm.noc.reserve_sdram(&mut gm.ports, &self.soc.cfg, tile, line, clock, line_size);
         let mut line_buf = vec![0u8; line_size as usize];
         gm.sdram.read(line, &mut line_buf);
         if let Some(wb) = self.dcache.fill(line, &line_buf) {
             gm.sdram.write(wb.offset, &wb.data);
             // The victim line is a posted write-back: it crosses the
-            // ring to the controller before occupying the port.
-            let at_ctrl = gm.noc.reserve_path(&self.soc.cfg, done, tile, mem_tile, line_size);
-            done =
-                gm.noc.reserve_sdram(&mut gm.sdram_free, &self.soc.cfg, tile, at_ctrl, line_size);
+            // NoC to the controller owning its stripe before occupying
+            // that port.
+            let wb_ctrl = gm.ports.tile_for(wb.offset);
+            let at_ctrl = gm.noc.reserve_path(&self.soc.cfg, done, tile, wb_ctrl, line_size);
+            done = gm.noc.reserve_sdram(
+                &mut gm.ports,
+                &self.soc.cfg,
+                tile,
+                wb.offset,
+                at_ctrl,
+                line_size,
+            );
         }
         let tag = g.tag_of(offset);
         self.release_turn(g);
@@ -929,7 +946,7 @@ impl<'a> Cpu<'a> {
             Region::SdramUncached { offset } => {
                 let bytes = out.len() as u32;
                 let (tag, stall) = self.turn(|g, cfg, now, me| {
-                    let done = g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, now, bytes);
+                    let done = g.noc.reserve_sdram(&mut g.ports, cfg, me, offset, now, bytes);
                     g.sdram.read(offset, out);
                     (g.tag_of(offset), done - now)
                 });
@@ -957,8 +974,9 @@ impl<'a> Cpu<'a> {
             Region::SdramUncached { offset } => {
                 let bytes = data.len() as u32;
                 self.turn(|g, cfg, now, me| {
-                    let at_ctrl = g.noc.reserve_path(cfg, now, me, cfg.mem_tile, bytes);
-                    g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, at_ctrl, bytes);
+                    let ctrl = g.ports.tile_for(offset);
+                    let at_ctrl = g.noc.reserve_path(cfg, now, me, ctrl, bytes);
+                    g.noc.reserve_sdram(&mut g.ports, cfg, me, offset, at_ctrl, bytes);
                     g.sdram.write(offset, data);
                 });
                 let stall = self.soc.cfg.lat.posted_write + words / 4;
@@ -995,10 +1013,11 @@ impl<'a> Cpu<'a> {
             if let Some(wb) = self.dcache.flush_line(line) {
                 let line_size = self.soc.cfg.dcache.line_size;
                 self.turn(move |g, cfg, now, me| {
-                    // Posted write-back: the line crosses the ring to the
-                    // controller, then takes the port.
-                    let at_ctrl = g.noc.reserve_path(cfg, now, me, cfg.mem_tile, line_size);
-                    g.noc.reserve_sdram(&mut g.sdram_free, cfg, me, at_ctrl, line_size);
+                    // Posted write-back: the line crosses the NoC to the
+                    // controller owning its stripe, then takes that port.
+                    let ctrl = g.ports.tile_for(wb.offset);
+                    let at_ctrl = g.noc.reserve_path(cfg, now, me, ctrl, line_size);
+                    g.noc.reserve_sdram(&mut g.ports, cfg, me, wb.offset, at_ctrl, line_size);
                     g.sdram.write(wb.offset, &wb.data);
                 });
                 let stall = self.soc.cfg.lat.posted_write;
@@ -1124,8 +1143,8 @@ impl<'a> Cpu<'a> {
         self.charge_instr(4 + 2 * desc.segs.len().max(1) as u64);
         let bytes = desc.total_bytes();
         let seq = self.turn(move |g, cfg, now, me| {
-            let Global { dma, noc, sdram_free, .. } = g;
-            dma[me].issue(cfg, noc, sdram_free, now, me, chan, &desc)
+            let Global { dma, noc, ports, .. } = g;
+            dma[me].issue(cfg, noc, ports, now, me, chan, &desc)
         });
         self.ctr.dma_transfers += 1;
         self.ctr.dma_bytes += u64::from(bytes);
@@ -1230,10 +1249,10 @@ impl<'a> Cpu<'a> {
         };
         self.charge_instr(2); // lwx + swx
         let (tag, old, stall) = self.turn(|g, cfg, now, _| {
-            // Exclusive pair: a read plus a conditional write transaction.
-            let start = now.max(g.sdram_free);
-            let done = start + cfg.sdram_service(4) + cfg.sdram_service(4);
-            g.sdram_free = done;
+            // Exclusive pair: a read plus a conditional write transaction
+            // on the port owning the word's stripe.
+            let (_, done) =
+                g.ports.reserve(offset, now, cfg.sdram_service(4) + cfg.sdram_service(4));
             let old = g.sdram.read_u32(offset);
             if old == expect {
                 g.sdram.write_u32(offset, new);
@@ -1257,9 +1276,8 @@ impl<'a> Cpu<'a> {
         };
         self.charge_instr(2);
         let (tag, old, stall) = self.turn(|g, cfg, now, _| {
-            let start = now.max(g.sdram_free);
-            let done = start + cfg.sdram_service(4) + cfg.sdram_service(4);
-            g.sdram_free = done;
+            let (_, done) =
+                g.ports.reserve(offset, now, cfg.sdram_service(4) + cfg.sdram_service(4));
             let old = g.sdram.read_u32(offset);
             g.sdram.write_u32(offset, old.wrapping_add(delta));
             (g.tag_of(offset), old, done - now)
@@ -1306,6 +1324,39 @@ mod tests {
 
     fn soc(n: usize) -> Soc {
         Soc::new(SocConfig::small(n))
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SocConfig: mem_controllers entry 9 out of range")]
+    fn new_rejects_out_of_range_controller_lists() {
+        let mut cfg = SocConfig::small(4);
+        cfg.mem_controllers = vec![9];
+        let _ = Soc::new(cfg);
+    }
+
+    #[test]
+    fn interleaved_controllers_preserve_memory_semantics() {
+        // The same program with one vs. two controllers on a torus: the
+        // bytes land identically (interleaving only changes the timing
+        // model), and with two controllers both ports serve bursts.
+        let run = |ctrls: Vec<usize>| {
+            let mut cfg = SocConfig::small_torus(2, 2);
+            cfg.mem_controllers = ctrls;
+            let s = Soc::new(cfg);
+            s.run(vec![Box::new(|cpu: &mut Cpu| {
+                for i in 0..32u32 {
+                    cpu.write_u32(SDRAM_UNCACHED_BASE + i * 4096, i + 1);
+                }
+            })]);
+            let words: Vec<u32> = (0..32u32).map(|i| s.read_sdram_u32(i * 4096)).collect();
+            (words, s.port_report())
+        };
+        let (single_words, single_ports) = run(Vec::new());
+        let (striped_words, striped_ports) = run(vec![0, 3]);
+        assert_eq!(single_words, striped_words);
+        assert_eq!(single_ports.len(), 1);
+        assert_eq!(striped_ports.len(), 2);
+        assert!(striped_ports.iter().all(|p| p.bursts > 0), "{striped_ports:?}");
     }
 
     #[test]

@@ -791,6 +791,63 @@ mod tests {
         assert_eq!((evs[0].start, evs[1].start), (3, 4));
     }
 
+    /// A zero ring capacity is clamped to one slot: the recorder never
+    /// panics or silently disables, it keeps the latest event and
+    /// accounts every displaced one as dropped.
+    #[test]
+    fn zero_capacity_ring_keeps_the_latest_event() {
+        let mut r = Recorder::new(&TelemetryConfig { enabled: true, ring_capacity: 0 });
+        assert!(r.enabled());
+        for t in 0..4u64 {
+            r.instant(0, t, EventKind::SdramPort);
+        }
+        let (evs, dropped) = r.drain();
+        assert_eq!(dropped, 3, "all but the survivor are accounted");
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].start, 3, "the latest event survives");
+    }
+
+    /// An empty histogram answers every query with a defined zero —
+    /// no division, no underflow, no bogus bucket bound.
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), 0, "p={p}");
+        }
+    }
+
+    /// One sample pins every percentile: the rank clamps to 1 even at
+    /// `p = 0.0`, and the bucket upper bound clamps to the observed
+    /// maximum, so every quantile is the sample itself.
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        let mut h = Histogram::default();
+        h.record(100);
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), 100, "p={p}");
+        }
+        assert_eq!((h.count(), h.max()), (1, 100));
+    }
+
+    /// Samples at or beyond 2^31 saturate into the last bucket, which
+    /// has no meaningful upper bound: percentiles resolve to the
+    /// observed maximum instead.
+    #[test]
+    fn saturated_last_bucket_reports_the_observed_max() {
+        let mut h = Histogram::default();
+        for v in [1u64 << 31, (1 << 40) + 5, u64::MAX] {
+            h.record(v);
+        }
+        for p in [0.01, 0.5, 1.0] {
+            assert_eq!(h.percentile(p), u64::MAX, "p={p}");
+        }
+        assert_eq!(h.max(), u64::MAX);
+    }
+
     #[test]
     fn histogram_percentiles_are_bucket_upper_bounds() {
         let mut h = Histogram::default();

@@ -135,6 +135,73 @@ proptest! {
         prop_assert_eq!(at, to);
     }
 
+    /// Torus routes are deterministic, cycle-free, made of valid links
+    /// that chain from source to destination, and minimal: exactly the
+    /// wrap-aware Manhattan distance (the shorter way around each
+    /// dimension), never longer than the mesh route on the same grid.
+    #[test]
+    fn torus_routes_wrap_minimally_and_chain(
+        (cols, rows, a, b) in (1u8..6, 1u8..6, 0u16..4096, 0u16..4096)
+    ) {
+        let (cols, rows) = (cols as usize, rows as usize);
+        let n = cols * rows;
+        let topo = Topology::Torus { cols, rows };
+        let (from, to) = (a as usize % n, b as usize % n);
+        let route = topo.route(n, from, to);
+        // Deterministic: routing twice yields the identical link list.
+        prop_assert_eq!(&route, &topo.route(n, from, to));
+        // Minimal: each dimension goes the shorter way around.
+        let dx = (from % cols).abs_diff(to % cols);
+        let dy = (from / cols).abs_diff(to / cols);
+        let wrap_dist = dx.min(cols - dx) + dy.min(rows - dy);
+        prop_assert_eq!(route.len(), wrap_dist);
+        prop_assert_eq!(route.len() as u64, topo.hops(n, from, to));
+        let mesh = Topology::Mesh { cols, rows };
+        prop_assert!(topo.hops(n, from, to) <= mesh.hops(n, from, to));
+        // Valid and cycle-free: every link exists on the torus, links
+        // chain tile-to-tile from `from` to `to`, no tile is visited
+        // twice.
+        let mut visited = HashSet::new();
+        let mut at = from;
+        visited.insert(at);
+        for &link in &route {
+            prop_assert!(topo.is_valid_link(n, link), "invalid link {}", link);
+            prop_assert!(link < topo.link_count(n));
+            let (lf, lt) = topo.link_endpoints(n, link);
+            prop_assert_eq!(lf, at, "links must chain");
+            prop_assert!(visited.insert(lt), "cycle through tile {}", lt);
+            at = lt;
+        }
+        prop_assert_eq!(at, to);
+    }
+
+    /// Controller interleaving partitions the SDRAM offset space: every
+    /// offset maps to exactly one in-range controller, the map is stable
+    /// on repeated lookups, offsets within one 4 KiB stripe share an
+    /// owner, and with `k` controllers `k` consecutive stripes cover all
+    /// `k` owners (round-robin).
+    #[test]
+    fn interleaving_partitions_the_address_space(
+        (offset, k) in (0u32..u32::MAX, 1usize..9)
+    ) {
+        let c = addr::controller_for(offset, k);
+        prop_assert!(c < k, "owner {} out of range for {} controllers", c, k);
+        // Pure: the same offset always resolves to the same controller.
+        prop_assert_eq!(c, addr::controller_for(offset, k));
+        // Stripe-aligned: the stripe base shares the owner.
+        let stripe = 1u32 << addr::CTRL_STRIPE_SHIFT;
+        prop_assert_eq!(addr::controller_for(offset & !(stripe - 1), k), c);
+        // Round-robin: k consecutive stripes hit every controller once
+        // (clamped below the top of the offset space so the window
+        // doesn't wrap).
+        let base = offset.min(u32::MAX - 16 * stripe) & !(stripe - 1);
+        let mut owners = HashSet::new();
+        for i in 0..k as u32 {
+            owners.insert(addr::controller_for(base + i * stripe, k));
+        }
+        prop_assert_eq!(owners.len(), k, "k consecutive stripes must cover all k controllers");
+    }
+
     /// Ring routes never exceed `n_tiles / 2` links (the shortest arc),
     /// are made of valid link ids, chain from source to destination,
     /// and match `hops`.

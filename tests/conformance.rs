@@ -12,11 +12,18 @@
 //!    slow-read monotonicity) with zero violations.
 //!
 //! The **topology axis** is the portability gate for the interconnect:
-//! the model's outcome sets know nothing about rings or meshes, so a
-//! mesh run escaping the set (or dirtying a trace) would mean the
-//! consistency machinery silently depends on ring routing. Set
-//! `PMC_TOPOLOGY=ring` or `PMC_TOPOLOGY=mesh` to restrict the sweep to
-//! one topology (the CI matrix does); by default both are swept.
+//! the model's outcome sets know nothing about rings, meshes or tori,
+//! so a mesh or torus run escaping the set (or dirtying a trace) would
+//! mean the consistency machinery silently depends on ring routing. Set
+//! `PMC_TOPOLOGY=ring`, `PMC_TOPOLOGY=mesh` or `PMC_TOPOLOGY=torus` to
+//! restrict the sweep to one topology (the CI matrix does); by default
+//! all three are swept.
+//!
+//! The **memory-controller axis** gates the scale-out memory system:
+//! set `PMC_MEM_CONTROLLERS=<k>` (k ≥ 2) to rerun the whole sweep with
+//! the SDRAM offset space interleaved over k controllers — outcome sets
+//! and traces must not notice where the bytes physically live. Unset
+//! sweeps the single-controller default.
 //!
 //! The **engine axis** is the same gate for the execution core: the
 //! discrete-event engine and the thread-per-tile turnstile must drive
@@ -46,14 +53,37 @@ fn mesh_for(threads: usize) -> Topology {
     Topology::Mesh { cols: 2, rows: threads.div_ceil(2).max(2) }
 }
 
+/// Torus shape for a litmus run: same grid as [`mesh_for`], with the
+/// wraparound links live.
+fn torus_for(threads: usize) -> Topology {
+    Topology::Torus { cols: 2, rows: threads.div_ceil(2).max(2) }
+}
+
 /// The topologies to sweep, honouring the `PMC_TOPOLOGY` filter
-/// (`ring` / `mesh`; unset or anything else sweeps both).
+/// (`ring` / `mesh` / `torus`; unset or anything else sweeps all three).
 fn topologies_for(threads: usize) -> Vec<(&'static str, Topology)> {
     let filter = std::env::var("PMC_TOPOLOGY").unwrap_or_default();
-    [("ring", Topology::Ring), ("mesh", mesh_for(threads))]
+    [("ring", Topology::Ring), ("mesh", mesh_for(threads)), ("torus", torus_for(threads))]
         .into_iter()
-        .filter(|(name, _)| !matches!(filter.as_str(), "ring" | "mesh") || filter == *name)
+        .filter(|(name, _)| {
+            !matches!(filter.as_str(), "ring" | "mesh" | "torus") || filter == *name
+        })
         .collect()
+}
+
+/// The memory-controller list to sweep with, honouring
+/// `PMC_MEM_CONTROLLERS=<k>`: tiles `0..k` (clamped to the smallest
+/// machine the case can run on, so they are in range on every topology)
+/// with the SDRAM offset space interleaved across them. Unset, anything
+/// unparsable, or `k < 2` keeps the single-controller default.
+fn controllers_for(threads: usize) -> (String, Vec<usize>) {
+    match std::env::var("PMC_MEM_CONTROLLERS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(k) if k >= 2 => {
+            let k = k.min(threads.max(1));
+            (format!("{k}ctrl"), (0..k).collect())
+        }
+        _ => ("1ctrl".to_string(), Vec::new()),
+    }
 }
 
 /// The engines to sweep, honouring the `PMC_ENGINE` filter
@@ -80,20 +110,26 @@ fn sweep_case(case: &conformance::Case) -> Vec<String> {
     if allowed.is_empty() {
         return vec![format!("{}: empty model outcome set", case.name)];
     }
-    let topologies = topologies_for(case.program.threads.len().max(1));
+    let threads = case.program.threads.len().max(1);
+    let topologies = topologies_for(threads);
     let engines = engines();
+    let (ctrl_name, ctrls) = controllers_for(threads);
     for backend in BackendKind::ALL {
         for lock in LOCK_KINDS {
             for &(topo_name, topo) in &topologies {
                 for &(engine_name, engine) in &engines {
-                    let session =
-                        RunConfig::new(backend).lock(lock).topology(topo).engine(engine).session();
+                    let session = RunConfig::new(backend)
+                        .lock(lock)
+                        .topology(topo)
+                        .engine(engine)
+                        .mem_controllers(ctrls.clone())
+                        .session();
                     let run = session.litmus(&case.program);
                     let mut config_errors = Vec::new();
                     if !allowed.contains(&run.outcome) {
                         config_errors.push(format!(
-                            "{}/{}/{lock:?}/{topo_name}/{engine_name}: simulator outcome {:?} \
-                             outside the model's allowed set:\n{}",
+                            "{}/{}/{lock:?}/{topo_name}/{engine_name}/{ctrl_name}: simulator \
+                             outcome {:?} outside the model's allowed set:\n{}",
                             case.name,
                             backend.name(),
                             run.outcome,
@@ -103,8 +139,8 @@ fn sweep_case(case: &conformance::Case) -> Vec<String> {
                     let violations = validate(&run.trace);
                     if !violations.is_empty() {
                         config_errors.push(format!(
-                            "{}/{}/{lock:?}/{topo_name}/{engine_name}: monitor violations: \
-                             {violations:#?}",
+                            "{}/{}/{lock:?}/{topo_name}/{engine_name}/{ctrl_name}: monitor \
+                             violations: {violations:#?}",
                             case.name,
                             backend.name(),
                         ));
@@ -118,12 +154,13 @@ fn sweep_case(case: &conformance::Case) -> Vec<String> {
                             .lock(lock)
                             .topology(topo)
                             .engine(engine)
+                            .mem_controllers(ctrls.clone())
                             .telemetry(true)
                             .session()
                             .litmus(&case.program);
                         let path = format!(
                             "target/conformance-{}-{}-{lock:?}-{topo_name}-{engine_name}\
-                             .trace.json",
+                             -{ctrl_name}.trace.json",
                             case.name,
                             backend.name(),
                         );
@@ -142,10 +179,12 @@ fn sweep_case(case: &conformance::Case) -> Vec<String> {
     errors
 }
 
-/// The tentpole sweep: catalogue × 4 back-ends × 2 lock kinds × 2
-/// topologies × 2 engines. Every simulator outcome inside the model
-/// set, every trace clean — on the mesh exactly as on the ring, under
-/// the event heap exactly as under the turnstile. Cases are
+/// The tentpole sweep: catalogue × 4 back-ends × 2 lock kinds × 3
+/// topologies × 2 engines (× the controller axis). Every simulator
+/// outcome inside the model set, every trace clean — on the mesh and
+/// torus exactly as on the ring, under the event heap exactly as under
+/// the turnstile, with interleaved controllers exactly as with one.
+/// Cases are
 /// independent (each run builds its own `System`), so they are spread
 /// over worker threads and all divergences are reported together.
 #[test]
@@ -191,6 +230,7 @@ fn unfenced_mp_never_escapes_model_set() {
     let case = conformance::cases().into_iter().find(|c| c.name == "mp_unfenced").unwrap();
     let allowed = outcomes_with(&conformance::lower(&case.program), sweep_limits()).unwrap();
     let threads = case.program.threads.len().max(1);
+    let (_, ctrls) = controllers_for(threads);
     let mut observed: BTreeSet<Outcome> = BTreeSet::new();
     for backend in BackendKind::ALL {
         for lock in LOCK_KINDS {
@@ -200,6 +240,7 @@ fn unfenced_mp_never_escapes_model_set() {
                         .lock(lock)
                         .topology(topo)
                         .engine(engine)
+                        .mem_controllers(ctrls.clone())
                         .session()
                         .litmus(&case.program);
                     assert!(

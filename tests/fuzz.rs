@@ -1,7 +1,7 @@
 //! Differential fuzzing of the portability claim: seeded random litmus
 //! programs ([`pmc::model::fuzz`]) are enumerated by the PMC model and
-//! then executed on every simulated back-end × both lock kinds × both
-//! topologies × both execution engines. Every simulator outcome must
+//! then executed on every simulated back-end × both lock kinds × all
+//! three topologies × both execution engines. Every simulator outcome must
 //! fall inside the model's allowed set and every trace must pass
 //! [`monitor::validate`] — the same two gates as the hand-written
 //! conformance catalogue, but over an unbounded family of programs.
@@ -13,10 +13,13 @@
 //!   reproduces the exact program with `PMC_FUZZ_CASES=1`.
 //! * `PMC_FUZZ_CASES` — number of generated programs (default 16; the
 //!   nightly CI tier runs hundreds with the run id as seed).
-//! * `PMC_TOPOLOGY`   — `ring` / `mesh` restricts the topology axis,
-//!   exactly as in `tests/conformance.rs`.
+//! * `PMC_TOPOLOGY`   — `ring` / `mesh` / `torus` restricts the topology
+//!   axis, exactly as in `tests/conformance.rs`.
 //! * `PMC_ENGINE`     — `threaded` / `des` restricts the engine axis;
 //!   by default every case runs on both engines.
+//! * `PMC_MEM_CONTROLLERS` — `<k>` (k ≥ 2) reruns every case with the
+//!   SDRAM offset space interleaved over k controllers, exactly as in
+//!   `tests/conformance.rs`; unset fuzzes the single-controller default.
 //!
 //! Each program is enumerated twice — memoized and POR+memoized — and
 //! the two outcome sets are asserted equal, so partial-order reduction
@@ -77,12 +80,30 @@ fn mesh_for(threads: usize) -> Topology {
     Topology::Mesh { cols: 2, rows: threads.div_ceil(2).max(2) }
 }
 
+/// Torus shape: the mesh grid with wraparound links live.
+fn torus_for(threads: usize) -> Topology {
+    Topology::Torus { cols: 2, rows: threads.div_ceil(2).max(2) }
+}
+
 fn topologies_for(threads: usize) -> Vec<(&'static str, Topology)> {
     let filter = std::env::var("PMC_TOPOLOGY").unwrap_or_default();
-    [("ring", Topology::Ring), ("mesh", mesh_for(threads))]
+    [("ring", Topology::Ring), ("mesh", mesh_for(threads)), ("torus", torus_for(threads))]
         .into_iter()
-        .filter(|(name, _)| !matches!(filter.as_str(), "ring" | "mesh") || filter == *name)
+        .filter(|(name, _)| {
+            !matches!(filter.as_str(), "ring" | "mesh" | "torus") || filter == *name
+        })
         .collect()
+}
+
+/// The memory-controller list for the sweep (`PMC_MEM_CONTROLLERS=<k>`,
+/// same policy as `tests/conformance.rs`): tiles `0..k` clamped to the
+/// smallest machine the case runs on; unset or `k < 2` keeps the
+/// single-controller default.
+fn controllers_for(threads: usize) -> Vec<usize> {
+    match std::env::var("PMC_MEM_CONTROLLERS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(k) if k >= 2 => (0..k.min(threads.max(1))).collect(),
+        _ => Vec::new(),
+    }
 }
 
 /// The engines to sweep (`PMC_ENGINE` filter, same policy as
@@ -108,6 +129,7 @@ fn run_on(
         .lock(lock)
         .topology(topo)
         .engine(engine)
+        .mem_controllers(controllers_for(p.threads.len().max(1)))
         .telemetry(telemetry)
         .session()
         .litmus(p)
