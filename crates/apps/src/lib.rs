@@ -16,7 +16,12 @@
 //!   full-search block-matching motion estimation.
 //! * [`workload`] — the common driver: build, run, checksum and report a
 //!   workload on a chosen back-end (the Fig. 8 harness).
+//! * [`kvserve`] + [`loadgen`] — the serving subsystem: a sharded
+//!   in-scratchpad key-value service fed by an open-loop, seeded load
+//!   generator, measured in per-request latency percentiles.
 
+pub mod kvserve;
+pub mod loadgen;
 pub mod motion_est;
 pub mod radiosity;
 pub mod raytrace;
@@ -24,4 +29,6 @@ pub mod stream;
 pub mod volrend;
 pub mod workload;
 
+pub use kvserve::{run_serve, run_serve_session, KvServe, KvServeParams, ServeReport};
+pub use loadgen::{ArrivalDist, Job, LoadGenParams};
 pub use workload::{run_workload, AppReport, SessionWorkload, Workload, WorkloadParams};

@@ -29,12 +29,20 @@
 //! with the controller count at 256 tiles — the single shared port is
 //! the bottleneck the interleaving exists to remove.
 //!
+//! A `serving` section pins the KV-serving subsystem's headline
+//! numbers: open-loop latency percentiles for a fixed seed and offered
+//! load on two backend × topology points (the full grid lives in
+//! `fig_serve`). Regressions in mailbox, scope, or DMA cost show up
+//! here as percentile drift.
+//!
 //! The JSON is hand-rolled (no serde in the workspace): one object per
 //! case with `{states, ms}` per mode, plus totals.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use pmc_apps::kvserve::{run_serve_session, KvServe, KvServeParams};
+use pmc_apps::loadgen::LoadGenParams;
 use pmc_apps::stream::{StreamCopy, StreamCopyParams, StreamMode};
 use pmc_apps::workload::{SessionWorkload, Workload, WorkloadParams};
 use pmc_bench::spread_controllers;
@@ -137,6 +145,54 @@ fn controller_scaling_entry(smoke: bool) -> String {
     format!("[\n    {}\n  ]", rows.join(",\n    "))
 }
 
+/// The `serving` section: the KV subsystem at one pinned seed and
+/// offered load, on two representative backend × topology points.
+/// Every run must serve the whole schedule and pass the consistency
+/// monitor — the percentiles are only worth pinning if the runs they
+/// summarise are clean.
+fn serving_entry(smoke: bool) -> String {
+    let load = LoadGenParams {
+        n_requests: if smoke { 24 } else { 64 },
+        mean_interarrival: 600,
+        ..LoadGenParams::default()
+    };
+    let params = KvServeParams { load, mailbox_depth: 8, migrate_at: None };
+    let n_tiles = KvServe::tiles_needed(&params).next_multiple_of(2);
+    let (cols, rows) = pmc_bench::mesh_dims(n_tiles);
+    let mut out = Vec::new();
+    for (backend, topology) in [
+        (BackendKind::Swcc, Topology::Mesh { cols, rows }),
+        (BackendKind::Spm, Topology::Torus { cols, rows }),
+    ] {
+        let t0 = Instant::now();
+        let session = RunConfig::new(backend)
+            .topology(topology)
+            .n_tiles(n_tiles)
+            .telemetry(true)
+            .trace(true)
+            .mem_controllers(spread_controllers(n_tiles, 2))
+            .session();
+        let r = run_serve_session(&session, &params);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(r.served.iter().sum::<u32>(), load.n_requests);
+        let v = pmc_runtime::monitor::validate(&r.trace);
+        assert!(v.is_empty(), "serving run must be monitor-clean: {v:?}");
+        out.push(format!(
+            "{{\"backend\": \"{}\", \"topology\": \"{}{cols}x{rows}\", \"tiles\": {n_tiles}, \
+             \"controllers\": 2, \"mean_interarrival\": {}, \"p50\": {}, \"p99\": {}, \
+             \"max\": {}, \"makespan\": {}, \"ms\": {ms:.2}}}",
+            backend.name(),
+            topology.name(),
+            load.mean_interarrival,
+            r.latency_percentile(50.0),
+            r.latency_percentile(99.0),
+            r.latencies.iter().max().copied().unwrap_or(0),
+            r.report.makespan,
+        ));
+    }
+    format!("[\n    {}\n  ]", out.join(",\n    "))
+}
+
 type ModeLimits = fn() -> Limits;
 
 const MODES: [(&str, ModeLimits); 4] = [
@@ -192,9 +248,10 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"scale\": {},\n  \"controller_scaling\": {},\n  \"totals\": {{",
+        "  ],\n  \"scale\": {},\n  \"controller_scaling\": {},\n  \"serving\": {},\n  \"totals\": {{",
         scale_entry(),
-        controller_scaling_entry(smoke)
+        controller_scaling_entry(smoke),
+        serving_entry(smoke)
     );
     for (mi, (mode, _)) in MODES.iter().enumerate() {
         let (states, ms) = totals[mi];

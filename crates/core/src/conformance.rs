@@ -97,6 +97,15 @@ pub fn cases() -> Vec<Case> {
             golden: "0|1\n1|0\n1|1\n",
         },
         Case {
+            // The serving subsystem's request/reply handshake: two Fig. 6
+            // message passings chained back-to-back pin the whole round
+            // trip to one outcome (client reads the reply 9, server reads
+            // the request 7).
+            name: "mailbox_request_reply",
+            program: catalogue::mailbox_request_reply(),
+            golden: "9|7\n",
+        },
+        Case {
             name: "fuzz_get_sees_own_write",
             program: catalogue::fuzz_get_sees_own_write(),
             golden: "1|0\n1|1\n",

@@ -109,6 +109,7 @@ pub mod catalogue {
     pub const X: L = L(0);
     pub const Y: L = L(1);
     pub const FLAG: L = L(2);
+    pub const ACK: L = L(3);
 
     /// Paper Fig. 1 / Fig. 5 message passing *without* synchronisation:
     /// P0: X=42; flag=1.  P1: wait flag==1; read X.
@@ -419,6 +420,54 @@ pub mod catalogue {
             ])
     }
 
+    /// Mailbox request/reply — the serving subsystem's synchronisation
+    /// shape, two annotated message passings chained back-to-back. The
+    /// client commits a request payload (X), raises the request flag,
+    /// then waits for the ack and reads the reply (Y); the server waits
+    /// for the flag, reads the request, commits a fixed reply and raises
+    /// the ack. Both directions follow the Fig. 6 idiom, so PMC pins the
+    /// round trip completely: the server must read the request value and
+    /// the client must read the reply value — a single outcome.
+    pub fn mailbox_request_reply() -> Program {
+        Program::new()
+            .with_init(X, 0)
+            .with_init(Y, 0)
+            .with_init(FLAG, 0)
+            .with_init(ACK, 0)
+            .thread(vec![
+                // Client: publish the request …
+                Instr::Acquire(X),
+                Instr::Write(X, 7),
+                Instr::Fence,
+                Instr::Release(X),
+                Instr::Acquire(FLAG),
+                Instr::Write(FLAG, 1),
+                Instr::Release(FLAG),
+                // … and collect the reply.
+                Instr::WaitEq(ACK, 1),
+                Instr::Fence,
+                Instr::Acquire(Y),
+                Instr::Read(Y, Reg(0)),
+                Instr::Release(Y),
+            ])
+            .thread(vec![
+                // Server: take the request …
+                Instr::WaitEq(FLAG, 1),
+                Instr::Fence,
+                Instr::Acquire(X),
+                Instr::Read(X, Reg(0)),
+                Instr::Release(X),
+                // … and publish the reply.
+                Instr::Acquire(Y),
+                Instr::Write(Y, 9),
+                Instr::Fence,
+                Instr::Release(Y),
+                Instr::Acquire(ACK),
+                Instr::Write(ACK, 1),
+                Instr::Release(ACK),
+            ])
+    }
+
     /// Fuzzer-promoted (shrunk from `fuzz::generate` seed `0x3042`,
     /// found diverging on the SPM back-end): a scoped DMA get of a
     /// location the *same scope* already wrote must observe the staged
@@ -487,6 +536,7 @@ mod tests {
             catalogue::dma_chan_overlap(),
             catalogue::drf_no_fence_cross_locks(),
             catalogue::drf_fenced_cross_locks(),
+            catalogue::mailbox_request_reply(),
             catalogue::fuzz_get_sees_own_write(),
             catalogue::fuzz_write_after_get_orders(),
         ] {

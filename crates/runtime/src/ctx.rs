@@ -499,6 +499,11 @@ impl<'a, 'b> CtxInner<'a, 'b> {
         let meta = self.meta(sh, id);
         let (size, sdram_off, version_off, dsm_off) =
             (meta.size, meta.sdram_off, meta.version_off, meta.dsm_off);
+        // Record before the publish, like `exit_x`: the back-end work
+        // below makes the flushed values remotely visible (posted DSM
+        // broadcasts can be delivered mid-flush), so the commit record
+        // must not postdate any remote read of them.
+        self.cpu.trace_event(trace_kind::FLUSH, id, 0, 0);
         match sh.backend {
             BackendKind::Uncached => {} // nothing to do: writes are already in SDRAM
             BackendKind::Swcc => {
@@ -514,7 +519,6 @@ impl<'a, 'b> CtxInner<'a, 'b> {
                 self.spm_stage_out(scope.spm_off, sdram_off, size);
             }
         }
-        self.cpu.trace_event(trace_kind::FLUSH, id, 0, 0);
     }
 
     // ==================================================================
@@ -570,30 +574,6 @@ impl<'a, 'b> CtxInner<'a, 'b> {
         for &(byte_off, bytes) in ranges {
             assert!(byte_off + bytes <= size, "DMA range outside the object");
         }
-        // A put is a targeted push towards global visibility: back-ends
-        // without a physical bulk path reach the same state the way
-        // their `flush` does, before the (null) engine transfer whose
-        // completion the ticket tracks.
-        if dir == DmaDir::Put {
-            match sh.backend {
-                BackendKind::Uncached => {} // writes are already home
-                BackendKind::Swcc => {
-                    for &(byte_off, bytes) in ranges {
-                        self.cpu.flush_dcache_range(
-                            addr::SDRAM_CACHED_BASE + sdram_off + byte_off,
-                            bytes,
-                        );
-                    }
-                }
-                BackendKind::Dsm => {
-                    let v = self.scopes[idx].version + 1;
-                    self.dsm_commit(version_off, dsm_off, size, v);
-                    self.scopes[idx].version = v;
-                    self.scopes[idx].dirty = false;
-                }
-                BackendKind::Spm => {}
-            }
-        }
         let segs: Vec<DmaSeg> = match sh.backend {
             BackendKind::Spm => {
                 let spm_off = self.scopes[idx].spm_off;
@@ -631,6 +611,34 @@ impl<'a, 'b> CtxInner<'a, 'b> {
                 bytes,
                 u64::from(byte_off) << 32 | Self::trace_seq(chan, seq),
             );
+        }
+        // A put is a targeted push towards global visibility: back-ends
+        // without a physical bulk path reach the same state the way
+        // their `flush` does. Publish *after* the commit records, like
+        // `flush` and `exit_x`: posted DSM broadcasts can be delivered
+        // to remote readers mid-publish, and those reads must not
+        // predate the commit record. The publish completes before this
+        // call returns, so the (null) engine transfer the ticket tracks
+        // still implies the data is home.
+        if dir == DmaDir::Put {
+            match sh.backend {
+                BackendKind::Uncached => {} // writes are already home
+                BackendKind::Swcc => {
+                    for &(byte_off, bytes) in ranges {
+                        self.cpu.flush_dcache_range(
+                            addr::SDRAM_CACHED_BASE + sdram_off + byte_off,
+                            bytes,
+                        );
+                    }
+                }
+                BackendKind::Dsm => {
+                    let v = self.scopes[idx].version + 1;
+                    self.dsm_commit(version_off, dsm_off, size, v);
+                    self.scopes[idx].version = v;
+                    self.scopes[idx].dirty = false;
+                }
+                BackendKind::Spm => {}
+            }
         }
         ticket
     }

@@ -110,7 +110,10 @@ impl SdramLock {
     }
 
     pub fn unlock(&self, cpu: &mut Cpu) {
-        debug_assert_eq!(cpu.read_u32(self.addr), WRITER, "unlock of a non-write-held lock");
+        // Untimed host peek: a simulated `read_u32` here would advance
+        // the clock in debug builds only, making debug and release
+        // simulate different schedules.
+        debug_assert_eq!(cpu.peek_sdram_u32(self.addr), WRITER, "unlock of a non-write-held lock");
         cpu.write_u32(self.addr, 0);
     }
 

@@ -193,9 +193,10 @@ impl<'c> Engine<'c> {
 
     /// Drive the event loop until no component has a pending event.
     ///
-    /// Undelivered in-flight packets (posted writes racing a finished
-    /// program) intentionally stay undelivered, matching the threaded
-    /// engine's post-run memory state.
+    /// In-flight packets (posted writes racing a finished program) may
+    /// still be queued when the loop ends; `Soc::run` drains them after
+    /// either engine returns, so both engines expose the same post-run
+    /// memory image to host-side readback.
     pub fn run(mut self) -> EngineStats {
         for (i, c) in self.components.iter().enumerate() {
             if let Some(t) = c.next_tick() {

@@ -390,7 +390,14 @@ impl Soc {
         if let Some(payload) = lock_ignore_poison(&self.panic_payload).take() {
             std::panic::resume_unwind(payload);
         }
-        let g = lock_ignore_poison(&self.global);
+        let mut g = lock_ignore_poison(&self.global);
+        // Deliver posted writes still in flight when the last program
+        // retired (e.g. a final `dsm_commit` broadcast racing program
+        // exit), so host-side `read_back` observes the completed run.
+        // Both engines share this path, keeping their post-run memory
+        // images bit-identical.
+        g.drain_packets(u64::MAX, &self.cfg);
+        let g = g;
         let per_core: Vec<Counters> =
             g.finished.iter().map(|f| f.map(|(c, _)| c).unwrap_or_default()).collect();
         let makespan = g.finished.iter().flatten().map(|&(_, clock)| clock).max().unwrap_or(0);
@@ -912,6 +919,20 @@ impl<'a> Cpu<'a> {
         let mut b = [0u8; 8];
         self.read(addr, &mut b);
         u64::from_le_bytes(b)
+    }
+
+    /// Host-style peek of an uncached SDRAM word: inspects the current
+    /// memory image without advancing virtual time, arbitration, or
+    /// counters. For assertions only — a `debug_assert!` built on a
+    /// *timed* read would make debug and release builds simulate
+    /// different machines.
+    pub fn peek_sdram_u32(&self, addr: Addr) -> u32 {
+        match addr::decode(addr) {
+            Region::SdramUncached { offset } => {
+                lock_ignore_poison(&self.soc.global).sdram.read_u32(offset)
+            }
+            _ => panic!("peek_sdram_u32 on non-uncached address {addr:#x}"),
+        }
     }
 
     pub fn write_u8(&mut self, addr: Addr, v: u8) {

@@ -335,11 +335,20 @@ pub fn pair_spans(records: &[TraceRecord]) -> Result<(Vec<PairedSpan>, usize), S
                     r.addr
                 ));
             };
+            // Open-loop REQUEST begins carry the *intended* injection
+            // time in `value`; honouring it charges frontend queueing
+            // delay to the request even though the begin record could
+            // only commit once the frontend got around to it.
+            let start = if r.span_kind() == trace::span_kind::REQUEST && begin.value != 0 {
+                begin.value.min(begin.time)
+            } else {
+                begin.time
+            };
             out.push(PairedSpan {
                 tile: r.tile,
                 kind: r.span_kind(),
                 addr: r.addr,
-                start: begin.time,
+                start,
                 end: r.time,
             });
         } else {
@@ -365,6 +374,10 @@ pub struct MetricsRegistry {
     pub barrier_wait: Histogram,
     /// Scope hold time (`XScope`/`RoScope` lifetime).
     pub scope_hold: Histogram,
+    /// Serving-request latency (intended injection → reply committed;
+    /// open-loop: queueing ahead of injection is included via the begin
+    /// record's timestamp override).
+    pub request: Histogram,
 }
 
 impl MetricsRegistry {
@@ -384,19 +397,21 @@ impl MetricsRegistry {
                 trace::span_kind::LOCK_HOLD => m.lock_hold.record(d),
                 trace::span_kind::BARRIER_WAIT => m.barrier_wait.record(d),
                 trace::span_kind::SCOPE_X | trace::span_kind::SCOPE_RO => m.scope_hold.record(d),
+                trace::span_kind::REQUEST => m.request.record(d),
                 _ => {}
             }
         }
         m
     }
 
-    fn rows(&self) -> [(&'static str, &Histogram); 5] {
+    fn rows(&self) -> [(&'static str, &Histogram); 6] {
         [
             ("dma_wait", &self.dma_wait),
             ("lock_acquire", &self.lock_acquire),
             ("lock_hold", &self.lock_hold),
             ("barrier_wait", &self.barrier_wait),
             ("scope_hold", &self.scope_hold),
+            ("request", &self.request),
         ]
     }
 

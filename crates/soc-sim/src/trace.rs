@@ -64,6 +64,11 @@ pub mod span_kind {
     pub const FIFO_POP: u16 = 7;
     /// `dma_wait` / `dma_wait_any` sleep; `addr` = completion offset.
     pub const DMA_WAIT: u16 = 8;
+    /// One serving request, intended injection → reply committed;
+    /// `addr` = request id. Begin records may carry a begin time earlier
+    /// than the record's commit time (open-loop arrivals): the `value`
+    /// operand, when non-zero, overrides the begin timestamp.
+    pub const REQUEST: u16 = 9;
 }
 
 /// The `kind` value opening a span of kind `k` (a [`span_kind`]
@@ -88,6 +93,7 @@ pub fn span_kind_name(k: u16) -> &'static str {
         span_kind::FIFO_PUSH => "fifo_push",
         span_kind::FIFO_POP => "fifo_pop",
         span_kind::DMA_WAIT => "dma_wait",
+        span_kind::REQUEST => "request",
         _ => "span",
     }
 }
